@@ -1,0 +1,92 @@
+// Command cqbench regenerates every experiment table of the reproduction
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results):
+//
+//	cqbench -run all            # everything at default scale
+//	cqbench -run E1,E5 -n 20000 # selected experiments, custom scale
+//
+// Scales are edge/tuple counts; all generators are seeded and
+// deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cqrep/internal/bench"
+	"cqrep/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+	n := flag.Int("n", 8000, "base data scale (edges / tuples per relation)")
+	queries := flag.Int("queries", 50, "access requests per measurement")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *run == "all" {
+		for i := 1; i <= 15; i++ {
+			selected[fmt.Sprintf("E%d", i)] = true
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	runners := []struct {
+		id  string
+		fn  func() []*bench.Table
+		des string
+	}{
+		{"E1", func() []*bench.Table { return experiments.E1Triangle(*n, *queries, *seed) },
+			"triangle V^bfb space/delay tradeoff (Examples 1, 5)"},
+		{"E2", func() []*bench.Table { return experiments.E2AllBound(*n, *queries, *seed) },
+			"all-bound views (Proposition 1)"},
+		{"E3", func() []*bench.Table { return experiments.E3DRep([]int{*n / 4, *n / 2, *n}, *seed) },
+			"d-representation constant delay (Propositions 2, 4)"},
+		{"E4", func() []*bench.Table { return experiments.E4LoomisWhitney(*n/3, *queries, *seed) },
+			"Loomis-Whitney LW3 (Example 6)"},
+		{"E5", func() []*bench.Table { return experiments.E5StarSlack(*n/8, *queries, *seed) },
+			"star join slack (Example 7); scale n/8 — preprocessing is Θ(N^3) for S3"},
+		{"E6", func() []*bench.Table { return experiments.E6PathDecomp(*n/8, *queries, *seed) },
+			"path query: Theorem 1 vs Theorem 2 (Example 10); scale n/8 — Theorem-1 preprocessing is Θ(|D|^3)"},
+		{"E7", func() []*bench.Table { return experiments.E7SetIntersection(*n, *queries, *seed) },
+			"fast set intersection (Section 3.1, [13])"},
+		{"E8", func() []*bench.Table { return experiments.E8RunningExample() },
+			"running example tree and dictionary (Examples 13-15, Figure 3)"},
+		{"E9", func() []*bench.Table { return experiments.E9Optimizer(*n) },
+			"MinDelayCover / MinSpaceCover LPs (Section 6, Figure 5)"},
+		{"E10", func() []*bench.Table { return experiments.E10Connex() },
+			"connex decompositions and widths (Figures 2, 7; Examples 9, 16, 17)"},
+		{"E11", func() []*bench.Table { return experiments.E11Coauthor(*n, *queries, *seed) },
+			"co-author graph application (introduction)"},
+		{"E12", func() []*bench.Table { return experiments.E12AnswerTime(*n/2, *queries, *seed) },
+			"answer-time model validation (Theorem 1)"},
+		{"E13", func() []*bench.Table { return experiments.E13DictionaryAblation(*n, *queries, *seed) },
+			"ablation: heavy-pair dictionary on/off"},
+		{"E14", func() []*bench.Table { return experiments.E14BuildScaling([]int{*n / 4, *n / 2, *n}, *seed) },
+			"ablation: compression time scaling"},
+		{"E15", func() []*bench.Table { return experiments.E15DeltaShapes(*n/4, *queries, *seed) },
+			"ablation: delay-assignment shapes"},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if !selected[r.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s: %s ===\n\n", r.id, r.des)
+		for _, tb := range r.fn() {
+			fmt.Println(tb.String())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E12 or all")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,184 @@
+// Command cqcli compiles an adorned view over CSV relations and serves
+// access requests interactively:
+//
+//	cqcli -view 'V[bf](x, y) :- R(x, p), R2(y, p)' -rel R=r.csv -rel R2=r.csv
+//
+// Each -rel flag names a relation and a CSV file of integer columns. After
+// building, the tool reads one access request per line on stdin: bound
+// values separated by spaces (in the view's bound-variable order), and
+// prints the matching free tuples. Options mirror the library's planner:
+// -tau, -space, -delay, -strategy.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"cqrep/internal/core"
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string     { return strings.Join(*r, ",") }
+func (r *relFlags) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	viewStr := flag.String("view", "", "adorned view, e.g. 'V[bfb](x,y,z) :- R(x,y), R(y,z), R(z,x)'")
+	var rels relFlags
+	flag.Var(&rels, "rel", "relation source NAME=FILE.csv (repeatable)")
+	tau := flag.Float64("tau", 0, "Theorem-1 threshold τ (0 = unset)")
+	space := flag.Float64("space", 0, "space budget in entries (planner minimizes delay)")
+	delay := flag.Float64("delay", 0, "delay budget τ (planner minimizes space)")
+	strategy := flag.String("strategy", "auto", "auto|primitive|decomposition|materialized|direct")
+	limit := flag.Int("limit", 20, "max tuples printed per request")
+	flag.Parse()
+
+	if *viewStr == "" || len(rels) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cqcli -view '...' -rel NAME=FILE [-rel ...]")
+		os.Exit(2)
+	}
+	view, err := cq.Parse(*viewStr)
+	if err != nil {
+		fatal(err)
+	}
+	db := relation.NewDatabase()
+	for _, spec := range rels {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -rel %q, want NAME=FILE", spec))
+		}
+		rel, err := loadCSV(name, file)
+		if err != nil {
+			fatal(err)
+		}
+		db.Add(rel)
+		fmt.Fprintf(os.Stderr, "loaded %s: %d tuples\n", name, rel.Len())
+	}
+
+	var opts []core.Option
+	switch *strategy {
+	case "auto":
+	case "primitive":
+		opts = append(opts, core.WithStrategy(core.PrimitiveStrategy))
+	case "decomposition":
+		opts = append(opts, core.WithStrategy(core.DecompositionStrategy))
+	case "materialized":
+		opts = append(opts, core.WithStrategy(core.MaterializedStrategy))
+	case "direct":
+		opts = append(opts, core.WithStrategy(core.DirectStrategy))
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	if *tau > 0 {
+		opts = append(opts, core.WithTau(*tau))
+	}
+	if *space > 0 {
+		opts = append(opts, core.WithSpaceBudget(*space))
+	}
+	if *delay > 0 {
+		opts = append(opts, core.WithDelayBudget(*delay))
+	}
+
+	rep, err := core.Build(view, db, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	st := rep.Stats()
+	fmt.Fprintf(os.Stderr, "built %v representation: %d entries, %d bytes, %v\n",
+		st.Strategy, st.Entries, st.Bytes, st.BuildTime)
+	bound := rep.BoundNames()
+	free := rep.FreeNames()
+	fmt.Fprintf(os.Stderr, "bound order: %v; output columns: %v\n", bound, free)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != len(bound) {
+			fmt.Fprintf(os.Stderr, "want %d bound values (%v), got %d\n", len(bound), bound, len(fields))
+			continue
+		}
+		vb := make(relation.Tuple, len(fields))
+		ok := true
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad value %q: %v\n", f, err)
+				ok = false
+				break
+			}
+			vb[i] = relation.Value(v)
+		}
+		if !ok {
+			continue
+		}
+		it := rep.Query(vb)
+		count := 0
+		for {
+			t, found := it.Next()
+			if !found {
+				break
+			}
+			count++
+			if count <= *limit {
+				fmt.Println(t)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%d tuples\n", count)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqcli:", err)
+	os.Exit(1)
+}
+
+func loadCSV(name, file string) (*relation.Relation, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	rd.FieldsPerRecord = -1
+	var rel *relation.Relation
+	for {
+		rec, err := rd.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		if rel == nil {
+			rel = relation.NewRelation(name, len(rec))
+		}
+		t := make(relation.Tuple, len(rec))
+		for i, c := range rec {
+			v, err := strconv.ParseInt(strings.TrimSpace(c), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: non-integer cell %q", file, c)
+			}
+			t[i] = relation.Value(v)
+		}
+		if err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("%s: empty file", file)
+	}
+	return rel, nil
+}

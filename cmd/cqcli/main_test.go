@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cqrep/internal/relation"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadCSV(t *testing.T) {
+	p := writeTemp(t, "r.csv", "1,2\n2,3\n 3 , 1 \n1,2\n")
+	rel, err := loadCSV("R", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Name() != "R" || rel.Arity() != 2 {
+		t.Errorf("rel = %v", rel)
+	}
+	if rel.Len() != 3 { // duplicate (1,2) deduplicated
+		t.Errorf("Len = %d, want 3", rel.Len())
+	}
+	if !rel.Contains(relation.Tuple{3, 1}) {
+		t.Error("whitespace-trimmed row missing")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := loadCSV("R", filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file must fail")
+	}
+	bad := writeTemp(t, "bad.csv", "1,notanumber\n")
+	if _, err := loadCSV("R", bad); err == nil {
+		t.Error("non-integer cell must fail")
+	}
+	empty := writeTemp(t, "empty.csv", "")
+	if _, err := loadCSV("R", empty); err == nil {
+		t.Error("empty file must fail")
+	}
+	ragged := writeTemp(t, "ragged.csv", "1,2\n3\n")
+	if _, err := loadCSV("R", ragged); err == nil {
+		t.Error("ragged arity must fail")
+	}
+}

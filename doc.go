@@ -1,0 +1,23 @@
+// Package cqrep is a from-scratch Go reproduction of "Compressed
+// Representations of Conjunctive Query Results" (Shaleen Deep and Paraschos
+// Koutris, PODS 2018, arXiv:1709.06186).
+//
+// The library compiles an adorned view — a conjunctive query whose head
+// variables are marked bound (b) or free (f) — over a relational database
+// into a compressed representation that answers access requests (valuations
+// of the bound variables) by enumerating matching free-variable tuples,
+// with a tunable tradeoff between the space of the representation and the
+// per-tuple delay:
+//
+//   - internal/primitive implements Theorem 1: a delay-balanced tree over
+//     f-intervals plus a heavy-pair dictionary, with space
+//     O~(|D| + Π_F |R_F|^{u_F}/τ^α) and delay O~(τ).
+//   - internal/decomp implements Theorem 2: per-bag Theorem-1 structures
+//     over a V_b-connex tree decomposition, with space O~(|D| + |D|^f) and
+//     delay O~(|D|^h) for the δ-width f and δ-height h.
+//   - internal/core is the public facade and the Section-6 planner
+//     (MinDelayCover / MinSpaceCover).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and cmd/cqbench for the experiment runner.
+package cqrep

@@ -1,0 +1,92 @@
+// Statistical inference access patterns: the paper's second application
+// (Section 1, the Felix system for Markov Logic Networks).
+//
+// Felix evaluates logical rules whose access patterns are exactly adorned
+// views, and chooses per-rule between eager materialization and lazy
+// evaluation — a discrete choice. The compressed representation explores
+// the full continuum: this example takes the classic smoker rule
+//
+//	smokes(y) :- smokes(x), friends(x, y)
+//
+// whose grounding worker repeatedly asks "given x, which y?" — the adorned
+// view F^bf(x, y) = S(x), F(x, y) extended with the co-influence pattern
+// I^bff(x, y, z) = F(x, y), F(y, z) ("two-hop influence") — and sweeps the
+// space budget, letting the Section-6 planner pick the delay.
+//
+// Run with: go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cqrep/internal/bench"
+	"cqrep/internal/core"
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+func main() {
+	const people = 900
+	const friendships = 9000
+	rng := rand.New(rand.NewSource(17))
+	db := relation.NewDatabase()
+	db.Add(workload.SymmetricGraph(rng, "F", people, friendships))
+	smokes := relation.NewRelation("S", 1)
+	for p := 0; p < people/5; p++ {
+		smokes.MustInsert(relation.Value(rng.Intn(people)))
+	}
+	db.Add(smokes)
+	f, _ := db.Relation("F")
+	n := f.Len() + smokes.Len()
+	fmt.Printf("|F| = %d friendships, |S| = %d smokers, |D| = %d\n", f.Len(), smokes.Len(), n)
+
+	// Two-hop influence: the expensive grounding pattern.
+	view := cq.MustParse("I[bff](x, y, z) :- S(x), F(x, y), F(y, z)")
+
+	// Sample grounding requests: smokers (the rule only fires for them).
+	var vbs []relation.Tuple
+	for i := 0; i < smokes.Len() && i < 40; i++ {
+		vbs = append(vbs, relation.Tuple{smokes.Row(i)[0]})
+	}
+
+	fmt.Println("\nbudget sweep (Section 6 planner chooses τ per budget):")
+	fmt.Printf("%-14s %10s %12s %10s %14s\n", "space budget", "entries", "bytes", "tau", "max delay")
+	for _, budget := range []float64{float64(n), float64(n) * 8, float64(n) * 64, 1e12} {
+		rep, err := core.Build(view, db, core.WithSpaceBudget(budget))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var agg bench.Aggregate
+		for _, vb := range vbs {
+			agg.Add(bench.Measure(rep.Query(vb)))
+		}
+		st := rep.Stats()
+		fmt.Printf("%-14.3g %10d %12d %10.1f %14v\n",
+			budget, st.Entries, st.Bytes, st.Tau, agg.MaxDelay)
+	}
+
+	// Felix's two discrete extremes for comparison.
+	fmt.Println("\nFelix-style discrete extremes:")
+	for _, c := range []struct {
+		name string
+		opt  core.Option
+	}{
+		{"eager (materialize)", core.WithStrategy(core.MaterializedStrategy)},
+		{"lazy (from scratch)", core.WithStrategy(core.DirectStrategy)},
+	} {
+		rep, err := core.Build(view, db, c.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var agg bench.Aggregate
+		for _, vb := range vbs {
+			agg.Add(bench.Measure(rep.Query(vb)))
+		}
+		st := rep.Stats()
+		fmt.Printf("%-22s entries=%8d bytes=%10d max delay=%v\n",
+			c.name, st.Entries, st.Bytes, agg.MaxDelay)
+	}
+}

@@ -1,0 +1,214 @@
+// Package baseline implements the two extremal solutions the paper
+// positions its data structure against (Section 2.3), plus the
+// Proposition 1 structure for all-bound views:
+//
+//   - MaterializedView: materialize Q(D) and index it by the bound
+//     variables — optimal delay O(1), worst-case space |D|^{ρ*}.
+//   - DirectEval: store nothing beyond the linear-space base indexes and
+//     evaluate every access request from scratch with a worst-case-optimal
+//     join — linear space, delay up to the AGM bound.
+//   - AllBound: for views whose head variables are all bound, the answer is
+//     a constant number of index probes (Proposition 1).
+package baseline
+
+import (
+	"time"
+
+	"cqrep/internal/interval"
+	"cqrep/internal/join"
+	"cqrep/internal/relation"
+)
+
+// MaterializedView stores the full view output bucketed by bound valuation
+// with the free tuples of each bucket in lexicographic order.
+type MaterializedView struct {
+	inst    *join.Instance
+	buckets map[string][]relation.Tuple
+	tuples  int
+	elapsed time.Duration
+}
+
+// Materialize evaluates the full view with the worst-case-optimal join and
+// indexes the result by bound valuation.
+func Materialize(inst *join.Instance) (*MaterializedView, error) {
+	start := time.Now()
+	m := &MaterializedView{inst: inst, buckets: make(map[string][]relation.Tuple)}
+	// Enumerate distinct bound valuations, then their free tuples; this
+	// yields each bucket already in lexicographic free order.
+	if len(inst.NV.Bound) == 0 {
+		var out []relation.Tuple
+		for _, b := range interval.Decompose(interval.Full(inst.Mu)) {
+			out = append(out, join.Drain(join.NewEnum(inst, relation.Tuple{}, b))...)
+		}
+		if len(out) > 0 {
+			m.buckets[""] = out
+			m.tuples = len(out)
+		}
+	} else {
+		join.BoundCandidates(inst, interval.Box{}, func(vb relation.Tuple) bool {
+			if !inst.CheckAllBoundAtoms(vb) {
+				return true
+			}
+			var out []relation.Tuple
+			for _, b := range interval.Decompose(interval.Full(inst.Mu)) {
+				out = append(out, join.Drain(join.NewEnum(inst, vb, b))...)
+			}
+			if len(out) > 0 {
+				m.buckets[string(vb.AppendEncode(nil))] = out
+				m.tuples += len(out)
+			}
+			return true
+		})
+	}
+	m.elapsed = time.Since(start)
+	return m, nil
+}
+
+// Query returns an iterator over the access request's free tuples in
+// lexicographic order with O(1) delay.
+func (m *MaterializedView) Query(vb relation.Tuple) *SliceIter {
+	return &SliceIter{tuples: m.buckets[string(vb.AppendEncode(nil))]}
+}
+
+// Stats reports the materialization footprint.
+type Stats struct {
+	Tuples    int
+	Bytes     int
+	BuildTime time.Duration
+}
+
+// Stats reports output tuples stored and an estimated byte footprint.
+func (m *MaterializedView) Stats() Stats {
+	mu := m.inst.Mu
+	const word = 8
+	return Stats{
+		Tuples:    m.tuples,
+		Bytes:     m.tuples*(mu*word+3*word) + len(m.buckets)*(len(m.inst.NV.Bound)*word+6*word),
+		BuildTime: m.elapsed,
+	}
+}
+
+// SliceIter iterates a pre-materialized tuple slice.
+type SliceIter struct {
+	tuples []relation.Tuple
+	pos    int
+}
+
+// Next returns the next tuple or false at the end.
+func (it *SliceIter) Next() (relation.Tuple, bool) {
+	if it.pos >= len(it.tuples) {
+		return nil, false
+	}
+	t := it.tuples[it.pos]
+	it.pos++
+	return t.Clone(), true
+}
+
+// Drain collects the remaining tuples.
+func (it *SliceIter) Drain() []relation.Tuple {
+	var out []relation.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// DirectEval answers every request by running the worst-case-optimal join
+// over the base indexes — the "evaluate on the input database" extreme.
+type DirectEval struct {
+	inst *join.Instance
+}
+
+// NewDirectEval wraps an instance; there is no preprocessing beyond the
+// linear-space sorted indexes the instance already holds.
+func NewDirectEval(inst *join.Instance) *DirectEval { return &DirectEval{inst: inst} }
+
+// Query evaluates the request from scratch, in lexicographic order.
+func (d *DirectEval) Query(vb relation.Tuple) *DirectIter {
+	return &DirectIter{inst: d.inst, vb: vb, boxes: interval.Decompose(interval.Full(d.inst.Mu))}
+}
+
+// DirectIter streams the join result box by box.
+type DirectIter struct {
+	inst   *join.Instance
+	vb     relation.Tuple
+	boxes  []interval.Box
+	idx    int
+	cur    *join.Enum
+	inited bool
+	done   bool
+	ops    uint64
+}
+
+// Next returns the next tuple of the from-scratch evaluation.
+func (it *DirectIter) Next() (relation.Tuple, bool) {
+	if it.done {
+		return nil, false
+	}
+	if !it.inited {
+		it.inited = true
+		if len(it.vb) != len(it.inst.NV.Bound) || !it.inst.CheckAllBoundAtoms(it.vb) {
+			it.done = true
+			return nil, false
+		}
+		if len(it.boxes) > 0 {
+			it.cur = join.NewEnum(it.inst, it.vb, it.boxes[0])
+		}
+	}
+	for it.cur != nil {
+		t, ok := it.cur.Next()
+		if ok {
+			return t, true
+		}
+		it.ops += it.cur.Ops()
+		it.idx++
+		if it.idx < len(it.boxes) {
+			it.cur = join.NewEnum(it.inst, it.vb, it.boxes[it.idx])
+		} else {
+			it.cur = nil
+		}
+	}
+	it.done = true
+	return nil, false
+}
+
+// Ops returns the accumulated work counter.
+func (it *DirectIter) Ops() uint64 {
+	if it.cur != nil {
+		return it.ops + it.cur.Ops()
+	}
+	return it.ops
+}
+
+// Drain collects the remaining tuples.
+func (it *DirectIter) Drain() []relation.Tuple {
+	var out []relation.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// AllBound is the Proposition 1 structure for views with every head
+// variable bound: linear space (the base indexes), O(1) delay membership.
+type AllBound struct {
+	inst *join.Instance
+}
+
+// NewAllBound wraps an instance of an all-bound view.
+func NewAllBound(inst *join.Instance) *AllBound { return &AllBound{inst: inst} }
+
+// Query returns a one-tuple iterator holding the empty tuple when the
+// valuation is in the view, an empty iterator otherwise.
+func (a *AllBound) Query(vb relation.Tuple) *SliceIter {
+	if len(vb) == len(a.inst.NV.Bound) && a.inst.CheckAllBoundAtoms(vb) {
+		return &SliceIter{tuples: []relation.Tuple{{}}}
+	}
+	return &SliceIter{}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cqrep/internal/relation"
+)
+
+type fakeIter struct {
+	tuples []relation.Tuple
+	pos    int
+	ops    uint64
+}
+
+func (f *fakeIter) Next() (relation.Tuple, bool) {
+	f.ops += 3
+	if f.pos >= len(f.tuples) {
+		return nil, false
+	}
+	t := f.tuples[f.pos]
+	f.pos++
+	return t, true
+}
+
+func (f *fakeIter) Ops() uint64 { return f.ops }
+
+func TestMeasureCountsAndOps(t *testing.T) {
+	it := &fakeIter{tuples: []relation.Tuple{{1}, {2}, {3}}}
+	st := Measure(it)
+	if st.Tuples != 3 {
+		t.Errorf("Tuples = %d, want 3", st.Tuples)
+	}
+	if st.TotalOps != 12 { // 3 yields + 1 end, 3 ops each
+		t.Errorf("TotalOps = %d, want 12", st.TotalOps)
+	}
+	if st.MaxOps != 3 {
+		t.Errorf("MaxOps = %d, want 3", st.MaxOps)
+	}
+	if st.Total <= 0 || st.MaxDelay <= 0 {
+		t.Error("durations must be positive")
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	st := Measure(&fakeIter{})
+	if st.Tuples != 0 || st.TotalOps != 3 {
+		t.Errorf("empty measure = %+v", st)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	a.Add(DelayStats{Tuples: 2, MaxDelay: 5 * time.Millisecond, MaxOps: 7, Total: time.Second, TotalOps: 10})
+	a.Add(DelayStats{Tuples: 1, MaxDelay: 2 * time.Millisecond, MaxOps: 9, Total: time.Second, TotalOps: 5})
+	if a.Requests != 2 || a.Tuples != 3 {
+		t.Errorf("aggregate counts wrong: %+v", a)
+	}
+	if a.MaxDelay != 5*time.Millisecond || a.MaxOps != 9 {
+		t.Errorf("aggregate maxima wrong: %+v", a)
+	}
+	if a.TotalTime != 2*time.Second || a.TotalOps != 15 {
+		t.Errorf("aggregate totals wrong: %+v", a)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Note = "a note"
+	tb.Add("alpha", 1.23456789)
+	tb.Add("long-name-entry", 42)
+	tb.Add("dur", 1500*time.Microsecond)
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") || !strings.Contains(out, "a note") {
+		t.Errorf("missing title or note:\n%s", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5ms") {
+		t.Errorf("duration formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, note, header, separator, 3 rows.
+	if len(lines) != 7 {
+		t.Errorf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+	// Alignment: header and separator must be same width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned header/separator:\n%s", out)
+	}
+}

@@ -1,0 +1,427 @@
+// Package core is the public face of the library: it compiles an adorned
+// view over a database into a compressed representation chosen from the
+// paper's menu — the Theorem-1 primitive, the Theorem-2 decomposed
+// structure, or the two extremal baselines — and answers access requests
+// through a uniform iterator interface.
+//
+// The planner implements Section 6: given a space budget it minimizes
+// delay (MinDelayCover), given a delay budget it minimizes space
+// (MinSpaceCover), both in polynomial time via the linear programs of
+// Figure 5.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cqrep/internal/baseline"
+	"cqrep/internal/cq"
+	"cqrep/internal/decomp"
+	"cqrep/internal/fractional"
+	"cqrep/internal/join"
+	"cqrep/internal/primitive"
+	"cqrep/internal/relation"
+)
+
+// Strategy selects the compressed representation.
+type Strategy int
+
+// Available strategies.
+const (
+	// Auto picks AllBound for boolean views, honors explicit budgets with
+	// the Theorem-1 primitive, and otherwise builds the constant-delay
+	// Theorem-2 structure over a searched connex decomposition.
+	Auto Strategy = iota
+	// PrimitiveStrategy is the Theorem-1 delay-balanced tree structure.
+	PrimitiveStrategy
+	// DecompositionStrategy is the Theorem-2 per-bag structure.
+	DecompositionStrategy
+	// MaterializedStrategy materializes and indexes the full output.
+	MaterializedStrategy
+	// DirectStrategy evaluates every request from scratch.
+	DirectStrategy
+	// AllBoundStrategy answers boolean (all-bound) views with index probes.
+	AllBoundStrategy
+)
+
+// String names the strategy for reports.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case PrimitiveStrategy:
+		return "primitive"
+	case DecompositionStrategy:
+		return "decomposition"
+	case MaterializedStrategy:
+		return "materialized"
+	case DirectStrategy:
+		return "direct"
+	case AllBoundStrategy:
+		return "allbound"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Iterator is the uniform access-request result stream: tuples over the
+// view's free variables.
+type Iterator interface {
+	Next() (relation.Tuple, bool)
+}
+
+// config collects build options.
+type config struct {
+	strategy    Strategy
+	tau         float64
+	cover       fractional.Cover
+	dec         *decomp.Decomposition
+	delta       []float64
+	spaceBudget float64 // entries; 0 = unset
+	delayBudget float64 // τ bound; 0 = unset
+}
+
+// Option customizes Build.
+type Option func(*c)
+
+type c = config
+
+// WithStrategy forces a representation strategy.
+func WithStrategy(s Strategy) Option { return func(cfg *config) { cfg.strategy = s } }
+
+// WithTau sets the Theorem-1 threshold τ directly.
+func WithTau(tau float64) Option { return func(cfg *config) { cfg.tau = tau } }
+
+// WithCover sets the fractional edge cover used by the Theorem-1 structure
+// (one weight per body atom).
+func WithCover(u fractional.Cover) Option { return func(cfg *config) { cfg.cover = u } }
+
+// WithDecomposition supplies a connex tree decomposition for the Theorem-2
+// structure (bags over the normalized view's variable ids).
+func WithDecomposition(d *decomp.Decomposition) Option { return func(cfg *config) { cfg.dec = d } }
+
+// WithDelta supplies the per-bag delay assignment for the Theorem-2
+// structure.
+func WithDelta(delta []float64) Option { return func(cfg *config) { cfg.delta = delta } }
+
+// WithSpaceBudget asks the Section-6 planner to minimize delay subject to
+// the structure using about the given number of entries.
+func WithSpaceBudget(entries float64) Option { return func(cfg *config) { cfg.spaceBudget = entries } }
+
+// WithDelayBudget asks the Section-6 planner to minimize space subject to
+// delay at most the given τ.
+func WithDelayBudget(tau float64) Option { return func(cfg *config) { cfg.delayBudget = tau } }
+
+// Stats describes a built representation.
+type Stats struct {
+	Strategy  Strategy
+	BuildTime time.Duration
+	// Entries counts structure-specific stored items (dictionary entries +
+	// tree nodes, or materialized tuples); Bytes estimates their footprint.
+	// Neither includes the linear-space base indexes.
+	Entries int
+	Bytes   int
+	// Tau and Alpha describe the Theorem-1 parameters when applicable.
+	Tau   float64
+	Alpha float64
+	// Width and Height are the δ-width and δ-height for decompositions.
+	Width  float64
+	Height float64
+}
+
+// Representation is a compiled adorned view ready to serve access requests.
+type Representation struct {
+	orig *cq.View // the view as given, possibly non-full
+	view *cq.View // the compiled full view
+	nv   *cq.NormalizedView
+	inst *join.Instance
+
+	strategy Strategy
+	prim     *primitive.Structure
+	dcmp     *decomp.Structure
+	mat      *baseline.MaterializedView
+	direct   *baseline.DirectEval
+	allBound *baseline.AllBound
+
+	stats Stats
+}
+
+// Build compiles the adorned view over db. Non-full views (boolean or
+// projected heads) are extended to full views first; their boolean answer
+// is "is the iterator non-empty".
+func Build(view *cq.View, db *relation.Database, opts ...Option) (*Representation, error) {
+	cfg := &config{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	full := view.ExtendToFull()
+	nv, err := cq.Normalize(full, db)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := join.NewInstance(nv)
+	if err != nil {
+		return nil, err
+	}
+	r := &Representation{orig: view, view: full, nv: nv, inst: inst}
+	start := time.Now()
+
+	strategy := cfg.strategy
+	if strategy == Auto {
+		switch {
+		case inst.Mu == 0:
+			strategy = AllBoundStrategy
+		case cfg.tau > 0 || cfg.spaceBudget > 0 || cfg.delayBudget > 0 || cfg.cover != nil:
+			strategy = PrimitiveStrategy
+		default:
+			strategy = DecompositionStrategy
+		}
+	}
+	r.strategy = strategy
+	r.stats.Strategy = strategy
+
+	switch strategy {
+	case PrimitiveStrategy:
+		if err := r.buildPrimitive(cfg); err != nil {
+			return nil, err
+		}
+	case DecompositionStrategy:
+		if err := r.buildDecomposition(cfg); err != nil {
+			return nil, err
+		}
+	case MaterializedStrategy:
+		m, err := baseline.Materialize(inst)
+		if err != nil {
+			return nil, err
+		}
+		r.mat = m
+		st := m.Stats()
+		r.stats.Entries = st.Tuples
+		r.stats.Bytes = st.Bytes
+	case DirectStrategy:
+		r.direct = baseline.NewDirectEval(inst)
+	case AllBoundStrategy:
+		if inst.Mu != 0 {
+			return nil, fmt.Errorf("core: AllBound strategy requires a view with every variable bound")
+		}
+		r.allBound = baseline.NewAllBound(inst)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
+	}
+	r.stats.BuildTime = time.Since(start)
+	return r, nil
+}
+
+// relationSizes lists per-atom base relation sizes.
+func relationSizes(inst *join.Instance) []int {
+	sizes := make([]int, len(inst.Atoms))
+	for i, a := range inst.Atoms {
+		sizes[i] = a.Rel.Len()
+	}
+	return sizes
+}
+
+// buildPrimitive resolves (u, τ) from the options and Section-6 planner and
+// builds the Theorem-1 structure.
+func (r *Representation) buildPrimitive(cfg *config) error {
+	if r.inst.Mu == 0 {
+		return fmt.Errorf("core: primitive strategy requires at least one free variable")
+	}
+	h := r.nv.Hypergraph()
+	u := cfg.cover
+	tau := cfg.tau
+	switch {
+	case cfg.spaceBudget > 0:
+		pt, err := fractional.MinDelayCover(h, r.nv.Free, relationSizes(r.inst), math.Log(cfg.spaceBudget))
+		if err != nil {
+			return err
+		}
+		if u == nil {
+			u = pt.U
+		}
+		if tau == 0 {
+			tau = pt.Tau
+		}
+	case cfg.delayBudget > 0:
+		pt, err := fractional.MinSpaceCover(h, r.nv.Free, relationSizes(r.inst), math.Log(cfg.delayBudget))
+		if err != nil {
+			return err
+		}
+		if u == nil {
+			u = pt.U
+		}
+		if tau == 0 {
+			tau = pt.Tau
+		}
+	}
+	if u == nil {
+		u = fractional.AllOnes(h)
+	}
+	u = sanitizeCover(h, u)
+	if tau == 0 {
+		tau = 1
+	}
+	if tau < 1 {
+		tau = 1
+	}
+	s, err := primitive.Build(r.inst, u, tau)
+	if err != nil {
+		return err
+	}
+	r.prim = s
+	st := s.Stats()
+	r.stats.Entries = st.DictEntries + st.TreeNodes
+	r.stats.Bytes = st.Bytes
+	r.stats.Tau = tau
+	r.stats.Alpha = s.Estimator().Alpha
+	return nil
+}
+
+// buildDecomposition resolves the decomposition and delay assignment and
+// builds the Theorem-2 structure.
+func (r *Representation) buildDecomposition(cfg *config) error {
+	h := r.nv.Hypergraph()
+	d := cfg.dec
+	if d == nil {
+		res, err := decomp.SearchConnex(h, r.nv.Bound)
+		if err != nil {
+			return err
+		}
+		d = res.Dec
+	}
+	delta := cfg.delta
+	if delta == nil {
+		dbSize := 0
+		for _, s := range relationSizes(r.inst) {
+			dbSize += s
+		}
+		switch {
+		case cfg.spaceBudget > 0:
+			// Section 6: per-bag MinDelayCover under the space budget.
+			var err error
+			delta, err = decomp.OptimizeDelta(r.nv, d, math.Log(cfg.spaceBudget))
+			if err != nil {
+				return err
+			}
+		case cfg.delayBudget > 1:
+			// Delay budget |D|^h: scale a uniform assignment to height h.
+			delta = decomp.DeltaForHeight(d, decomp.LogBase(dbSize, cfg.delayBudget))
+		case cfg.tau > 1:
+			// A uniform delay assignment realizing roughly the requested
+			// per-bag delay, as in Example 10.
+			delta = decomp.UniformDelta(d, decomp.LogBase(dbSize, cfg.tau))
+		default:
+			delta = make([]float64, len(d.Bags))
+		}
+	}
+	s, err := decomp.Build(r.nv, d, delta)
+	if err != nil {
+		return err
+	}
+	r.dcmp = s
+	st := s.Stats()
+	r.stats.Entries = st.DictEntries + st.TreeNodes
+	r.stats.Bytes = st.Bytes
+	r.stats.Width = st.Width
+	r.stats.Height = st.Height
+	return nil
+}
+
+// sanitizeCover rescales LP output so numeric fuzz cannot invalidate the
+// cover property demanded by the estimator.
+func sanitizeCover(h cq.Hypergraph, u fractional.Cover) fractional.Cover {
+	all := make([]int, h.N)
+	for i := range all {
+		all[i] = i
+	}
+	minCov := math.Inf(1)
+	for _, x := range all {
+		cov := 0.0
+		for e, edge := range h.Edges {
+			for _, v := range edge {
+				if v == x {
+					cov += u[e]
+					break
+				}
+			}
+		}
+		if cov < minCov {
+			minCov = cov
+		}
+	}
+	if minCov >= 1 || minCov < 0.5 {
+		if minCov < 0.5 {
+			return fractional.AllOnes(h)
+		}
+		return u
+	}
+	out := make(fractional.Cover, len(u))
+	for i, w := range u {
+		out[i] = w / minCov
+	}
+	return out
+}
+
+// Query answers an access request given the bound-variable valuation in
+// head order.
+func (r *Representation) Query(vb relation.Tuple) Iterator {
+	switch r.strategy {
+	case PrimitiveStrategy:
+		return r.prim.Query(vb)
+	case DecompositionStrategy:
+		return r.dcmp.Query(vb)
+	case MaterializedStrategy:
+		return r.mat.Query(vb)
+	case DirectStrategy:
+		return r.direct.Query(vb)
+	default:
+		return r.allBound.Query(vb)
+	}
+}
+
+// QueryArgs answers an access request given bound values by variable name.
+func (r *Representation) QueryArgs(args map[string]relation.Value) (Iterator, error) {
+	vb, err := r.nv.BindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return r.Query(vb), nil
+}
+
+// Exists reports whether the access request has any answer — the boolean
+// semantics of non-full adorned views (Section 3.3).
+func (r *Representation) Exists(vb relation.Tuple) bool {
+	_, ok := r.Query(vb).Next()
+	return ok
+}
+
+// Stats returns the build statistics.
+func (r *Representation) Stats() Stats { return r.stats }
+
+// View returns the (full) compiled view.
+func (r *Representation) View() *cq.View { return r.view }
+
+// Normalized returns the normalized view (variable ids, orders).
+func (r *Representation) Normalized() *cq.NormalizedView { return r.nv }
+
+// Instance returns the bound join instance (base indexes).
+func (r *Representation) Instance() *join.Instance { return r.inst }
+
+// FreeNames returns the output column names of Query tuples.
+func (r *Representation) FreeNames() []string { return r.nv.FreeNames() }
+
+// BoundNames returns the expected valuation order for Query.
+func (r *Representation) BoundNames() []string { return r.nv.BoundNames() }
+
+// Drain collects an iterator fully.
+func Drain(it Iterator) []relation.Tuple {
+	var out []relation.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}

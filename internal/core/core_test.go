@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/decomp"
+	"cqrep/internal/fractional"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+func TestAutoStrategySelection(t *testing.T) {
+	db := workload.TriangleDB(1, 40, 80)
+	cases := []struct {
+		view string
+		opts []Option
+		want Strategy
+	}{
+		{"V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)", nil, DecompositionStrategy},
+		{"V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)", []Option{WithTau(4)}, PrimitiveStrategy},
+		{"V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)", []Option{WithSpaceBudget(100)}, PrimitiveStrategy},
+		{"V[bbb](x, y, z) :- R(x, y), R(y, z), R(z, x)", nil, AllBoundStrategy},
+	}
+	for _, c := range cases {
+		r, err := Build(cq.MustParse(c.view), db, c.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", c.view, err)
+		}
+		if r.Stats().Strategy != c.want {
+			t.Errorf("%s: strategy %v, want %v", c.view, r.Stats().Strategy, c.want)
+		}
+	}
+}
+
+func TestAllStrategiesAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		view, db := workload.RandomFullView(rng, 2+rng.Intn(3), 1+rng.Intn(3), 4, 2+rng.Intn(12))
+		strategies := []Option{
+			WithStrategy(PrimitiveStrategy), WithTau(2),
+		}
+		reps := make([]*Representation, 0, 4)
+		r1, err := Build(view, db, strategies...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, r1)
+		r2, err := Build(view, db, WithStrategy(DecompositionStrategy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, r2)
+		r3, err := Build(view, db, WithStrategy(MaterializedStrategy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, r3)
+		r4, err := Build(view, db, WithStrategy(DirectStrategy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, r4)
+
+		nb := len(r1.Normalized().Bound)
+		for probe := 0; probe < 6; probe++ {
+			vb := make(relation.Tuple, nb)
+			for i := range vb {
+				vb[i] = relation.Value(rng.Intn(4))
+			}
+			ref := Drain(reps[3].Query(vb)) // direct = ground truth
+			sortTuples(ref)
+			for k, rep := range reps[:3] {
+				got := Drain(rep.Query(vb))
+				sortTuples(got)
+				if len(got) != len(ref) {
+					t.Fatalf("trial %d strategy %d vb=%v: %d vs %d tuples", trial, k, vb, len(got), len(ref))
+				}
+				for i := range got {
+					if !got[i].Equal(ref[i]) {
+						t.Fatalf("trial %d strategy %d vb=%v tuple %d: %v vs %v", trial, k, vb, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func sortTuples(ts []relation.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+}
+
+func TestBudgetPlanners(t *testing.T) {
+	db := workload.TriangleDB(3, 200, 900)
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	n := db.Size()
+
+	// Space budget ~ |D| should plan τ ≈ √N (Example 1).
+	rLinear, err := Build(view, db, WithSpaceBudget(float64(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rLinear.Stats()
+	if st.Tau < 5 {
+		t.Errorf("linear budget: τ = %v, expected √N territory", st.Tau)
+	}
+
+	// Huge space budget should plan constant delay.
+	rBig, err := Build(view, db, WithSpaceBudget(1e12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rBig.Stats().Tau; got > 1.5 {
+		t.Errorf("huge budget: τ = %v, want ≈1", got)
+	}
+
+	// Delay budget 1 forces τ = 1.
+	rFast, err := Build(view, db, WithDelayBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rFast.Stats().Tau; got > 1.5 {
+		t.Errorf("delay budget 1: τ = %v, want ≈1", got)
+	}
+}
+
+func TestQueryArgsAndAccessors(t *testing.T) {
+	db := workload.TriangleDB(5, 60, 140)
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	r, err := Build(view, db, WithTau(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := r.QueryArgs(map[string]relation.Value{"x": 1, "z": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = Drain(it)
+	if _, err := r.QueryArgs(map[string]relation.Value{"x": 1}); err == nil {
+		t.Error("missing bound variable must fail")
+	}
+	if got := r.FreeNames(); len(got) != 1 || got[0] != "y" {
+		t.Errorf("FreeNames = %v", got)
+	}
+	if got := r.BoundNames(); len(got) != 2 || got[0] != "x" || got[1] != "z" {
+		t.Errorf("BoundNames = %v", got)
+	}
+	if r.View() == nil || r.Normalized() == nil || r.Instance() == nil {
+		t.Error("accessors must be populated")
+	}
+}
+
+func TestBooleanViewViaExtension(t *testing.T) {
+	// ∆^b(x) = R(x,y), S(y,z), T(z,x): does node x lie on a triangle?
+	db := relation.NewDatabase()
+	r := relation.NewRelation("R", 2)
+	s := relation.NewRelation("S", 2)
+	tt := relation.NewRelation("T", 2)
+	// Triangle 1-2-3 plus a dangling edge 7→8.
+	r.MustInsert(1, 2)
+	s.MustInsert(2, 3)
+	tt.MustInsert(3, 1)
+	r.MustInsert(7, 8)
+	db.Add(r)
+	db.Add(s)
+	db.Add(tt)
+	rep, err := Build(cq.MustParse("D[b](x) :- R(x, y), S(y, z), T(z, x)"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exists(relation.Tuple{1}) {
+		t.Error("node 1 lies on a triangle")
+	}
+	if rep.Exists(relation.Tuple{7}) {
+		t.Error("node 7 lies on no triangle")
+	}
+}
+
+func TestExplicitDecompositionAndDelta(t *testing.T) {
+	db := workload.PathDB(9, 6, 100, 10)
+	view := workload.PathView(6)
+	// PathView(6) binds x1, x7; variables are head-ordered so ids 0..6.
+	dec := &decomp.Decomposition{
+		Bags: [][]int{
+			{0, 6},
+			{0, 1, 5, 6},
+			{1, 2, 4, 5},
+			{2, 3, 4},
+		},
+		Parent: []int{-1, 0, 1, 2},
+	}
+	r, err := Build(view, db,
+		WithStrategy(DecompositionStrategy),
+		WithDecomposition(dec),
+		WithDelta([]float64{0, 0.2, 0.2, 0.2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Build(view, db, WithStrategy(DirectStrategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for probe := 0; probe < 25; probe++ {
+		vb := relation.Tuple{relation.Value(rng.Intn(10)), relation.Value(rng.Intn(10))}
+		got := Drain(r.Query(vb))
+		want := Drain(ref.Query(vb))
+		sortTuples(got)
+		sortTuples(want)
+		if len(got) != len(want) {
+			t.Fatalf("vb=%v: %d vs %d", vb, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("vb=%v tuple %d: %v vs %v", vb, i, got[i], want[i])
+			}
+		}
+	}
+	st := r.Stats()
+	if st.Height < 0.59 || st.Height > 0.61 {
+		t.Errorf("δ-height = %v, want 0.6", st.Height)
+	}
+}
+
+func TestWithCoverOption(t *testing.T) {
+	db := workload.StarDB(4, 2, 300, 40)
+	view := workload.StarView(2)
+	r, err := Build(view, db, WithCover(fractional.Cover{1, 1}), WithTau(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Alpha != 2 {
+		t.Errorf("star slack α = %v, want 2", r.Stats().Alpha)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	db := workload.TriangleDB(2, 20, 30)
+	if _, err := Build(cq.MustParse("V[bf](x, y) :- Q(x, y)"), db); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	if _, err := Build(view, db, WithStrategy(AllBoundStrategy)); err == nil {
+		t.Error("AllBound on a view with free variables must fail")
+	}
+	if _, err := Build(view, db, WithStrategy(Strategy(99))); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}

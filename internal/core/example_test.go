@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+
+	"cqrep/internal/core"
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+)
+
+// Example demonstrates the full pipeline on Example 1 of the paper: compile
+// the mutual-friend view and answer an access request.
+func Example() {
+	db := relation.NewDatabase()
+	r := relation.NewRelation("R", 2)
+	for _, e := range [][2]relation.Value{{1, 2}, {1, 3}, {2, 3}, {3, 4}, {1, 4}} {
+		r.MustInsert(e[0], e[1])
+		r.MustInsert(e[1], e[0])
+	}
+	db.Add(r)
+
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	rep, err := core.Build(view, db, core.WithTau(2))
+	if err != nil {
+		panic(err)
+	}
+	it, err := rep.QueryArgs(map[string]relation.Value{"x": 1, "z": 3})
+	if err != nil {
+		panic(err)
+	}
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		fmt.Println("mutual friend:", t[0])
+	}
+	// Output:
+	// mutual friend: 2
+	// mutual friend: 4
+}
+
+// ExampleRepresentation_QueryDistinct shows projection semantics (§3.2):
+// the co-author view projects the witnessing paper away.
+func ExampleRepresentation_QueryDistinct() {
+	db := relation.NewDatabase()
+	r := relation.NewRelation("R", 2) // (author, paper)
+	r.MustInsert(1, 10)
+	r.MustInsert(2, 10)
+	r.MustInsert(2, 11)
+	r.MustInsert(1, 11) // authors 1 and 2 share two papers
+	db.Add(r)
+	rep, err := core.Build(cq.MustParse("V[bf](x, y) :- R(x, p), R(y, p)"), db, core.WithTau(1))
+	if err != nil {
+		panic(err)
+	}
+	it := rep.QueryDistinct(relation.Tuple{1})
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		fmt.Println("co-author:", t[0])
+	}
+	// Output:
+	// co-author: 1
+	// co-author: 2
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/decomp"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+// TestQueryDistinctProjection checks the Section-3.2 projection extension:
+// the co-author view V^bf(x,y) projects the witnessing paper away and must
+// yield each co-author once, across strategies.
+func TestQueryDistinctProjection(t *testing.T) {
+	db := workload.CoauthorDB(5, 40, 60, 400)
+	view := cq.MustParse("V[bf](x, y) :- R(x, p), R(y, p)")
+	for _, opts := range [][]Option{
+		{WithStrategy(PrimitiveStrategy), WithTau(4)},
+		{WithStrategy(DecompositionStrategy)},
+		{WithStrategy(DirectStrategy)},
+		{WithStrategy(MaterializedStrategy)},
+	} {
+		rep, err := Build(view, db, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: distinct co-authors via the full view + manual dedup.
+		for _, author := range []relation.Value{0, 1, 2, 7} {
+			vb := relation.Tuple{author}
+			want := make(map[relation.Value]bool)
+			for _, full := range Drain(rep.Query(vb)) {
+				want[full[0]] = true // full = (y, p)
+			}
+			got := Drain(rep.QueryDistinct(vb))
+			if len(got) != len(want) {
+				t.Fatalf("strategy %v author %v: %d distinct, want %d", rep.Stats().Strategy, author, len(got), len(want))
+			}
+			seen := make(map[relation.Value]bool)
+			for _, g := range got {
+				if len(g) != 1 {
+					t.Fatalf("projected tuple %v has arity %d, want 1", g, len(g))
+				}
+				if seen[g[0]] {
+					t.Fatalf("strategy %v: duplicate projected tuple %v", rep.Stats().Strategy, g)
+				}
+				seen[g[0]] = true
+				if !want[g[0]] {
+					t.Fatalf("strategy %v: unexpected co-author %v", rep.Stats().Strategy, g[0])
+				}
+			}
+			if rep.CountDistinct(vb) != len(want) {
+				t.Fatalf("CountDistinct mismatch")
+			}
+		}
+	}
+}
+
+func TestQueryDistinctOnFullViewIsIdentity(t *testing.T) {
+	db := workload.TriangleDB(3, 30, 70)
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	rep, err := Build(view, db, WithTau(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Relation("R")
+	row := r.Row(0)
+	vb := relation.Tuple{row[0], row[1]}
+	a := Drain(rep.Query(vb))
+	b := Drain(rep.QueryDistinct(vb))
+	if len(a) != len(b) {
+		t.Fatalf("full view distinct %d != plain %d", len(b), len(a))
+	}
+}
+
+func TestCount(t *testing.T) {
+	db := workload.TriangleDB(9, 25, 60)
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	rep, err := Build(view, db, WithTau(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Relation("R")
+	for i := 0; i < 10 && i < r.Len(); i++ {
+		row := r.Row(i)
+		vb := relation.Tuple{row[0], row[1]}
+		if got, want := rep.Count(vb), len(Drain(rep.Query(vb))); got != want {
+			t.Errorf("Count(%v) = %d, want %d", vb, got, want)
+		}
+	}
+}
+
+// TestMaintainedInsertDelete validates snapshot semantics and the rebuild
+// policy of the update extension.
+func TestMaintainedInsertDelete(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewRelation("R", 2)
+	for _, e := range [][2]relation.Value{{1, 2}, {2, 3}, {3, 1}, {2, 1}, {3, 2}, {1, 3}} {
+		r.MustInsert(e[0], e[1])
+	}
+	db.Add(r)
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	m, err := NewMaintained(view, db, 10, WithTau(2)) // huge budget: manual flush only
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := relation.Tuple{1, 3} // mutual friends of 1 and 3 → y = 2
+	it, err := m.Query(vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Drain(it); len(got) != 1 || got[0][0] != 2 {
+		t.Fatalf("initial answer = %v, want [(2)]", got)
+	}
+
+	// Buffered inserts must not be visible until flush.
+	for _, e := range [][2]relation.Value{{1, 4}, {4, 1}, {4, 3}, {3, 4}} {
+		if err := m.Insert("R", relation.Tuple{e[0], e[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, _ = m.Query(vb)
+	if got := Drain(it); len(got) != 1 {
+		t.Fatalf("stale snapshot changed: %v", got)
+	}
+	if m.Pending() != 4 {
+		t.Fatalf("pending = %d", m.Pending())
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	it, _ = m.Query(vb)
+	if got := Drain(it); len(got) != 2 {
+		t.Fatalf("after insert flush: %v, want y ∈ {2, 4}", got)
+	}
+	if m.Rebuilds() != 1 {
+		t.Fatalf("rebuilds = %d", m.Rebuilds())
+	}
+
+	// Delete the new edges again.
+	for _, e := range [][2]relation.Value{{1, 4}, {4, 1}, {4, 3}, {3, 4}} {
+		if err := m.Delete("R", relation.Tuple{e[0], e[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	it, _ = m.Query(vb)
+	if got := Drain(it); len(got) != 1 || got[0][0] != 2 {
+		t.Fatalf("after delete flush: %v, want [(2)]", got)
+	}
+}
+
+// TestMaintainedAutoRebuild checks the fraction-based policy triggers on
+// query.
+func TestMaintainedAutoRebuild(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewRelation("R", 2)
+	for i := 0; i < 20; i++ {
+		r.MustInsert(relation.Value(i), relation.Value(i+1))
+	}
+	db.Add(r)
+	view := cq.MustParse("V[bf](x, y) :- R(x, y)")
+	m, err := NewMaintained(view, db, 0.1, WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 inserts > 10% of 20.
+	for i := 0; i < 3; i++ {
+		if err := m.Insert("R", relation.Tuple{100, relation.Value(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := m.Query(relation.Tuple{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Drain(it); len(got) != 3 {
+		t.Fatalf("auto rebuild missing inserts: %v", got)
+	}
+	if m.Rebuilds() != 1 || m.Pending() != 0 {
+		t.Fatalf("rebuilds=%d pending=%d", m.Rebuilds(), m.Pending())
+	}
+	if err := m.Insert("S", relation.Tuple{1, 2}); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if err := m.Insert("R", relation.Tuple{1}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+// TestOptimizeDelta exercises the Section-6 decomposition planner: tighter
+// space budgets must produce higher (slower) delay exponents.
+func TestOptimizeDelta(t *testing.T) {
+	db := workload.PathDB(3, 6, 300, 18)
+	view := cq.MustParse("Q[bfffbbf](v1, v2, v3, v4, v5, v6, v7) :- " +
+		"R1(v1, v2), R2(v2, v3), R3(v3, v4), R4(v4, v5), R5(v5, v6), R6(v6, v7)")
+	nv, err := cq.Normalize(view, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := &decomp.Decomposition{
+		Bags:   [][]int{{0, 4, 5}, {0, 1, 3, 4}, {1, 2, 3}, {5, 6}},
+		Parent: []int{-1, 0, 1, 0},
+	}
+	n := float64(db.Size())
+	tight, err := decomp.OptimizeDelta(nv, dec, logf(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := decomp.OptimizeDelta(nv, dec, 2.5*logf(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.DeltaHeight(tight) < dec.DeltaHeight(loose)-1e-9 {
+		t.Errorf("tight budget height %v < loose %v", dec.DeltaHeight(tight), dec.DeltaHeight(loose))
+	}
+	// The planned assignment must build and answer correctly.
+	s, err := decomp.Build(nv, dec, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ref, err := Build(view, db, WithStrategy(DirectStrategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 10; probe++ {
+		vb := relation.Tuple{
+			relation.Value(rng.Intn(18)),
+			relation.Value(rng.Intn(18)),
+			relation.Value(rng.Intn(18)),
+		}
+		got := s.Query(vb).Drain()
+		want := Drain(ref.Query(vb))
+		if len(got) != len(want) {
+			t.Fatalf("vb=%v: planned structure %d vs direct %d", vb, len(got), len(want))
+		}
+	}
+}
+
+func logf(x float64) float64 { return math.Log(x) }
+
+// TestDecompositionBudgets: the Section-6 planner wires into the
+// decomposition strategy — tighter space budgets yield taller (slower)
+// delay assignments, and answers stay correct.
+func TestDecompositionBudgets(t *testing.T) {
+	db := workload.PathDB(13, 6, 250, 16)
+	view := cq.MustParse("Q[bfffbbf](v1, v2, v3, v4, v5, v6, v7) :- " +
+		"R1(v1, v2), R2(v2, v3), R3(v3, v4), R4(v4, v5), R5(v5, v6), R6(v6, v7)")
+	dec := &decomp.Decomposition{
+		Bags:   [][]int{{0, 4, 5}, {0, 1, 3, 4}, {1, 2, 3}, {5, 6}},
+		Parent: []int{-1, 0, 1, 0},
+	}
+	n := float64(db.Size())
+	tight, err := Build(view, db, WithStrategy(DecompositionStrategy),
+		WithDecomposition(dec), WithSpaceBudget(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Build(view, db, WithStrategy(DecompositionStrategy),
+		WithDecomposition(dec), WithSpaceBudget(n*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Stats().Height < loose.Stats().Height-1e-9 {
+		t.Errorf("tight budget height %v < loose %v", tight.Stats().Height, loose.Stats().Height)
+	}
+	delayB, err := Build(view, db, WithStrategy(DecompositionStrategy),
+		WithDecomposition(dec), WithDelayBudget(math.Sqrt(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := delayB.Stats().Height; h < 0.49 || h > 0.51 {
+		t.Errorf("delay budget √|D|: height = %v, want 0.5", h)
+	}
+	// All three answer identically.
+	ref, err := Build(view, db, WithStrategy(DirectStrategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for probe := 0; probe < 10; probe++ {
+		vb := relation.Tuple{
+			relation.Value(rng.Intn(16)),
+			relation.Value(rng.Intn(16)),
+			relation.Value(rng.Intn(16)),
+		}
+		want := Drain(ref.Query(vb))
+		sortTuples(want)
+		for name, rep := range map[string]*Representation{"tight": tight, "loose": loose, "delay": delayB} {
+			got := Drain(rep.Query(vb))
+			sortTuples(got)
+			if len(got) != len(want) {
+				t.Fatalf("%s vb=%v: %d vs %d", name, vb, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestDeltaForHeight checks the uniform scaling helper.
+func TestDeltaForHeight(t *testing.T) {
+	dec := &decomp.Decomposition{
+		Bags:   [][]int{{0}, {0, 1}, {1, 2}, {0, 3}},
+		Parent: []int{-1, 0, 1, 0},
+	}
+	d := decomp.DeltaForHeight(dec, 0.6)
+	if h := dec.DeltaHeight(d); h < 0.59 || h > 0.61 {
+		t.Errorf("height = %v, want 0.6", h)
+	}
+	if d0 := decomp.DeltaForHeight(dec, 0); dec.DeltaHeight(d0) != 0 {
+		t.Error("zero height must give zero assignment")
+	}
+}

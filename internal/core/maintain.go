@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+)
+
+// Maintained wraps a Representation with update support — the paper's
+// second open problem (Section 8). The simple, provably-correct strategy
+// implemented here is snapshot-plus-amortized-rebuild:
+//
+//   - Inserts and deletes are buffered; queries answer against the last
+//     compiled snapshot (no torn reads).
+//   - Once the buffered change count exceeds fraction·|D|, the next query
+//     (or an explicit Flush) applies the batch to the base relations and
+//     recompiles, giving amortized update cost O(T_C / (fraction·|D|)).
+//
+// This is the baseline any dynamic structure must beat; the recent
+// dichotomy of Berkholz et al. [8] cited by the paper shows constant-time
+// maintenance is impossible for most joins, so an amortized rebuild is the
+// honest general-purpose answer.
+type Maintained struct {
+	view *cq.View
+	db   *relation.Database
+	opts []Option
+
+	rep      *Representation
+	fraction float64
+	pending  []change
+	rebuilds int
+}
+
+type change struct {
+	rel    string
+	tuple  relation.Tuple
+	delete bool
+}
+
+// NewMaintained compiles the view and arms the rebuild policy. fraction is
+// the staleness budget relative to |D| (e.g. 0.1 rebuilds after 10% churn);
+// values ≤ 0 rebuild on every change.
+func NewMaintained(view *cq.View, db *relation.Database, fraction float64, opts ...Option) (*Maintained, error) {
+	rep, err := Build(view, db, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintained{view: view, db: db, opts: opts, rep: rep, fraction: fraction}, nil
+}
+
+// Insert buffers a tuple insertion into the named base relation.
+func (m *Maintained) Insert(rel string, t relation.Tuple) error {
+	r, err := m.db.Relation(rel)
+	if err != nil {
+		return err
+	}
+	if r.Arity() != len(t) {
+		return fmt.Errorf("core: inserting arity-%d tuple into %s/%d", len(t), rel, r.Arity())
+	}
+	m.pending = append(m.pending, change{rel: rel, tuple: t.Clone()})
+	return nil
+}
+
+// Delete buffers a tuple deletion from the named base relation.
+func (m *Maintained) Delete(rel string, t relation.Tuple) error {
+	if _, err := m.db.Relation(rel); err != nil {
+		return err
+	}
+	m.pending = append(m.pending, change{rel: rel, tuple: t.Clone(), delete: true})
+	return nil
+}
+
+// stale reports whether the buffered churn exceeds the policy budget.
+func (m *Maintained) stale() bool {
+	if len(m.pending) == 0 {
+		return false
+	}
+	budget := m.fraction * float64(m.db.Size())
+	return float64(len(m.pending)) > math.Max(budget, 0)
+}
+
+// Flush applies all buffered changes and recompiles the representation.
+func (m *Maintained) Flush() error {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	for _, c := range m.pending {
+		r, err := m.db.Relation(c.rel)
+		if err != nil {
+			return err
+		}
+		if c.delete {
+			r.Delete(c.tuple)
+		} else if err := r.Insert(c.tuple); err != nil {
+			return err
+		}
+	}
+	m.pending = m.pending[:0]
+	rep, err := Build(m.view, m.db, m.opts...)
+	if err != nil {
+		return err
+	}
+	m.rep = rep
+	m.rebuilds++
+	return nil
+}
+
+// Query answers an access request, rebuilding first when the snapshot is
+// past its staleness budget.
+func (m *Maintained) Query(vb relation.Tuple) (Iterator, error) {
+	if m.stale() {
+		if err := m.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return m.rep.Query(vb), nil
+}
+
+// Pending returns the number of buffered, not-yet-applied changes.
+func (m *Maintained) Pending() int { return len(m.pending) }
+
+// Rebuilds returns how many times the representation was recompiled.
+func (m *Maintained) Rebuilds() int { return m.rebuilds }
+
+// Rep exposes the current snapshot's representation (for stats).
+func (m *Maintained) Rep() *Representation { return m.rep }

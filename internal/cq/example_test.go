@@ -1,0 +1,54 @@
+package cq_test
+
+import (
+	"fmt"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+)
+
+func ExampleParse() {
+	v, err := cq.Parse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	fmt.Println("bound:", v.BoundVars(), "free:", v.FreeVars())
+	// Output:
+	// V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)
+	// bound: [x z] free: [y]
+}
+
+func ExampleView_ExtendToFull() {
+	// A boolean adorned view (Example 2's ∆^b): extend it to a full view
+	// whose emptiness answers the boolean question.
+	v := cq.MustParse("D[b](x) :- R(x, y), S(y, z), T(z, x)")
+	fmt.Println(v.ExtendToFull())
+	// Output:
+	// D[bff](x, y, z) :- R(x, y), S(y, z), T(z, x)
+}
+
+func ExampleNormalize() {
+	// Example 3 of the paper: constants and repeated variables are rewritten
+	// away into derived relations.
+	db := relation.NewDatabase()
+	r := relation.NewRelation("R", 3)
+	r.MustInsert(1, 2, 7)
+	r.MustInsert(1, 2, 8)
+	s := relation.NewRelation("S", 3)
+	s.MustInsert(2, 2, 5)
+	s.MustInsert(2, 3, 5)
+	db.Add(r)
+	db.Add(s)
+
+	nv, err := cq.Normalize(cq.MustParse("Q[fb](x, z) :- R(x, y, 7), S(y, y, z)").ExtendToFull(), db)
+	if err != nil {
+		panic(err)
+	}
+	for _, atom := range nv.Atoms {
+		fmt.Println(atom.Rel.Name(), atom.Rel.Len(), "tuples")
+	}
+	// Output:
+	// R#0 1 tuples
+	// S#1 1 tuples
+}

@@ -1,0 +1,221 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"cqrep/internal/relation"
+)
+
+// Parse reads an adorned view from the paper's notation, e.g.
+//
+//	V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)
+//
+// The adornment bracket may be omitted for non-parametric views, in which
+// case every head variable is free. Constants are signed integers.
+func Parse(input string) (*View, error) {
+	p := &parser{src: input}
+	v, err := p.view()
+	if err != nil {
+		return nil, fmt.Errorf("cq: parsing %q: %w", input, err)
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples with
+// literal query strings.
+func MustParse(input string) *View {
+	v, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("position %d: expected %q, found %q", p.pos, string(c), rest(p.src, p.pos))
+	}
+	p.pos++
+	return nil
+}
+
+func rest(s string, pos int) string {
+	if pos >= len(s) {
+		return "<end of input>"
+	}
+	r := s[pos:]
+	if len(r) > 12 {
+		r = r[:12] + "..."
+	}
+	return r
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("position %d: expected identifier, found %q", p.pos, rest(p.src, p.pos))
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	c := p.peek()
+	if c == '-' || c == '+' || unicode.IsDigit(rune(c)) {
+		start := p.pos
+		p.pos++
+		for p.pos < len(p.src) && unicode.IsDigit(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("position %d: bad constant: %v", start, err)
+		}
+		return C(relation.Value(n)), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	return V(name), nil
+}
+
+func (p *parser) termList() ([]Term, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var terms []Term
+	p.skipSpace()
+	if p.peek() == ')' {
+		p.pos++
+		return terms, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return terms, nil
+		default:
+			return nil, fmt.Errorf("position %d: expected ',' or ')', found %q", p.pos, rest(p.src, p.pos))
+		}
+	}
+}
+
+func (p *parser) view() (*View, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Name: name}
+
+	p.skipSpace()
+	hasAdornment := p.peek() == '['
+	var adorn string
+	if hasAdornment {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != ']' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("unterminated adornment bracket")
+		}
+		adorn = strings.TrimSpace(p.src[start:p.pos])
+		p.pos++ // ']'
+	}
+
+	headTerms, err := p.termList()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range headTerms {
+		if t.IsConst {
+			return nil, fmt.Errorf("constants are not allowed in the view head")
+		}
+		v.Head = append(v.Head, t.Var)
+	}
+
+	if hasAdornment {
+		pat, err := ParseAccessPattern(adorn)
+		if err != nil {
+			return nil, err
+		}
+		v.Pattern = pat
+	} else {
+		v.Pattern = make(AccessPattern, len(v.Head))
+		for i := range v.Pattern {
+			v.Pattern[i] = Free
+		}
+	}
+
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], ":-") {
+		return nil, fmt.Errorf("position %d: expected \":-\", found %q", p.pos, rest(p.src, p.pos))
+	}
+	p.pos += 2
+
+	for {
+		relName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		terms, err := p.termList()
+		if err != nil {
+			return nil, err
+		}
+		v.Body = append(v.Body, Atom{Relation: relName, Terms: terms})
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("position %d: trailing input %q", p.pos, rest(p.src, p.pos))
+	}
+	return v, nil
+}

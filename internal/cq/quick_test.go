@@ -1,0 +1,48 @@
+package cq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParseNeverPanics: arbitrary input must produce a value or an
+// error, never a panic.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		v, err := Parse(s)
+		if err == nil && v == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParseRoundTrip: views that parse render to strings that reparse
+// to the same rendering.
+func TestQuickParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"Q[bf](x, y) :- R(x, y)",
+		"Q(x, y, z) :- R(x, y), S(y, z)",
+		"V[fff](a, b, c) :- T(a, b), T(b, c), T(c, a)",
+		"W[bffb](x1, x2, x3, x4) :- R1(x1, x2), R2(x2, x3), R3(x3, x4)",
+		"N[fb](x, z) :- R(x, 5, z), S(z, z)",
+	}
+	for _, in := range inputs {
+		v := MustParse(in)
+		v2, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if v.String() != v2.String() {
+			t.Errorf("round trip: %q vs %q", v.String(), v2.String())
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package decomp implements Section 5 of Deep & Koutris (PODS 2018):
+// V_b-connex tree decompositions (Definition 1), the δ-width and δ-height
+// notions of eq. (3), and the Theorem-2 compressed representation that
+// places a Theorem-1 structure in every bag, refines dictionaries with
+// bottom-up semijoins (Algorithm 4), and answers access requests by
+// pre-order traversal with predecessor pointers (Algorithm 5).
+//
+// With the all-zero delay assignment the structure specializes to
+// Proposition 4: constant-delay enumeration in space O(|D|^{fhw(H|V_b)}),
+// which subsumes factorized d-representations (Proposition 2).
+package decomp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/fractional"
+)
+
+// Decomposition is a V_b-connex tree decomposition with the connex set A
+// merged into a single root bag (as Section 5 assumes w.l.o.g.): Bags[0] is
+// the root and holds exactly the bound variables; Parent[0] = -1.
+type Decomposition struct {
+	Bags   [][]int
+	Parent []int
+}
+
+// Validate checks the tree-decomposition properties of Section 2.1 plus
+// connexity for the given bound set: (1) every hyperedge is contained in
+// some bag, (2) bags containing any variable form a connected subtree,
+// (3) the root bag is exactly vb.
+func (d *Decomposition) Validate(h cq.Hypergraph, vb []int) error {
+	n := len(d.Bags)
+	if n == 0 {
+		return fmt.Errorf("decomp: no bags")
+	}
+	if len(d.Parent) != n {
+		return fmt.Errorf("decomp: %d bags but %d parent pointers", n, len(d.Parent))
+	}
+	if d.Parent[0] != -1 {
+		return fmt.Errorf("decomp: bag 0 must be the root (parent -1)")
+	}
+	for t := 1; t < n; t++ {
+		if d.Parent[t] < 0 || d.Parent[t] >= n {
+			return fmt.Errorf("decomp: bag %d has invalid parent %d", t, d.Parent[t])
+		}
+		// Parents must precede children so that index order is a valid
+		// top-down order.
+		if d.Parent[t] >= t {
+			return fmt.Errorf("decomp: bag %d has parent %d; bags must be listed parent-first", t, d.Parent[t])
+		}
+	}
+	// Root bag is exactly vb.
+	if !sameSet(d.Bags[0], vb) {
+		return fmt.Errorf("decomp: root bag %v differs from bound set %v", d.Bags[0], vb)
+	}
+	// Every edge inside some bag.
+	for ei, e := range h.Edges {
+		found := false
+		for _, bag := range d.Bags {
+			if subset(e, bag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("decomp: edge %d (%v) is not contained in any bag", ei, e)
+		}
+	}
+	// Running intersection.
+	for v := 0; v < h.N; v++ {
+		var holding []int
+		for t, bag := range d.Bags {
+			if contains(bag, v) {
+				holding = append(holding, t)
+			}
+		}
+		if len(holding) <= 1 {
+			continue
+		}
+		in := make(map[int]bool, len(holding))
+		for _, t := range holding {
+			in[t] = true
+		}
+		// Each holding bag except the shallowest must have a holding
+		// parent; with parent-first ordering the shallowest is holding[0].
+		for _, t := range holding[1:] {
+			if !in[d.Parent[t]] {
+				return fmt.Errorf("decomp: variable %d violates running intersection at bag %d", v, t)
+			}
+		}
+	}
+	return nil
+}
+
+// Anc returns anc(t): the union of the bags of t's proper ancestors.
+func (d *Decomposition) Anc(t int) []int {
+	seen := make(map[int]bool)
+	for p := d.Parent[t]; p >= 0; p = d.Parent[p] {
+		for _, v := range d.Bags[p] {
+			seen[v] = true
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// BoundOf returns V^t_b = B_t ∩ anc(t) in ascending variable order.
+func (d *Decomposition) BoundOf(t int) []int {
+	anc := make(map[int]bool)
+	for _, v := range d.Anc(t) {
+		anc[v] = true
+	}
+	var out []int
+	for _, v := range d.Bags[t] {
+		if anc[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FreeOf returns V^t_f = B_t \ anc(t) in ascending variable order.
+func (d *Decomposition) FreeOf(t int) []int {
+	anc := make(map[int]bool)
+	for _, v := range d.Anc(t) {
+		anc[v] = true
+	}
+	var out []int
+	for _, v := range d.Bags[t] {
+		if !anc[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Children returns the child bags of t in index order.
+func (d *Decomposition) Children(t int) []int {
+	var out []int
+	for c, p := range d.Parent {
+		if p == t {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Preorder returns the non-root bags in pre-order (root's subtrees in index
+// order).
+func (d *Decomposition) Preorder() []int {
+	var out []int
+	var walk func(t int)
+	walk = func(t int) {
+		if t != 0 {
+			out = append(out, t)
+		}
+		for _, c := range d.Children(t) {
+			walk(c)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// DeltaHeight returns the δ-height: the maximum total delay exponent along
+// a root-to-leaf path. delta is indexed by bag; delta[0] is forced to 0.
+func (d *Decomposition) DeltaHeight(delta []float64) float64 {
+	best := 0.0
+	var walk func(t int, acc float64)
+	walk = func(t int, acc float64) {
+		if t != 0 {
+			acc += delta[t]
+		}
+		if acc > best {
+			best = acc
+		}
+		for _, c := range d.Children(t) {
+			walk(c, acc)
+		}
+	}
+	walk(0, 0)
+	return best
+}
+
+// BagWidths holds the per-bag LP results of eq. (3) and their aggregates.
+type BagWidths struct {
+	// Width is the V_b-connex fractional hypertree δ-width f =
+	// max_t ρ⁺_t over non-root bags.
+	Width float64
+	// UStar is u* = max_t u⁺_t, which drives the compression-time exponent.
+	UStar float64
+	// PerBag[t] is the ρ⁺ solution for bag t (zero value for the root).
+	PerBag []fractional.RhoPlusResult
+}
+
+// Widths solves eq. (3) for every non-root bag under the given delay
+// assignment and aggregates the δ-width and u*.
+func (d *Decomposition) Widths(h cq.Hypergraph, delta []float64) (BagWidths, error) {
+	out := BagWidths{PerBag: make([]fractional.RhoPlusResult, len(d.Bags))}
+	for t := 1; t < len(d.Bags); t++ {
+		res, err := fractional.RhoPlus(h, d.Bags[t], d.FreeOf(t), delta[t])
+		if err != nil {
+			return BagWidths{}, fmt.Errorf("decomp: bag %d: %w", t, err)
+		}
+		out.PerBag[t] = res
+		if res.RhoPlus > out.Width {
+			out.Width = res.RhoPlus
+		}
+		if res.USum > out.UStar {
+			out.UStar = res.USum
+		}
+	}
+	return out, nil
+}
+
+func subset(a, b []int) bool {
+	for _, x := range a {
+		if !contains(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sameSet(a, b []int) bool {
+	return subset(a, b) && subset(b, a)
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UniformDelta returns a delay assignment giving every non-root bag the
+// same exponent x (the assignment used in Example 10).
+func UniformDelta(d *Decomposition, x float64) []float64 {
+	delta := make([]float64, len(d.Bags))
+	for t := 1; t < len(delta); t++ {
+		delta[t] = x
+	}
+	return delta
+}
+
+// LogBase converts a threshold τ to the delay exponent δ = log_|D| τ.
+func LogBase(dbSize int, tau float64) float64 {
+	if dbSize <= 1 || tau <= 1 {
+		return 0
+	}
+	return math.Log(tau) / math.Log(float64(dbSize))
+}

@@ -1,0 +1,148 @@
+package decomp
+
+import (
+	"cqrep/internal/relation"
+)
+
+// Iter answers one access request over the Theorem-2 structure,
+// implementing Algorithm 5: a pre-order walk over the decomposition's bags
+// in which each bag enumerates valuations for the variables it introduces,
+// descending on success, retreating to the parent when a bag yields nothing
+// for fresh bindings (the binding is dead), and retreating to the pre-order
+// predecessor when a bag exhausts after producing (to continue the
+// cartesian product across independent subtrees).
+type Iter struct {
+	s    *Structure
+	vb   relation.Tuple
+	vals []relation.Value // current valuation, indexed by global var id
+
+	iters    []*bagIterator // per pre-order position
+	produced []bool
+	pos      int
+
+	started, done bool
+	ops           uint64
+}
+
+// Query returns an iterator over the access request Q^η[v_b]; vb is in the
+// view's bound order. Tuples come out over the free variables in head
+// order; the enumeration order is decomposition-induced, not globally
+// lexicographic (see Theorem 2).
+func (s *Structure) Query(vb relation.Tuple) *Iter {
+	return &Iter{
+		s:        s,
+		vals:     make([]relation.Value, len(s.nv.Vars)),
+		iters:    make([]*bagIterator, len(s.pre)),
+		produced: make([]bool, len(s.pre)),
+		vb:       vb,
+	}
+}
+
+// Ops returns the accumulated work counter (index and dictionary probes in
+// the per-bag structures).
+func (it *Iter) Ops() uint64 { return it.ops }
+
+// step advances one bag iterator, accounting ops.
+func (it *Iter) step(pos int) bool {
+	bi := it.iters[pos]
+	var before uint64
+	if bi.prim != nil {
+		before = bi.prim.Ops()
+	}
+	ok := bi.next()
+	if bi.prim != nil {
+		it.ops += bi.prim.Ops() - before
+	} else {
+		it.ops++
+	}
+	return ok
+}
+
+// Next returns the next output tuple over the free variables, or false when
+// enumeration completes.
+func (it *Iter) Next() (relation.Tuple, bool) {
+	if it.done {
+		return nil, false
+	}
+	if !it.started {
+		it.started = true
+		if len(it.vb) != len(it.s.nv.Bound) || !it.s.gInst.CheckAllBoundAtoms(it.vb) {
+			it.done = true
+			return nil, false
+		}
+		for i, id := range it.s.nv.Bound {
+			it.vals[id] = it.vb[i]
+		}
+		if len(it.s.pre) == 0 {
+			// Boolean view: all variables bound, the membership checks
+			// above are the whole answer.
+			it.done = true
+			return relation.Tuple{}, true
+		}
+		it.enter(0)
+	}
+	for {
+		if it.pos < 0 {
+			it.done = true
+			return nil, false
+		}
+		if it.step(it.pos) {
+			it.produced[it.pos] = true
+			b := it.s.bags[it.s.pre[it.pos]]
+			last := it.iters[it.pos].last
+			for i, v := range b.freeVars {
+				it.vals[v] = last[i]
+			}
+			if it.pos == len(it.s.pre)-1 {
+				return it.output(), true
+			}
+			it.enter(it.pos + 1)
+			continue
+		}
+		if !it.produced[it.pos] {
+			// First visit produced nothing: the parent's current valuation
+			// cannot contribute any output; resume at the parent.
+			it.pos = it.s.parentPos[it.pos]
+			continue
+		}
+		// Exhausted after producing: continue the cartesian product at the
+		// pre-order predecessor.
+		it.produced[it.pos] = false
+		it.pos--
+	}
+}
+
+// enter (re)initializes the bag iterator at pre-order position pos with the
+// bound values projected from the current valuation.
+func (it *Iter) enter(pos int) {
+	b := it.s.bags[it.s.pre[pos]]
+	vtb := make(relation.Tuple, len(b.boundVars))
+	for i, v := range b.boundVars {
+		vtb[i] = it.vals[v]
+	}
+	it.iters[pos] = it.s.bagQuery(b, vtb)
+	it.produced[pos] = false
+	it.pos = pos
+}
+
+// output projects the current valuation onto the view's free variables in
+// head order.
+func (it *Iter) output() relation.Tuple {
+	out := make(relation.Tuple, len(it.s.nv.Free))
+	for i, id := range it.s.nv.Free {
+		out[i] = it.vals[id]
+	}
+	return out
+}
+
+// Drain collects all remaining tuples.
+func (it *Iter) Drain() []relation.Tuple {
+	var out []relation.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,70 @@
+package decomp
+
+import (
+	"fmt"
+	"math"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/fractional"
+)
+
+// OptimizeDelta implements the decomposition planner of Section 6: given a
+// V_b-connex decomposition and a per-structure space budget (natural log of
+// entries), it solves MinDelayCover independently for every non-root bag
+// and converts the resulting thresholds into a delay assignment
+// δ(t) = log_|D| τ_t. As the paper observes, per-bag optimal delays form an
+// optimal delay assignment for the fixed decomposition.
+func OptimizeDelta(nv *cq.NormalizedView, dec *Decomposition, logSpace float64) ([]float64, error) {
+	h := nv.Hypergraph()
+	if err := dec.Validate(h, nv.Bound); err != nil {
+		return nil, err
+	}
+	dbSize := databaseSize(nv)
+	logD := math.Log(math.Max(float64(dbSize), 2))
+	delta := make([]float64, len(dec.Bags))
+	for t := 1; t < len(dec.Bags); t++ {
+		freeInBag := dec.FreeOf(t)
+		if len(freeInBag) == 0 {
+			continue
+		}
+		sizes := make([]int, len(h.Edges))
+		for e := range sizes {
+			sizes[e] = nv.Atoms[e].Rel.Len()
+		}
+		pt, err := fractional.MinDelayCoverSet(h, dec.Bags[t], freeInBag, sizes, logSpace)
+		if err != nil {
+			return nil, fmt.Errorf("decomp: bag %d planner: %w", t, err)
+		}
+		d := pt.LogDelay / logD
+		if d < 0 {
+			d = 0
+		}
+		delta[t] = d
+	}
+	return delta, nil
+}
+
+// DeltaForHeight scales a uniform delay assignment so the δ-height equals
+// the target (useful for "delay budget |D|^h" requests over a given
+// decomposition).
+func DeltaForHeight(dec *Decomposition, height float64) []float64 {
+	if height <= 0 {
+		return make([]float64, len(dec.Bags))
+	}
+	// The height of a uniform assignment x is x · maxDepth.
+	maxDepth := 0
+	var walk func(t, d int)
+	walk = func(t, d int) {
+		if d > maxDepth {
+			maxDepth = d
+		}
+		for _, c := range dec.Children(t) {
+			walk(c, d+1)
+		}
+	}
+	walk(0, 0)
+	if maxDepth == 0 {
+		return make([]float64, len(dec.Bags))
+	}
+	return UniformDelta(dec, height/float64(maxDepth))
+}

@@ -1,0 +1,356 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/fractional"
+)
+
+// FromEliminationOrder builds a V_b-connex tree decomposition by
+// eliminating the free variables in the given order from the primal graph
+// of h augmented with a clique on vb. Eliminating v creates the bag
+// {v} ∪ N(v); the bag's parent is the bag of the earliest-eliminated
+// remaining free neighbor, or the root bag when all neighbors are bound.
+//
+// The bound variables are never eliminated, which forces them to the top of
+// the tree — exactly the connexity requirement of Definition 1.
+func FromEliminationOrder(h cq.Hypergraph, vb []int, order []int) (*Decomposition, error) {
+	isBound := make([]bool, h.N)
+	for _, v := range vb {
+		isBound[v] = true
+	}
+	pos := make([]int, h.N) // elimination position; bound = +inf
+	for i := range pos {
+		pos[i] = h.N + 1
+	}
+	seen := 0
+	for i, v := range order {
+		if v < 0 || v >= h.N {
+			return nil, fmt.Errorf("decomp: elimination order contains invalid vertex %d", v)
+		}
+		if isBound[v] {
+			return nil, fmt.Errorf("decomp: bound variable %d must not be eliminated", v)
+		}
+		if pos[v] <= h.N {
+			return nil, fmt.Errorf("decomp: vertex %d repeated in elimination order", v)
+		}
+		pos[v] = i
+		seen++
+	}
+	if seen != h.N-len(vb) {
+		return nil, fmt.Errorf("decomp: order eliminates %d of %d free variables", seen, h.N-len(vb))
+	}
+
+	// Adjacency of the primal graph + V_b clique.
+	adj := make([]map[int]bool, h.N)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	link := func(a, b int) {
+		if a != b {
+			adj[a][b] = true
+			adj[b][a] = true
+		}
+	}
+	for _, e := range h.Edges {
+		for _, a := range e {
+			for _, b := range e {
+				link(a, b)
+			}
+		}
+	}
+	for _, a := range vb {
+		for _, b := range vb {
+			link(a, b)
+		}
+	}
+
+	dec := &Decomposition{
+		Bags:   [][]int{append([]int(nil), sortedCopy(vb)...)},
+		Parent: []int{-1},
+	}
+	bagOf := make([]int, h.N) // for eliminated v: its bag index
+	// Process in elimination order; record neighbor sets at elimination
+	// time, then fill-in.
+	type pending struct {
+		v         int
+		neighbors []int
+	}
+	var bags []pending
+	alive := make([]bool, h.N)
+	for i := range alive {
+		alive[i] = true
+	}
+	for _, v := range order {
+		var nb []int
+		for u := range adj[v] {
+			if alive[u] {
+				nb = append(nb, u)
+			}
+		}
+		sort.Ints(nb)
+		bags = append(bags, pending{v: v, neighbors: nb})
+		for _, a := range nb {
+			for _, b := range nb {
+				link(a, b)
+			}
+		}
+		alive[v] = false
+	}
+	// Create bags in REVERSE elimination order so parents (later
+	// eliminations) precede children, as Decomposition requires.
+	for i := len(bags) - 1; i >= 0; i-- {
+		p := bags[i]
+		bag := append([]int{p.v}, p.neighbors...)
+		sort.Ints(bag)
+		parent := 0
+		bestPos := h.N + 1
+		for _, u := range p.neighbors {
+			if !isBound[u] && pos[u] > pos[p.v] && pos[u] < bestPos {
+				bestPos = pos[u]
+				parent = bagOf[u]
+			}
+		}
+		dec.Bags = append(dec.Bags, bag)
+		dec.Parent = append(dec.Parent, parent)
+		bagOf[p.v] = len(dec.Bags) - 1
+	}
+	return dec, nil
+}
+
+func sortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}
+
+// SearchResult is the outcome of a decomposition search.
+type SearchResult struct {
+	Dec *Decomposition
+	// Width is fhw(H | V_b) under the all-zero delay assignment: the
+	// maximum ρ* over non-root bags.
+	Width float64
+}
+
+// SearchConnex finds a V_b-connex tree decomposition minimizing the
+// fractional hypertree width fhw(H | V_b) over elimination orders:
+// exhaustively for up to 8 free variables, by min-fill greedy search with
+// random restarts otherwise (the problem is NP-hard in general, Section 6).
+func SearchConnex(h cq.Hypergraph, vb []int) (SearchResult, error) {
+	var free []int
+	isBound := make([]bool, h.N)
+	for _, v := range vb {
+		isBound[v] = true
+	}
+	for v := 0; v < h.N; v++ {
+		if !isBound[v] {
+			free = append(free, v)
+		}
+	}
+	if len(free) == 0 {
+		dec := &Decomposition{Bags: [][]int{sortedCopy(vb)}, Parent: []int{-1}}
+		return SearchResult{Dec: dec, Width: 0}, nil
+	}
+
+	widthCache := make(map[string]float64)
+	evalWidth := func(dec *Decomposition) (float64, error) {
+		w := 0.0
+		for t := 1; t < len(dec.Bags); t++ {
+			key := fmt.Sprint(dec.Bags[t])
+			rho, ok := widthCache[key]
+			if !ok {
+				var err error
+				rho, _, err = fractional.RhoStar(h, dec.Bags[t])
+				if err != nil {
+					return 0, err
+				}
+				widthCache[key] = rho
+			}
+			if rho > w {
+				w = rho
+			}
+		}
+		return w, nil
+	}
+
+	var best SearchResult
+	consider := func(order []int) error {
+		dec, err := FromEliminationOrder(h, vb, order)
+		if err != nil {
+			return err
+		}
+		w, err := evalWidth(dec)
+		if err != nil {
+			return err
+		}
+		if best.Dec == nil || w < best.Width {
+			best = SearchResult{Dec: dec, Width: w}
+		}
+		return nil
+	}
+
+	if len(free) <= 8 {
+		perm := append([]int(nil), free...)
+		var rec func(k int) error
+		rec = func(k int) error {
+			if k == len(perm) {
+				return consider(perm)
+			}
+			for i := k; i < len(perm); i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				if err := rec(k + 1); err != nil {
+					return err
+				}
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return SearchResult{}, err
+		}
+		return best, nil
+	}
+
+	// Greedy min-fill over the primal graph with the V_b clique.
+	if err := consider(minFillOrder(h, vb, free)); err != nil {
+		return SearchResult{}, err
+	}
+	// A couple of deterministic alternatives: min-degree and identity.
+	if err := consider(minDegreeOrder(h, vb, free)); err != nil {
+		return SearchResult{}, err
+	}
+	if err := consider(append([]int(nil), free...)); err != nil {
+		return SearchResult{}, err
+	}
+	return best, nil
+}
+
+// primalAdj builds the primal adjacency with the V_b clique.
+func primalAdj(h cq.Hypergraph, vb []int) []map[int]bool {
+	adj := make([]map[int]bool, h.N)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	link := func(a, b int) {
+		if a != b {
+			adj[a][b] = true
+			adj[b][a] = true
+		}
+	}
+	for _, e := range h.Edges {
+		for _, a := range e {
+			for _, b := range e {
+				link(a, b)
+			}
+		}
+	}
+	for _, a := range vb {
+		for _, b := range vb {
+			link(a, b)
+		}
+	}
+	return adj
+}
+
+func minFillOrder(h cq.Hypergraph, vb, free []int) []int {
+	adj := primalAdj(h, vb)
+	alive := make(map[int]bool)
+	for _, v := range free {
+		alive[v] = true
+	}
+	var order []int
+	for len(alive) > 0 {
+		bestV, bestFill := -1, 1<<30
+		for _, v := range free {
+			if !alive[v] {
+				continue
+			}
+			var nb []int
+			for u := range adj[v] {
+				if alive[u] || isIn(vb, u) {
+					nb = append(nb, u)
+				}
+			}
+			fill := 0
+			for i := 0; i < len(nb); i++ {
+				for j := i + 1; j < len(nb); j++ {
+					if !adj[nb[i]][nb[j]] {
+						fill++
+					}
+				}
+			}
+			if fill < bestFill || (fill == bestFill && (bestV == -1 || v < bestV)) {
+				bestV, bestFill = v, fill
+			}
+		}
+		var nb []int
+		for u := range adj[bestV] {
+			if alive[u] || isIn(vb, u) {
+				nb = append(nb, u)
+			}
+		}
+		for i := 0; i < len(nb); i++ {
+			for j := 0; j < len(nb); j++ {
+				if nb[i] != nb[j] {
+					adj[nb[i]][nb[j]] = true
+				}
+			}
+		}
+		delete(alive, bestV)
+		order = append(order, bestV)
+	}
+	return order
+}
+
+func minDegreeOrder(h cq.Hypergraph, vb, free []int) []int {
+	adj := primalAdj(h, vb)
+	alive := make(map[int]bool)
+	for _, v := range free {
+		alive[v] = true
+	}
+	var order []int
+	for len(alive) > 0 {
+		bestV, bestDeg := -1, 1<<30
+		for _, v := range free {
+			if !alive[v] {
+				continue
+			}
+			deg := 0
+			for u := range adj[v] {
+				if alive[u] || isIn(vb, u) {
+					deg++
+				}
+			}
+			if deg < bestDeg || (deg == bestDeg && (bestV == -1 || v < bestV)) {
+				bestV, bestDeg = v, deg
+			}
+		}
+		var nb []int
+		for u := range adj[bestV] {
+			if alive[u] || isIn(vb, u) {
+				nb = append(nb, u)
+			}
+		}
+		for i := 0; i < len(nb); i++ {
+			for j := 0; j < len(nb); j++ {
+				if nb[i] != nb[j] {
+					adj[nb[i]][nb[j]] = true
+				}
+			}
+		}
+		delete(alive, bestV)
+		order = append(order, bestV)
+	}
+	return order
+}
+
+func isIn(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

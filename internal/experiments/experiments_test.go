@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cqrep/internal/bench"
+)
+
+func fmtSscan(s string, out *float64) (int, error) { return fmt.Sscan(s, out) }
+
+func countRows(tables []*bench.Table) int {
+	n := 0
+	for _, tb := range tables {
+		if !strings.Contains(tb.String(), "##") {
+			return 0
+		}
+		n += len(tb.Rows)
+	}
+	return n
+}
+
+// TestAllExperimentsSmoke runs every experiment at a small scale and sanity
+// checks that tables render with rows.
+func TestAllExperimentsSmoke(t *testing.T) {
+	runs := map[string]func() int{
+		"E1":  func() int { return countRows(E1Triangle(400, 5, 1)) },
+		"E2":  func() int { return countRows(E2AllBound(400, 10, 1)) },
+		"E3":  func() int { return countRows(E3DRep([]int{200, 400}, 1)) },
+		"E4":  func() int { return countRows(E4LoomisWhitney(150, 5, 1)) },
+		"E5":  func() int { return countRows(E5StarSlack(150, 5, 1)) },
+		"E6":  func() int { return countRows(E6PathDecomp(150, 5, 1)) },
+		"E7":  func() int { return countRows(E7SetIntersection(300, 5, 1)) },
+		"E8":  func() int { return countRows(E8RunningExample()) },
+		"E9":  func() int { return countRows(E9Optimizer(10000)) },
+		"E10": func() int { return countRows(E10Connex()) },
+		"E11": func() int { return countRows(E11Coauthor(400, 5, 1)) },
+		"E12": func() int { return countRows(E12AnswerTime(200, 5, 1)) },
+		"E13": func() int { return countRows(E13DictionaryAblation(400, 5, 1)) },
+		"E14": func() int { return countRows(E14BuildScaling([]int{200, 400}, 1)) },
+		"E15": func() int { return countRows(E15DeltaShapes(120, 5, 1)) },
+	}
+	for name, run := range runs {
+		rows := run()
+		if rows == 0 {
+			t.Errorf("%s produced no rows", name)
+		}
+	}
+}
+
+// TestE8MatchesFigure3 pins the E8 reproduction to the paper's tree: five
+// nodes, split points (1,1,2) and (1,2,2).
+func TestE8MatchesFigure3(t *testing.T) {
+	tables := E8RunningExample()
+	tree := tables[0].String()
+	if !strings.Contains(tree, "(1, 1, 2)") || !strings.Contains(tree, "(1, 2, 2)") {
+		t.Errorf("E8 tree lacks the Figure 3 split points:\n%s", tree)
+	}
+	if len(tables[0].Rows) != 5 {
+		t.Errorf("E8 tree has %d nodes, want 5", len(tables[0].Rows))
+	}
+	dict := tables[1]
+	if len(dict.Rows) != 2 {
+		t.Errorf("E8 dictionary for (1,1,1) has %d entries, want 2 (Example 15):\n%s",
+			len(dict.Rows), dict.String())
+	}
+}
+
+// TestE9MatchesClosedForms pins the optimizer LP outputs to the paper's
+// closed-form exponents within tolerance.
+func TestE9MatchesClosedForms(t *testing.T) {
+	tables := E9Optimizer(10000)
+	for _, row := range tables[0].Rows {
+		lp, paper := row[2], row[3]
+		if lp != paper {
+			// Values are formatted with %.4g; compare as strings first,
+			// then loosely.
+			if !closeStr(lp, paper, 0.01) {
+				t.Errorf("E9 %s: LP %s vs paper %s", row[0], lp, paper)
+			}
+		}
+	}
+}
+
+func closeStr(a, b string, tol float64) bool {
+	var x, y float64
+	if _, err := fmtSscan(a, &x); err != nil {
+		return false
+	}
+	if _, err := fmtSscan(b, &y); err != nil {
+		return false
+	}
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

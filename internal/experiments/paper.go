@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"math"
+
+	"cqrep/internal/bench"
+	"cqrep/internal/cq"
+	"cqrep/internal/decomp"
+	"cqrep/internal/fractional"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+// runningExampleDB builds the exact instance of Examples 13-15.
+func runningExampleDB() *relation.Database {
+	db := relation.NewDatabase()
+	r1 := relation.NewRelation("R1", 3)
+	for _, x := range [][3]relation.Value{{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1}, {3, 1, 1}} {
+		r1.MustInsert(x[0], x[1], x[2])
+	}
+	r2 := relation.NewRelation("R2", 3)
+	for _, x := range [][3]relation.Value{{1, 1, 2}, {1, 2, 1}, {1, 2, 2}, {2, 1, 1}, {2, 1, 2}} {
+		r2.MustInsert(x[0], x[1], x[2])
+	}
+	r3 := relation.NewRelation("R3", 3)
+	for _, x := range [][3]relation.Value{{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1}, {2, 1, 2}} {
+		r3.MustInsert(x[0], x[1], x[2])
+	}
+	db.Add(r1)
+	db.Add(r2)
+	db.Add(r3)
+	return db
+}
+
+// E8RunningExample rebuilds the worked running example (Examples 4, 13-15,
+// Figure 3): the delay-balanced tree, its split points, and the dictionary
+// entries for the heavy valuation (1,1,1).
+func E8RunningExample() []*bench.Table {
+	db := runningExampleDB()
+	view := cq.MustParse("Q[fffbbb](x, y, z, w1, w2, w3) :- R1(w1, x, y), R2(w2, y, z), R3(w3, x, z)")
+	_, inst := mustInstance(view, db)
+	s := buildPrimitive(inst, fractional.Cover{1, 1, 1}, 3.9)
+
+	tree := bench.NewTable("E8 Delay-balanced tree (Figure 3, tau just below 4)",
+		"node", "level", "interval", "beta")
+	for _, n := range s.Nodes() {
+		beta := "-"
+		if n.Beta != nil {
+			beta = n.Beta.String()
+		}
+		tree.Add(n.ID, n.Level, n.Interval.String(), beta)
+	}
+
+	dict := bench.NewTable("E8 Dictionary entries for v_b = (1,1,1) (Example 15)",
+		"node", "bit")
+	vb := relation.Tuple{1, 1, 1}
+	for _, n := range s.Nodes() {
+		if bit, ok := s.DictBit(n.ID, vb); ok {
+			dict.Add(n.ID, bit)
+		}
+	}
+	st := s.Stats()
+	summary := bench.NewTable("E8 Structure summary", "nodes", "max level", "dict entries", "alpha")
+	summary.Add(st.TreeNodes, st.MaxLevel, st.DictEntries, s.Estimator().Alpha)
+	return []*bench.Table{tree, dict, summary}
+}
+
+// E9Optimizer reproduces Section 6 / Figure 5: MinDelayCover and
+// MinSpaceCover solved as linear programs, compared against the paper's
+// closed-form tradeoffs.
+func E9Optimizer(n int) []*bench.Table {
+	logN := math.Log(float64(n))
+	type queryCase struct {
+		name   string
+		h      cq.Hypergraph
+		free   []int
+		sizes  []int
+		space  float64 // log space budget
+		closed float64 // expected log tau
+	}
+	triangle := cq.Hypergraph{N: 3, Edges: [][]int{{0, 1}, {1, 2}, {2, 0}}}
+	star2 := cq.Hypergraph{N: 3, Edges: [][]int{{0, 2}, {1, 2}}}
+	star3 := cq.Hypergraph{N: 4, Edges: [][]int{{0, 3}, {1, 3}, {2, 3}}}
+	lw3 := cq.Hypergraph{N: 3, Edges: [][]int{{1, 2}, {0, 2}, {0, 1}}}
+	sizes3 := []int{n, n, n}
+	cases := []queryCase{
+		{"triangle bfb, space N", triangle, []int{1}, sizes3, logN, 0.5 * logN},
+		{"triangle bfb, space N^1.5", triangle, []int{1}, sizes3, 1.5 * logN, 0},
+		{"star2 bbf, space N", star2, []int{2}, []int{n, n}, logN, 0.5 * logN},
+		{"star3 bbbf, space N", star3, []int{3}, sizes3, logN, 2.0 / 3 * logN},
+		{"LW3 bbf, space N", lw3, []int{2}, sizes3, logN, 0.5 * logN},
+	}
+	t := bench.NewTable("E9 MinDelayCover LP (Section 6, Figure 5)",
+		"case", "alpha", "log_N tau (LP)", "log_N tau (paper)", "cover sum")
+	for _, c := range cases {
+		pt, err := fractional.MinDelayCover(c.h, c.free, c.sizes, c.space)
+		if err != nil {
+			panic(err)
+		}
+		t.Add(c.name, pt.Alpha, pt.LogDelay/logN, c.closed/logN, pt.U.Sum())
+	}
+
+	t2 := bench.NewTable("E9 MinSpaceCover LP (Proposition 12)",
+		"case", "delay budget", "log_N space (LP)", "log_N space (paper)")
+	inv := []struct {
+		name     string
+		h        cq.Hypergraph
+		free     []int
+		sizes    []int
+		logDelay float64
+		closed   float64
+	}{
+		{"triangle bfb, tau 1", triangle, []int{1}, sizes3, 0, 1.5},
+		{"triangle bfb, tau sqrt(N)", triangle, []int{1}, sizes3, 0.5 * logN, 1.0},
+		{"star2 bbf, tau sqrt(N)", star2, []int{2}, []int{n, n}, 0.5 * logN, 1.0},
+	}
+	for _, c := range inv {
+		pt, err := fractional.MinSpaceCover(c.h, c.free, c.sizes, c.logDelay)
+		if err != nil {
+			panic(err)
+		}
+		t2.Add(c.name, fmtExp(n, math.Exp(c.logDelay)), pt.LogSpace/logN, c.closed)
+	}
+	return []*bench.Table{t, t2}
+}
+
+// E10Connex reproduces the decomposition examples: Figure 2/Example 9
+// (δ-width 5/3, δ-height 1/2), Example 16 (fhw(H|Vb) = 2 > fhw = 1) and
+// Example 17/Figure 7 (fhw(H|Vb) = 3/2 < fhw = 2).
+func E10Connex() []*bench.Table {
+	t := bench.NewTable("E10 Connex decompositions (Figure 2, Figure 7, Examples 9, 16, 17)",
+		"case", "fhw(H)", "fhw(H|Vb)", "delta-width", "delta-height")
+
+	// Figure 2: 6-path with Vb = {v1, v5, v6}.
+	path6 := cq.Hypergraph{N: 7, Edges: [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}}}
+	full, err := decomp.SearchConnex(path6, nil)
+	if err != nil {
+		panic(err)
+	}
+	bound, err := decomp.SearchConnex(path6, []int{0, 4, 5})
+	if err != nil {
+		panic(err)
+	}
+	fig2 := &decomp.Decomposition{
+		Bags:   [][]int{{0, 4, 5}, {0, 1, 3, 4}, {1, 2, 3}, {5, 6}},
+		Parent: []int{-1, 0, 1, 0},
+	}
+	delta := []float64{0, 1.0 / 3, 1.0 / 6, 0}
+	w, err := fig2.Widths(path6, delta)
+	if err != nil {
+		panic(err)
+	}
+	t.Add("6-path, Vb={v1,v5,v6} (Fig 2, Ex 9)", full.Width, bound.Width, w.Width, fig2.DeltaHeight(delta))
+
+	// Example 16: 2-path with both endpoints bound.
+	p2 := cq.Hypergraph{N: 3, Edges: [][]int{{0, 1}, {1, 2}}}
+	f2, _ := decomp.SearchConnex(p2, nil)
+	b2, _ := decomp.SearchConnex(p2, []int{0, 2})
+	t.Add("2-path, Vb={x,z} (Ex 16)", f2.Width, b2.Width, "-", "-")
+
+	// Example 17 / Figure 7.
+	fig7 := cq.Hypergraph{N: 5, Edges: [][]int{{0, 1}, {0, 4}, {1, 4}, {0, 2}, {1, 3}, {2, 3}}}
+	f7, _ := decomp.SearchConnex(fig7, nil)
+	b7, _ := decomp.SearchConnex(fig7, []int{0, 1, 2, 3})
+	t.Add("Figure 7, Vb={v1..v4} (Ex 17)", f7.Width, b7.Width, "-", "-")
+	return []*bench.Table{t}
+}
+
+// E12AnswerTime validates the Theorem-1 total answer time bound
+// T_A = O~(|q(D)| + τ·|q(D)|^{1/α}) on the star S2^{bbf}: the measured op
+// count per request is compared against the model envelope.
+func E12AnswerTime(sizePer, queries int, seed int64) []*bench.Table {
+	db := workload.StarDB(seed, 2, sizePer, sizePer/4)
+	view := workload.StarView(2)
+	_, inst := mustInstance(view, db)
+	u := fractional.Cover{1, 1} // α = 2
+	tau := math.Sqrt(float64(sizePer))
+	s := buildPrimitive(inst, u, tau)
+
+	t := bench.NewTable("E12 Answer time vs model (Theorem 1, star S2^{bbf})",
+		"request", "|q(D)|", "total ops", "model |q|+tau*sqrt|q|", "ratio")
+	t.Note = "tau = sqrt(N); ratio should stay within a polylog band"
+	vbs := sampleVbs(newRand(seed+7), inst, queries)
+	worst := 0.0
+	for i, vb := range vbs {
+		m := bench.Measure(s.Query(vb))
+		model := float64(m.Tuples) + tau*math.Sqrt(float64(m.Tuples)) + tau
+		ratio := float64(m.TotalOps) / model
+		if ratio > worst {
+			worst = ratio
+		}
+		if i < 8 {
+			t.Add(vb.String(), m.Tuples, m.TotalOps, model, ratio)
+		}
+	}
+	t.Add("worst ratio", "-", "-", "-", worst)
+	return []*bench.Table{t}
+}

@@ -1,0 +1,237 @@
+// Package fractional implements the fractional-cover machinery of the
+// paper's cost model: fractional edge covers and ρ* (Section 2.1), the AGM
+// size bound (eq. 1), the slack α(S) of a cover (eq. 2), the slack-aware
+// bag width ρ⁺ (eq. 3), and the MinDelayCover / MinSpaceCover optimization
+// programs of Section 6 (Figure 5) solved via the Charnes–Cooper
+// transformation.
+package fractional
+
+import (
+	"fmt"
+	"math"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/lp"
+)
+
+// Cover is a weight assignment u = (u_F) over the hyperedges of a query.
+type Cover []float64
+
+// Sum returns Σ_F u_F.
+func (u Cover) Sum() float64 {
+	s := 0.0
+	for _, w := range u {
+		s += w
+	}
+	return s
+}
+
+// Covers reports whether u is a fractional edge cover of the vertex set S in
+// h: non-negative weights with Σ_{F∋x} u_F ≥ 1 for every x ∈ S.
+func (u Cover) Covers(h cq.Hypergraph, s []int) bool {
+	if len(u) != len(h.Edges) {
+		return false
+	}
+	for _, w := range u {
+		if w < -1e-9 {
+			return false
+		}
+	}
+	for _, x := range s {
+		if coverage(h, u, x) < 1-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// coverage returns Σ_{F∋x} u_F.
+func coverage(h cq.Hypergraph, u Cover, x int) float64 {
+	total := 0.0
+	for e, edge := range h.Edges {
+		for _, v := range edge {
+			if v == x {
+				total += u[e]
+				break
+			}
+		}
+	}
+	return total
+}
+
+// Slack returns α(S) = min_{x∈S} Σ_{F∋x} u_F, the slack of u for S (eq. 2).
+// By convention the slack of the empty set is +Inf (every scaling of u still
+// covers nothing), matching the paper's treatment of views with no free
+// variables, where the data structure degenerates to a membership index.
+func Slack(h cq.Hypergraph, u Cover, s []int) float64 {
+	alpha := math.Inf(1)
+	for _, x := range s {
+		if c := coverage(h, u, x); c < alpha {
+			alpha = c
+		}
+	}
+	return alpha
+}
+
+// AGMBound returns Π_F sizes[F]^{u_F}, the worst-case output size bound of
+// Atserias–Grohe–Marx for a natural join with the given relation sizes under
+// cover u.
+func AGMBound(sizes []int, u Cover) float64 {
+	if len(sizes) != len(u) {
+		panic("fractional: sizes and cover have different lengths")
+	}
+	out := 1.0
+	for i, n := range sizes {
+		if u[i] == 0 {
+			continue // 0^0 = 1 by AGM convention
+		}
+		out *= math.Pow(float64(n), u[i])
+	}
+	return out
+}
+
+// AllOnes returns the cover assigning weight one to every edge. It is a
+// valid cover of every vertex set (each variable appears in some atom) and
+// is the cover used in the paper's running example.
+func AllOnes(h cq.Hypergraph) Cover {
+	u := make(Cover, len(h.Edges))
+	for i := range u {
+		u[i] = 1
+	}
+	return u
+}
+
+// RhoStar computes ρ*_H(S): the minimum of Σ_F u_F over fractional edge
+// covers of S, and returns the optimal cover. For S = all vertices this is
+// the fractional edge cover number ρ*(H).
+func RhoStar(h cq.Hypergraph, s []int) (float64, Cover, error) {
+	ne := len(h.Edges)
+	if ne == 0 {
+		return 0, nil, fmt.Errorf("fractional: hypergraph has no edges")
+	}
+	obj := make([]float64, ne)
+	for i := range obj {
+		obj[i] = 1
+	}
+	cons := coverConstraints(h, s, 1)
+	sol, err := lp.Solve(lp.Problem{NumVars: ne, Objective: obj, Constraints: cons})
+	if err != nil {
+		return 0, nil, fmt.Errorf("fractional: ρ* LP for %v: %w", s, err)
+	}
+	return sol.Value, Cover(sol.X), nil
+}
+
+// MinAGMCover minimizes the log of the AGM bound, Σ_F u_F·log sizes[F],
+// over covers of S. This is the cover minimizing worst-case materialization
+// for relations of non-uniform size.
+func MinAGMCover(h cq.Hypergraph, s []int, sizes []int) (float64, Cover, error) {
+	ne := len(h.Edges)
+	if len(sizes) != ne {
+		return 0, nil, fmt.Errorf("fractional: %d sizes for %d edges", len(sizes), ne)
+	}
+	obj := make([]float64, ne)
+	for i, n := range sizes {
+		obj[i] = math.Log(math.Max(float64(n), 1))
+	}
+	cons := coverConstraints(h, s, 1)
+	sol, err := lp.Solve(lp.Problem{NumVars: ne, Objective: obj, Constraints: cons})
+	if err != nil {
+		return 0, nil, fmt.Errorf("fractional: AGM cover LP: %w", err)
+	}
+	return sol.Value, Cover(sol.X), nil
+}
+
+// coverConstraints builds Σ_{F∋x} u_F ≥ rhs for every x in s.
+func coverConstraints(h cq.Hypergraph, s []int, rhs float64) []lp.Constraint {
+	cons := make([]lp.Constraint, 0, len(s))
+	for _, x := range s {
+		co := make([]float64, len(h.Edges))
+		for e, edge := range h.Edges {
+			for _, v := range edge {
+				if v == x {
+					co[e] = 1
+					break
+				}
+			}
+		}
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.GE, RHS: rhs})
+	}
+	return cons
+}
+
+// RhoPlusResult is the solution of the ρ⁺ program of eq. (3) for one bag.
+type RhoPlusResult struct {
+	// RhoPlus is ρ⁺_t = min_u (Σ_F u_F − δ·α(V^t_f)).
+	RhoPlus float64
+	// U is the minimizing cover of the bag.
+	U Cover
+	// USum is u⁺_t = Σ_F u_F of the minimizer (drives compression time).
+	USum float64
+	// Alpha is the slack of the minimizer for the bag's free variables.
+	Alpha float64
+}
+
+// RhoPlus solves eq. (3): minimize Σ_F u_F − δ·α over fractional edge
+// covers u of bag (with 0 ≤ u_F ≤ 1 as in Figure 5) where α is the slack
+// of u for the free vertices freeInBag, subject to α ≥ 1.
+//
+// When freeInBag is empty the slack term vanishes and the program reduces
+// to ρ*(bag) restricted to unit-capped weights.
+func RhoPlus(h cq.Hypergraph, bag, freeInBag []int, delta float64) (RhoPlusResult, error) {
+	ne := len(h.Edges)
+	if ne == 0 {
+		return RhoPlusResult{}, fmt.Errorf("fractional: hypergraph has no edges")
+	}
+	// Variables: u_0..u_{ne-1}, α.
+	nv := ne + 1
+	obj := make([]float64, nv)
+	for i := 0; i < ne; i++ {
+		obj[i] = 1
+	}
+	useSlack := len(freeInBag) > 0 && delta > 0
+	if useSlack {
+		obj[ne] = -delta
+	}
+	var cons []lp.Constraint
+	cons = append(cons, coverConstraints(h, bag, 1)...)
+	// Widen coefficient slices to nv (α coefficient zero).
+	for i := range cons {
+		co := make([]float64, nv)
+		copy(co, cons[i].Coeffs)
+		cons[i].Coeffs = co
+	}
+	if useSlack {
+		for _, x := range freeInBag {
+			co := make([]float64, nv)
+			for e, edge := range h.Edges {
+				for _, v := range edge {
+					if v == x {
+						co[e] = 1
+						break
+					}
+				}
+			}
+			co[ne] = -1 // Σ_{F∋x} u_F − α ≥ 0
+			cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.GE, RHS: 0})
+		}
+	}
+	// α ≥ 1 and u_F ≤ 1.
+	alphaCo := make([]float64, nv)
+	alphaCo[ne] = 1
+	cons = append(cons, lp.Constraint{Coeffs: alphaCo, Op: lp.GE, RHS: 1})
+	for e := 0; e < ne; e++ {
+		co := make([]float64, nv)
+		co[e] = 1
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 1})
+	}
+	sol, err := lp.Solve(lp.Problem{NumVars: nv, Objective: obj, Constraints: cons})
+	if err != nil {
+		return RhoPlusResult{}, fmt.Errorf("fractional: ρ⁺ LP: %w", err)
+	}
+	u := Cover(sol.X[:ne])
+	res := RhoPlusResult{RhoPlus: sol.Value, U: u, USum: u.Sum(), Alpha: Slack(h, u, freeInBag)}
+	if !useSlack {
+		res.Alpha = Slack(h, u, freeInBag) // +Inf when freeInBag empty
+	}
+	return res, nil
+}

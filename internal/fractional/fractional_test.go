@@ -1,0 +1,328 @@
+package fractional
+
+import (
+	"math"
+	"testing"
+
+	"cqrep/internal/cq"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// triangle returns the hypergraph of R(x,y), S(y,z), T(z,x) with
+// x=0, y=1, z=2.
+func triangle() cq.Hypergraph {
+	return cq.Hypergraph{N: 3, Edges: [][]int{{0, 1}, {1, 2}, {2, 0}}}
+}
+
+// star returns S_n: R_i(x_i, z) with x_i = i-1 ... and z = n.
+func star(n int) cq.Hypergraph {
+	h := cq.Hypergraph{N: n + 1}
+	for i := 0; i < n; i++ {
+		h.Edges = append(h.Edges, []int{i, n})
+	}
+	return h
+}
+
+// path returns P_n: R_i(x_i, x_{i+1}) over vertices 0..n.
+func path(n int) cq.Hypergraph {
+	h := cq.Hypergraph{N: n + 1}
+	for i := 0; i < n; i++ {
+		h.Edges = append(h.Edges, []int{i, i + 1})
+	}
+	return h
+}
+
+// loomisWhitney returns LW_n: edge i omits vertex i.
+func loomisWhitney(n int) cq.Hypergraph {
+	h := cq.Hypergraph{N: n}
+	for i := 0; i < n; i++ {
+		var e []int
+		for v := 0; v < n; v++ {
+			if v != i {
+				e = append(e, v)
+			}
+		}
+		h.Edges = append(h.Edges, e)
+	}
+	return h
+}
+
+func allVertices(h cq.Hypergraph) []int {
+	s := make([]int, h.N)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestRhoStarTriangle(t *testing.T) {
+	rho, u, err := RhoStar(triangle(), allVertices(triangle()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rho, 1.5, 1e-6) {
+		t.Errorf("ρ*(triangle) = %v, want 1.5", rho)
+	}
+	if !u.Covers(triangle(), allVertices(triangle())) {
+		t.Errorf("returned cover %v does not cover", u)
+	}
+}
+
+func TestRhoStarLoomisWhitney(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		h := loomisWhitney(n)
+		rho, u, err := RhoStar(h, allVertices(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n) / float64(n-1)
+		if !approx(rho, want, 1e-6) {
+			t.Errorf("ρ*(LW_%d) = %v, want %v", n, rho, want)
+		}
+		if !u.Covers(h, allVertices(h)) {
+			t.Errorf("LW_%d cover invalid", n)
+		}
+	}
+}
+
+func TestRhoStarSubset(t *testing.T) {
+	// Covering just {y} in the triangle needs a single edge: ρ* = 1.
+	rho, _, err := RhoStar(triangle(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rho, 1, 1e-6) {
+		t.Errorf("ρ*({y}) = %v, want 1", rho)
+	}
+}
+
+func TestSlackRunningExample(t *testing.T) {
+	// Example 4/5: Q(x,y,z,w1,w2,w3) = R1(w1,x,y), R2(w2,y,z), R3(w3,x,z),
+	// Vf = {x,y,z} (ids 0,1,2), bound w1,w2,w3 (ids 3,4,5).
+	h := cq.Hypergraph{N: 6, Edges: [][]int{{3, 0, 1}, {4, 1, 2}, {5, 0, 2}}}
+	u := AllOnes(h)
+	if got := Slack(h, u, []int{0, 1, 2}); !approx(got, 2, 1e-9) {
+		t.Errorf("slack = %v, want 2 (Example 5)", got)
+	}
+	// Slack of the empty set is +Inf by convention.
+	if got := Slack(h, u, nil); !math.IsInf(got, 1) {
+		t.Errorf("slack(∅) = %v, want +Inf", got)
+	}
+}
+
+func TestSlackStar(t *testing.T) {
+	// Example 7: star join with z free; all-ones cover has slack n.
+	for n := 2; n <= 5; n++ {
+		h := star(n)
+		u := AllOnes(h)
+		if got := Slack(h, u, []int{n}); !approx(got, float64(n), 1e-9) {
+			t.Errorf("star_%d slack = %v, want %d", n, got, n)
+		}
+	}
+}
+
+func TestAGMBound(t *testing.T) {
+	h := triangle()
+	u := Cover{0.5, 0.5, 0.5}
+	got := AGMBound([]int{100, 100, 100}, u)
+	if !approx(got, 1000, 1e-6) {
+		t.Errorf("AGM = %v, want 100^1.5 = 1000", got)
+	}
+	// Zero-weight edges contribute 1 even with size 0.
+	if got := AGMBound([]int{0, 100, 100}, Cover{0, 1, 1}); !approx(got, 10000, 1e-6) {
+		t.Errorf("AGM with zero-weight empty edge = %v, want 10000", got)
+	}
+	_ = h
+}
+
+func TestAGMBoundPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	AGMBound([]int{1}, Cover{1, 1})
+}
+
+func TestCoversValidation(t *testing.T) {
+	h := triangle()
+	if (Cover{1, 0, 0}).Covers(h, allVertices(h)) {
+		t.Error("single edge does not cover the triangle")
+	}
+	if !(Cover{1, 1, 0}).Covers(h, allVertices(h)) {
+		t.Error("two edges cover the triangle")
+	}
+	if (Cover{1, 1}).Covers(h, allVertices(h)) {
+		t.Error("wrong length cover must be rejected")
+	}
+	if (Cover{-1, 1, 1}).Covers(h, allVertices(h)) {
+		t.Error("negative weights must be rejected")
+	}
+}
+
+func TestMinAGMCover(t *testing.T) {
+	// With one huge relation the optimizer should avoid weighting it.
+	h := cq.Hypergraph{N: 2, Edges: [][]int{{0, 1}, {0, 1}}}
+	_, u, err := MinAGMCover(h, []int{0, 1}, []int{1000000, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] > 1e-6 {
+		t.Errorf("cover weights the big relation: %v", u)
+	}
+	if !approx(u[1], 1, 1e-6) {
+		t.Errorf("small relation weight = %v, want 1", u[1])
+	}
+}
+
+func TestRhoPlusExample9(t *testing.T) {
+	// Example 9 uses the 6-path v1..v7 (ids 0..6) with the right-hand
+	// decomposition of Figure 2.
+	h := path(6)
+	cases := []struct {
+		bag, free []int
+		delta     float64
+		want      float64
+	}{
+		{[]int{1, 3, 0, 4}, []int{1, 3}, 1.0 / 3, 5.0 / 3}, // t1: {v2,v4 | v1,v5}
+		{[]int{1, 2, 3}, []int{2}, 1.0 / 6, 5.0 / 3},       // t2: {v3 | v2,v4}
+		{[]int{5, 6}, []int{6}, 0, 1},                      // t3: {v7 | v6}
+	}
+	for i, c := range cases {
+		res, err := RhoPlus(h, c.bag, c.free, c.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(res.RhoPlus, c.want, 1e-6) {
+			t.Errorf("case %d: ρ⁺ = %v, want %v", i, res.RhoPlus, c.want)
+		}
+		if !res.U.Covers(h, c.bag) {
+			t.Errorf("case %d: minimizer does not cover the bag", i)
+		}
+	}
+	// u⁺ values from Example 9: u⁺_t1 = u⁺_t2 = 2, u⁺_t3 = 1.
+	res, _ := RhoPlus(h, []int{1, 3, 0, 4}, []int{1, 3}, 1.0/3)
+	if !approx(res.USum, 2, 1e-6) {
+		t.Errorf("u⁺_t1 = %v, want 2", res.USum)
+	}
+}
+
+func TestRhoPlusZeroDeltaIsRhoStarCapped(t *testing.T) {
+	h := triangle()
+	res, err := RhoPlus(h, allVertices(h), []int{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.RhoPlus, 1.5, 1e-6) {
+		t.Errorf("ρ⁺ with δ=0 = %v, want ρ* = 1.5", res.RhoPlus)
+	}
+}
+
+func TestMinDelayCoverTriangle(t *testing.T) {
+	// Example 1/5 shape: triangle V^bfb with |R|=N. At linear space the
+	// optimal delay is τ = N^{1/2}; at space N^{3/2} it is τ = 1.
+	h := triangle()
+	N := 10000
+	logN := math.Log(float64(N))
+	sizes := []int{N, N, N}
+	free := []int{1} // y
+
+	pt, err := MinDelayCover(h, free, sizes, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pt.LogDelay, 0.5*logN, 1e-4) {
+		t.Errorf("linear space: log τ = %v, want %v (τ=√N)", pt.LogDelay, 0.5*logN)
+	}
+
+	pt, err = MinDelayCover(h, free, sizes, 1.5*logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pt.LogDelay, 0, 1e-4) {
+		t.Errorf("space N^1.5: log τ = %v, want 0 (constant delay)", pt.LogDelay)
+	}
+}
+
+func TestMinDelayCoverStarUsesSlack(t *testing.T) {
+	// Example 7: S_n^{b..bf} with linear space has τ = N^{(n-1)/n} thanks to
+	// slack α = n (the slack-blind bound would give τ = N^{n-1}).
+	for n := 2; n <= 4; n++ {
+		h := star(n)
+		N := 10000
+		logN := math.Log(float64(N))
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = N
+		}
+		pt, err := MinDelayCover(h, []int{n}, sizes, logN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n-1) / float64(n) * logN
+		if !approx(pt.LogDelay, want, 1e-4) {
+			t.Errorf("star_%d: log τ = %v, want %v", n, pt.LogDelay, want)
+		}
+		if !approx(pt.Alpha, float64(n), 1e-4) {
+			t.Errorf("star_%d: α = %v, want %d", n, pt.Alpha, n)
+		}
+	}
+}
+
+func TestMinDelayCoverLoomisWhitney(t *testing.T) {
+	// Example 6: LW_n at linear space achieves τ = |D_rel|^{1/(n-1)}.
+	n := 3
+	h := loomisWhitney(n)
+	N := 10000
+	logN := math.Log(float64(N))
+	sizes := []int{N, N, N}
+	// All variables bound except the last (adornment b...bf).
+	pt, err := MinDelayCover(h, []int{n - 1}, sizes, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Space n/(n-1) exponent, slack for x_n under u=1/(n-1) each: x_n is in
+	// n-1 edges → α = 1. τ = N^{(n/(n-1) - 1)} = N^{1/(n-1)}.
+	want := logN / float64(n-1)
+	if pt.LogDelay > want+1e-4 {
+		t.Errorf("LW_%d: log τ = %v, want ≤ %v", n, pt.LogDelay, want)
+	}
+}
+
+func TestMinSpaceCover(t *testing.T) {
+	// Inverse of the triangle case: requiring τ ≤ √N needs ~linear space;
+	// requiring τ ≤ 1 needs ~N^{3/2}.
+	h := triangle()
+	N := 10000
+	logN := math.Log(float64(N))
+	sizes := []int{N, N, N}
+	free := []int{1}
+
+	pt, err := MinSpaceCover(h, free, sizes, 0.5*logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.LogSpace > logN+1e-3 {
+		t.Errorf("delay √N: log space = %v, want ≤ %v", pt.LogSpace, logN)
+	}
+
+	pt, err = MinSpaceCover(h, free, sizes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pt.LogSpace, 1.5*logN, 1e-3) {
+		t.Errorf("delay 1: log space = %v, want %v", pt.LogSpace, 1.5*logN)
+	}
+}
+
+func TestAllOnes(t *testing.T) {
+	h := triangle()
+	u := AllOnes(h)
+	if len(u) != 3 || u.Sum() != 3 {
+		t.Errorf("AllOnes = %v", u)
+	}
+	if !u.Covers(h, allVertices(h)) {
+		t.Error("AllOnes must cover")
+	}
+}

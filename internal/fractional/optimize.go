@@ -1,0 +1,191 @@
+package fractional
+
+import (
+	"fmt"
+	"math"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/lp"
+)
+
+// TradeoffPoint is a feasible operating point of the Theorem-1 structure:
+// the cover, its slack for the free variables, the threshold τ, and the
+// model-predicted space exponent.
+type TradeoffPoint struct {
+	U     Cover
+	Alpha float64
+	// Tau is the delay threshold parameter of the data structure.
+	Tau float64
+	// LogSpace is the natural log of the model space bound
+	// Π_F |R_F|^{u_F} / τ^α.
+	LogSpace float64
+	// LogDelay is log τ.
+	LogDelay float64
+}
+
+// MinDelayCover solves the MinDelayCover task of Section 6: given the
+// hypergraph, the free vertices, the per-edge relation sizes, and a space
+// constraint Σ (given as its natural log), find the fractional edge cover
+// and threshold τ minimizing the delay subject to
+// Σ_F u_F·log|R_F| ≤ log Σ + α·log τ (the structure fits in Σ).
+//
+// This implements the Charnes–Cooper transformed LP of Figure 5b,
+// generalized from uniform |D| to per-relation sizes. The transformed
+// variables are u'_F = t·u_F and τ̂' = t·τ̂ with t = 1/α, so the objective
+// τ̂/α equals τ̂' directly.
+func MinDelayCover(h cq.Hypergraph, free []int, sizes []int, logSpace float64) (TradeoffPoint, error) {
+	all := make([]int, h.N)
+	for i := range all {
+		all[i] = i
+	}
+	return MinDelayCoverSet(h, all, free, sizes, logSpace)
+}
+
+// MinDelayCoverSet is MinDelayCover restricted to covering only the
+// vertices in coverSet — the per-bag variant used when optimizing delay
+// assignments over a tree decomposition (Section 6).
+func MinDelayCoverSet(h cq.Hypergraph, coverSet, free []int, sizes []int, logSpace float64) (TradeoffPoint, error) {
+	ne := len(h.Edges)
+	if ne == 0 {
+		return TradeoffPoint{}, fmt.Errorf("fractional: hypergraph has no edges")
+	}
+	if len(sizes) != ne {
+		return TradeoffPoint{}, fmt.Errorf("fractional: %d sizes for %d edges", len(sizes), ne)
+	}
+	logSizes := make([]float64, ne)
+	for i, n := range sizes {
+		logSizes[i] = math.Log(math.Max(float64(n), 1))
+	}
+
+	// Variables: u'_0..u'_{ne-1}, t, τ̂'.
+	tIdx, tauIdx := ne, ne+1
+	nv := ne + 2
+	obj := make([]float64, nv)
+	obj[tauIdx] = 1
+
+	var cons []lp.Constraint
+
+	// Space: Σ u'_F log|R_F| − t·logΣ − τ̂' ≤ 0.
+	co := make([]float64, nv)
+	copy(co, logSizes)
+	co[tIdx] = -logSpace
+	co[tauIdx] = -1
+	cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+
+	// Slack normalization: ∀x free: Σ_{F∋x} u'_F ≥ t·α = 1.
+	for _, x := range free {
+		co := make([]float64, nv)
+		for e, edge := range h.Edges {
+			for _, v := range edge {
+				if v == x {
+					co[e] = 1
+					break
+				}
+			}
+		}
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.GE, RHS: 1})
+	}
+
+	// Cover: ∀x in coverSet: Σ_{F∋x} u'_F ≥ t.
+	for _, x := range coverSet {
+		co := make([]float64, nv)
+		any := false
+		for e, edge := range h.Edges {
+			for _, v := range edge {
+				if v == x {
+					co[e] = 1
+					any = true
+					break
+				}
+			}
+		}
+		if !any {
+			return TradeoffPoint{}, fmt.Errorf("fractional: vertex %d not in any edge", x)
+		}
+		co[tIdx] = -1
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.GE, RHS: 0})
+	}
+
+	// u_F ≤ 1 → u'_F ≤ t.
+	for e := 0; e < ne; e++ {
+		co := make([]float64, nv)
+		co[e] = 1
+		co[tIdx] = -1
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+	}
+
+	// τ̂ ≥ 0 → τ̂' ≥ 0 is implicit; α ≥ 1 → t ≤ 1; α ≤ max degree → t
+	// bounded away from zero, keeping the Charnes–Cooper region bounded and
+	// recovery well-defined.
+	co = make([]float64, nv)
+	co[tIdx] = 1
+	cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 1})
+	co = make([]float64, nv)
+	co[tIdx] = 1
+	cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.GE, RHS: 1 / float64(ne+1)})
+
+	sol, err := lp.Solve(lp.Problem{NumVars: nv, Objective: obj, Constraints: cons})
+	if err != nil {
+		return TradeoffPoint{}, fmt.Errorf("fractional: MinDelayCover LP: %w", err)
+	}
+	t := sol.X[tIdx]
+	if t < 1e-12 {
+		return TradeoffPoint{}, fmt.Errorf("fractional: MinDelayCover degenerate solution t=%g", t)
+	}
+	u := make(Cover, ne)
+	for e := 0; e < ne; e++ {
+		u[e] = sol.X[e] / t
+	}
+	alpha := 1 / t
+	logTau := sol.X[tauIdx] / (t * alpha) // τ̂/α with τ̂ = τ̂'/t
+	if logTau < 0 {
+		logTau = 0
+	}
+	logAGM := 0.0
+	for e := 0; e < ne; e++ {
+		logAGM += u[e] * logSizes[e]
+	}
+	return TradeoffPoint{
+		U:        u,
+		Alpha:    alpha,
+		Tau:      math.Exp(logTau),
+		LogDelay: logTau,
+		LogSpace: logAGM - alpha*logTau,
+	}, nil
+}
+
+// MinSpaceCover solves the inverse task of Section 6: given a delay
+// constraint τ ≤ Δ (as log Δ), minimize the space of the Theorem-1
+// structure. Following Proposition 12 it binary-searches the space budget
+// and solves MinDelayCover at each probe.
+func MinSpaceCover(h cq.Hypergraph, free []int, sizes []int, logDelay float64) (TradeoffPoint, error) {
+	ne := len(h.Edges)
+	if ne == 0 {
+		return TradeoffPoint{}, fmt.Errorf("fractional: hypergraph has no edges")
+	}
+	// Space ranges from |D| to |D|^k (paper's search interval): bound by the
+	// all-ones AGM bound as the safe upper end.
+	hi := 0.0
+	for _, n := range sizes {
+		hi += math.Log(math.Max(float64(n), 2))
+	}
+	lo := 0.0
+	var best *TradeoffPoint
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		pt, err := MinDelayCover(h, free, sizes, mid)
+		if err != nil {
+			return TradeoffPoint{}, err
+		}
+		if pt.LogDelay <= logDelay+1e-9 {
+			best = &pt
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if best == nil {
+		return TradeoffPoint{}, fmt.Errorf("fractional: no space budget meets delay %g within the AGM range", math.Exp(logDelay))
+	}
+	return *best, nil
+}

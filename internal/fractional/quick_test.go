@@ -1,0 +1,103 @@
+package fractional
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cqrep/internal/cq"
+)
+
+// TestQuickCoverScaling: scaling a valid cover by λ ≥ 1 keeps it valid and
+// scales the slack linearly.
+func TestQuickCoverScaling(t *testing.T) {
+	h := triangle()
+	all := allVertices(h)
+	f := func(w1, w2, w3 uint8, lambdaRaw uint8) bool {
+		u := Cover{
+			1 + float64(w1)/64,
+			1 + float64(w2)/64,
+			1 + float64(w3)/64,
+		}
+		lambda := 1 + float64(lambdaRaw)/64
+		if !u.Covers(h, all) {
+			return false // weights ≥ 1 always cover
+		}
+		scaled := Cover{u[0] * lambda, u[1] * lambda, u[2] * lambda}
+		if !scaled.Covers(h, all) {
+			return false
+		}
+		s1 := Slack(h, u, []int{1})
+		s2 := Slack(h, scaled, []int{1})
+		return math.Abs(s2-lambda*s1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAGMMonotone: the AGM bound is monotone in relation sizes and in
+// weights.
+func TestQuickAGMMonotone(t *testing.T) {
+	f := func(n1, n2, n3 uint16, bump uint8) bool {
+		sizes := []int{int(n1) + 1, int(n2) + 1, int(n3) + 1}
+		bigger := []int{sizes[0] + int(bump), sizes[1], sizes[2]}
+		u := Cover{1, 1, 1}
+		return AGMBound(bigger, u) >= AGMBound(sizes, u)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSlackLowerBoundsCoverage: α(S) ≤ Σ_{F∋x} u_F for every x ∈ S.
+func TestQuickSlackLowerBoundsCoverage(t *testing.T) {
+	h := star(3)
+	f := func(ws [3]uint8) bool {
+		u := Cover{1 + float64(ws[0])/32, 1 + float64(ws[1])/32, 1 + float64(ws[2])/32}
+		s := []int{0, 3}
+		alpha := Slack(h, u, s)
+		for _, x := range s {
+			cov := 0.0
+			for e, edge := range h.Edges {
+				for _, v := range edge {
+					if v == x {
+						cov += u[e]
+						break
+					}
+				}
+			}
+			if alpha > cov+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinDelayCoverSetBagRestriction: restricting the cover requirement to
+// a bag can only improve (never worsen) the achievable delay.
+func TestMinDelayCoverSetBagRestriction(t *testing.T) {
+	// 4-path hypergraph; bag = {1, 2} only.
+	h := cq.Hypergraph{N: 5, Edges: [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}}
+	sizes := []int{1000, 1000, 1000, 1000}
+	logSpace := math.Log(1000)
+	full, err := MinDelayCover(h, []int{2}, sizes, logSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag, err := MinDelayCoverSet(h, []int{1, 2}, []int{2}, sizes, logSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bag.LogDelay > full.LogDelay+1e-9 {
+		t.Errorf("bag-restricted delay %v worse than full %v", bag.LogDelay, full.LogDelay)
+	}
+	// The bag cover needs only one edge: delay 0 at linear space.
+	if bag.LogDelay > 1e-6 {
+		t.Errorf("bag {1,2} should reach constant delay, got log τ = %v", bag.LogDelay)
+	}
+}

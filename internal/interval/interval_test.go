@@ -1,0 +1,292 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqrep/internal/relation"
+)
+
+func tup(vs ...relation.Value) relation.Tuple { return relation.Tuple(vs) }
+
+func TestFullAndUnit(t *testing.T) {
+	f := Full(3)
+	if f.Mu() != 3 || f.Empty() {
+		t.Fatal("Full(3) malformed")
+	}
+	if !f.Contains(tup(0, -5, 100)) {
+		t.Error("Full must contain everything")
+	}
+	u := Unit(tup(1, 2))
+	if !u.Contains(tup(1, 2)) || u.Contains(tup(1, 3)) || u.Empty() {
+		t.Error("Unit interval wrong")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Interval{Lo: tup(2), Hi: tup(1), LoInc: true, HiInc: true}, true},
+		{Interval{Lo: tup(1), Hi: tup(1), LoInc: true, HiInc: true}, false},
+		{Interval{Lo: tup(1), Hi: tup(1), LoInc: true, HiInc: false}, true},
+		{Interval{Lo: tup(1), Hi: tup(1), LoInc: false, HiInc: true}, true},
+		{Interval{Lo: tup(1), Hi: tup(2), LoInc: false, HiInc: false}, false},
+	}
+	for i, c := range cases {
+		if got := c.iv.Empty(); got != c.want {
+			t.Errorf("case %d: Empty(%v) = %v, want %v", i, c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalContainsEndpoints(t *testing.T) {
+	iv := Interval{Lo: tup(1, 1), Hi: tup(2, 2), LoInc: false, HiInc: true}
+	if iv.Contains(tup(1, 1)) {
+		t.Error("open lo endpoint must be excluded")
+	}
+	if !iv.Contains(tup(2, 2)) {
+		t.Error("closed hi endpoint must be included")
+	}
+	if !iv.Contains(tup(1, 2)) || !iv.Contains(tup(2, 0)) {
+		t.Error("interior points missing")
+	}
+	if iv.Contains(tup(2, 3)) {
+		t.Error("point above hi included")
+	}
+}
+
+// TestDecomposeExample12 reproduces Example 12 of the paper exactly: the
+// open f-interval (⟨10,50,100⟩, ⟨20,10,50⟩) decomposes into 5 canonical
+// boxes.
+func TestDecomposeExample12(t *testing.T) {
+	iv := Interval{Lo: tup(10, 50, 100), Hi: tup(20, 10, 50)}
+	boxes := Decompose(iv)
+	want := []string{
+		"<10, 50, (100, ⊤]>",
+		"<10, (50, ⊤]>",
+		"<(10, 20)>",
+		"<20, [⊥, 10)>",
+		"<20, 10, [⊥, 50)>",
+	}
+	if len(boxes) != len(want) {
+		t.Fatalf("got %d boxes, want %d: %v", len(boxes), len(want), boxes)
+	}
+	for i, b := range boxes {
+		if b.String() != want[i] {
+			t.Errorf("box %d = %s, want %s", i, b.String(), want[i])
+		}
+	}
+}
+
+// TestDecomposeExample12HalfOpen covers the second interval of Example 12:
+// [⟨10,50,100⟩, ⟨10,50,200⟩) is the single paper box ⟨10,50,[100,200)⟩; our
+// decomposition may split the inclusive endpoint into a unit box but must
+// denote the same point set.
+func TestDecomposeExample12HalfOpen(t *testing.T) {
+	iv := Interval{Lo: tup(10, 50, 100), Hi: tup(10, 50, 200), LoInc: true, HiInc: false}
+	boxes := Decompose(iv)
+	for _, probe := range []relation.Tuple{
+		tup(10, 50, 100), tup(10, 50, 150), tup(10, 50, 199),
+		tup(10, 50, 200), tup(10, 50, 99), tup(10, 49, 150), tup(11, 0, 0),
+	} {
+		inBoxes := 0
+		for _, b := range boxes {
+			if b.Contains(probe) {
+				inBoxes++
+			}
+		}
+		if want := iv.Contains(probe); (inBoxes == 1) != want || inBoxes > 1 {
+			t.Errorf("probe %v: in %d boxes, interval membership %v", probe, inBoxes, want)
+		}
+	}
+}
+
+func TestDecomposeUnitAndEmpty(t *testing.T) {
+	if got := Decompose(Unit(tup(3, 4))); len(got) != 1 || got[0].String() != "<3, 4>" {
+		t.Errorf("unit decomposition = %v", got)
+	}
+	empty := Interval{Lo: tup(2), Hi: tup(1), LoInc: true, HiInc: true}
+	if got := Decompose(empty); got != nil {
+		t.Errorf("empty decomposition = %v, want nil", got)
+	}
+	// µ = 0: boolean views have a single empty valuation.
+	zero := Interval{Lo: relation.Tuple{}, Hi: relation.Tuple{}, LoInc: true, HiInc: true}
+	if got := Decompose(zero); len(got) != 1 {
+		t.Errorf("µ=0 decomposition = %v, want one empty box", got)
+	}
+}
+
+func TestDecomposeBoxCountBound(t *testing.T) {
+	// Lemma 1(3): |B(I)| ≤ 2µ−1 for open intervals; +2 for closed ends.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		mu := 1 + rng.Intn(5)
+		lo := make(relation.Tuple, mu)
+		hi := make(relation.Tuple, mu)
+		for i := 0; i < mu; i++ {
+			lo[i] = relation.Value(rng.Intn(9))
+			hi[i] = relation.Value(rng.Intn(9))
+		}
+		iv := Interval{Lo: lo, Hi: hi, LoInc: rng.Intn(2) == 0, HiInc: rng.Intn(2) == 0}
+		boxes := Decompose(iv)
+		limit := 2*mu - 1
+		if iv.LoInc {
+			limit++
+		}
+		if iv.HiInc {
+			limit++
+		}
+		if len(boxes) > limit {
+			t.Fatalf("interval %v decomposed into %d boxes, limit %d", iv, len(boxes), limit)
+		}
+	}
+}
+
+// TestDecomposePartition is the core property (Lemma 1(2)): over a small
+// universe, every tuple of the interval lies in exactly one box and tuples
+// outside lie in none.
+func TestDecomposePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		mu := 1 + rng.Intn(3)
+		lo := make(relation.Tuple, mu)
+		hi := make(relation.Tuple, mu)
+		for i := 0; i < mu; i++ {
+			lo[i] = relation.Value(rng.Intn(4))
+			hi[i] = relation.Value(rng.Intn(4))
+		}
+		iv := Interval{Lo: lo, Hi: hi, LoInc: rng.Intn(2) == 0, HiInc: rng.Intn(2) == 0}
+		boxes := Decompose(iv)
+
+		var enumerate func(prefix relation.Tuple)
+		enumerate = func(prefix relation.Tuple) {
+			if len(prefix) == mu {
+				count := 0
+				for _, b := range boxes {
+					if b.Contains(prefix) {
+						count++
+					}
+				}
+				want := 0
+				if iv.Contains(prefix) {
+					want = 1
+				}
+				if count != want {
+					t.Fatalf("interval %v tuple %v: in %d boxes, want %d (boxes %v)",
+						iv, prefix, count, want, boxes)
+				}
+				return
+			}
+			for v := relation.Value(0); v < 4; v++ {
+				enumerate(append(prefix.Clone(), v))
+			}
+		}
+		enumerate(relation.Tuple{})
+	}
+}
+
+// TestDecomposeOrdered checks Lemma 1(1): boxes are lexicographically
+// ordered — every tuple of box k precedes every tuple of box k+1.
+func TestDecomposeOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		mu := 1 + rng.Intn(3)
+		lo := make(relation.Tuple, mu)
+		hi := make(relation.Tuple, mu)
+		for i := 0; i < mu; i++ {
+			lo[i] = relation.Value(rng.Intn(4))
+			hi[i] = relation.Value(rng.Intn(4))
+		}
+		iv := Interval{Lo: lo, Hi: hi, LoInc: rng.Intn(2) == 0, HiInc: rng.Intn(2) == 0}
+		boxes := Decompose(iv)
+		// Collect member tuples per box over the 4^mu universe.
+		members := make([][]relation.Tuple, len(boxes))
+		var enumerate func(prefix relation.Tuple)
+		enumerate = func(prefix relation.Tuple) {
+			if len(prefix) == mu {
+				for i, b := range boxes {
+					if b.Contains(prefix) {
+						members[i] = append(members[i], prefix.Clone())
+					}
+				}
+				return
+			}
+			for v := relation.Value(0); v < 4; v++ {
+				enumerate(append(prefix.Clone(), v))
+			}
+		}
+		enumerate(relation.Tuple{})
+		last := relation.Tuple(nil)
+		for i, ms := range members {
+			for _, m := range ms {
+				if last != nil && !last.Less(m) {
+					t.Fatalf("interval %v: box %d tuple %v not after previous %v", iv, i, m, last)
+				}
+				last = m
+			}
+		}
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	iv := Interval{Lo: tup(1, 1), Hi: tup(5, 5), LoInc: true, HiInc: true}
+	left, unit, right := iv.SplitAt(tup(3, 3))
+	for _, probe := range []struct {
+		t    relation.Tuple
+		want int // 0=left, 1=unit, 2=right, -1=outside
+	}{
+		{tup(1, 1), 0}, {tup(3, 2), 0}, {tup(3, 3), 1},
+		{tup(3, 4), 2}, {tup(5, 5), 2}, {tup(0, 0), -1}, {tup(5, 6), -1},
+	} {
+		got := -1
+		switch {
+		case left.Contains(probe.t):
+			got = 0
+		case unit.Contains(probe.t):
+			got = 1
+		case right.Contains(probe.t):
+			got = 2
+		}
+		if got != probe.want {
+			t.Errorf("probe %v in part %d, want %d", probe.t, got, probe.want)
+		}
+		// Parts must be disjoint.
+		n := 0
+		for _, p := range []Interval{left, unit, right} {
+			if p.Contains(probe.t) {
+				n++
+			}
+		}
+		if n > 1 {
+			t.Errorf("probe %v in %d parts", probe.t, n)
+		}
+	}
+}
+
+func TestBoxEmptyRange(t *testing.T) {
+	cases := []struct {
+		b    Box
+		want bool
+	}{
+		{Box{Prefix: tup(1)}, false},
+		{Box{HasRange: true, Lo: 5, Hi: 3, LoInc: true, HiInc: true}, true},
+		{Box{HasRange: true, Lo: 3, Hi: 3, LoInc: true, HiInc: true}, false},
+		{Box{HasRange: true, Lo: 3, Hi: 3, LoInc: false, HiInc: true}, true},
+		{Box{HasRange: true, Lo: 3, Hi: 4, LoInc: false, HiInc: false}, true},
+		{Box{HasRange: true, Lo: 3, Hi: 5, LoInc: false, HiInc: false}, false},
+	}
+	for i, c := range cases {
+		if got := c.b.EmptyRange(); got != c.want {
+			t.Errorf("case %d: EmptyRange(%v) = %v, want %v", i, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	iv := Interval{Lo: tup(1), Hi: tup(2), LoInc: true, HiInc: false}
+	if iv.String() != "[(1), (2))" {
+		t.Errorf("String = %q", iv.String())
+	}
+}

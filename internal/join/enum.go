@@ -1,0 +1,281 @@
+package join
+
+import (
+	"cqrep/internal/interval"
+	"cqrep/internal/relation"
+)
+
+// Enum enumerates, in lexicographic order, the free-variable valuations of
+// the join ⋈_F R_F(v_b) restricted to a canonical f-box. It is a pull-based
+// iterator with O(µ · |atoms|) state, implementing a leapfrog-style
+// worst-case-optimal backtracking search over sorted indexes.
+type Enum struct {
+	inst *Instance
+	vb   relation.Tuple
+	box  interval.Box
+
+	assignment relation.Tuple
+	// ranges[ai][d] is the position range of atom ai in its BoundFirst
+	// index after fixing the bound valuation and the free positions < d.
+	ranges  [][]rng
+	started bool
+	done    bool
+	ops     uint64
+}
+
+type rng struct{ lo, hi int }
+
+// NewEnum prepares an enumerator for the box-restricted access request
+// Q^η[v_b] ⋉ B. The bound valuation must have one value per bound variable
+// of the instance's view.
+func NewEnum(inst *Instance, vb relation.Tuple, box interval.Box) *Enum {
+	e := &Enum{inst: inst, vb: vb, box: box, assignment: make(relation.Tuple, inst.Mu)}
+	e.ranges = make([][]rng, len(inst.Atoms))
+	for i := range e.ranges {
+		e.ranges[i] = make([]rng, inst.Mu+1)
+	}
+	return e
+}
+
+// Ops returns the number of index seeks performed so far — a
+// machine-independent work counter used by the benchmark harness.
+func (e *Enum) Ops() uint64 { return e.ops }
+
+// Next returns the next free-variable valuation, or false when the
+// enumeration is complete. The returned tuple is freshly allocated.
+func (e *Enum) Next() (relation.Tuple, bool) {
+	if e.done {
+		return nil, false
+	}
+	if !e.started {
+		e.started = true
+		if e.box.EmptyRange() || !e.initBase() {
+			e.done = true
+			return nil, false
+		}
+		if e.inst.Mu == 0 {
+			e.done = true
+			return relation.Tuple{}, true
+		}
+		if e.descendFrom(0, relation.NegInf) {
+			return e.assignment.Clone(), true
+		}
+		e.done = true
+		return nil, false
+	}
+	if e.advance(e.inst.Mu - 1) {
+		return e.assignment.Clone(), true
+	}
+	e.done = true
+	return nil, false
+}
+
+// Exists reports whether the enumeration is non-empty, consuming at most
+// one result. Use on a fresh enumerator.
+func (e *Enum) Exists() bool {
+	_, ok := e.Next()
+	return ok
+}
+
+// initBase fixes the bound valuation in every atom and verifies the
+// all-bound atoms.
+func (e *Enum) initBase() bool {
+	for ai, a := range e.inst.Atoms {
+		e.ops++
+		lo, hi := a.BoundFirst.Range(a.vbPrefix(e.vb))
+		if lo >= hi {
+			return false
+		}
+		e.ranges[ai][0] = rng{lo, hi}
+	}
+	return true
+}
+
+// constraint returns the box's restriction at free position d.
+func (e *Enum) constraint(d int) (lo relation.Value, loInc bool, hi relation.Value, hiInc bool, pinned bool, pin relation.Value) {
+	if d < len(e.box.Prefix) {
+		return 0, false, 0, false, true, e.box.Prefix[d]
+	}
+	if e.box.HasRange && d == len(e.box.Prefix) {
+		return e.box.Lo, e.box.LoInc, e.box.Hi, e.box.HiInc, false, 0
+	}
+	return relation.NegInf, true, relation.PosInf, true, false, 0
+}
+
+// seekCandidate finds the smallest value ≥ from at free position d that is
+// present in every atom containing d and satisfies the box constraint.
+func (e *Enum) seekCandidate(d int, from relation.Value) (relation.Value, bool) {
+	lo, loInc, hi, hiInc, pinned, pin := e.constraint(d)
+	if pinned {
+		if pin < from {
+			return 0, false
+		}
+		// Verify every atom containing d has the pinned value available.
+		if !e.allHave(d, pin) {
+			return 0, false
+		}
+		return pin, true
+	}
+	v := from
+	if loInc {
+		if lo > v {
+			v = lo
+		}
+	} else if lo >= v {
+		if lo == relation.PosInf {
+			return 0, false
+		}
+		v = lo + 1
+	}
+	atoms := e.atomsAt(d)
+	if len(atoms) == 0 {
+		// Defensive: no atom constrains this variable; walk its active
+		// domain instead.
+		return e.domainSeek(d, v, hi, hiInc)
+	}
+	for {
+		if hiInc && v > hi || !hiInc && v >= hi {
+			return 0, false
+		}
+		advanced := false
+		for _, ai := range atoms {
+			a := e.inst.Atoms[ai]
+			depth := len(a.BoundCols) + a.freeDepth[d]
+			r := e.ranges[ai][d]
+			e.ops++
+			pos := a.BoundFirst.SeekGE(r.lo, r.hi, depth, v)
+			if pos >= r.hi {
+				return 0, false
+			}
+			if val := a.BoundFirst.ValueAt(pos, depth); val > v {
+				v = val
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			if hiInc && v > hi || !hiInc && v >= hi {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+}
+
+// allHave reports whether every atom containing d has value v available in
+// its current range.
+func (e *Enum) allHave(d int, v relation.Value) bool {
+	for _, ai := range e.atomsAt(d) {
+		a := e.inst.Atoms[ai]
+		depth := len(a.BoundCols) + a.freeDepth[d]
+		r := e.ranges[ai][d]
+		e.ops++
+		pos := a.BoundFirst.SeekGE(r.lo, r.hi, depth, v)
+		if pos >= r.hi || a.BoundFirst.ValueAt(pos, depth) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// domainSeek iterates the active domain for unconstrained dimensions.
+func (e *Enum) domainSeek(d int, v relation.Value, hi relation.Value, hiInc bool) (relation.Value, bool) {
+	dom := e.inst.FreeDomains[d]
+	i := searchValues(dom, v)
+	if i >= len(dom) {
+		return 0, false
+	}
+	got := dom[i]
+	if hiInc && got > hi || !hiInc && got >= hi {
+		return 0, false
+	}
+	return got, true
+}
+
+func searchValues(dom []relation.Value, v relation.Value) int {
+	lo, hi := 0, len(dom)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if dom[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// atomsAt returns the atom indexes containing free position d.
+func (e *Enum) atomsAt(d int) []int {
+	var out []int
+	for ai, a := range e.inst.Atoms {
+		if a.ContainsFree(d) {
+			out = append(out, ai)
+		}
+	}
+	return out
+}
+
+// fix records assignment[d] = v and narrows every atom range.
+func (e *Enum) fix(d int, v relation.Value) {
+	e.assignment[d] = v
+	for ai, a := range e.inst.Atoms {
+		if !a.ContainsFree(d) {
+			e.ranges[ai][d+1] = e.ranges[ai][d]
+			continue
+		}
+		depth := len(a.BoundCols) + a.freeDepth[d]
+		r := e.ranges[ai][d]
+		e.ops++
+		lo := a.BoundFirst.SeekGE(r.lo, r.hi, depth, v)
+		hi := a.BoundFirst.SeekGT(lo, r.hi, depth, v)
+		e.ranges[ai][d+1] = rng{lo, hi}
+	}
+}
+
+// descendFrom searches depth-first for the first solution whose value at
+// depth d is ≥ from.
+func (e *Enum) descendFrom(d int, from relation.Value) bool {
+	v, ok := e.seekCandidate(d, from)
+	for ok {
+		e.fix(d, v)
+		if d == e.inst.Mu-1 {
+			return true
+		}
+		if e.descendFrom(d+1, relation.NegInf) {
+			return true
+		}
+		if v == relation.PosInf {
+			return false
+		}
+		v, ok = e.seekCandidate(d, v+1)
+	}
+	return false
+}
+
+// advance finds the lexicographically next solution after the current
+// assignment, varying depth d or above.
+func (e *Enum) advance(d int) bool {
+	for d >= 0 {
+		cur := e.assignment[d]
+		if cur == relation.PosInf {
+			d--
+			continue
+		}
+		v, ok := e.seekCandidate(d, cur+1)
+		if !ok {
+			d--
+			continue
+		}
+		e.fix(d, v)
+		if d == e.inst.Mu-1 {
+			return true
+		}
+		if e.descendFrom(d+1, relation.NegInf) {
+			return true
+		}
+		// The deeper levels are exhausted for this value; keep advancing at
+		// the same depth.
+	}
+	return false
+}

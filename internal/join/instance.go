@@ -1,0 +1,274 @@
+// Package join is the evaluation engine underneath the compressed
+// representations: it binds a normalized adorned view to sorted indexes,
+// provides O~(1) counting of box-restricted relations (|R_F ⋉ B| and
+// |R_F(v) ⋉ B|, Section 4.2), and implements a worst-case-optimal
+// leapfrog-style join enumerator that emits free-variable valuations in
+// lexicographic order restricted to a canonical f-box.
+//
+// The enumerator doubles as the paper's "evaluate from scratch" baseline
+// and as the NPRR-style subroutine used when the Theorem-1 structure
+// reaches a light (⊥) node.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/interval"
+	"cqrep/internal/relation"
+)
+
+// AtomInfo is the per-atom access metadata of an Instance.
+type AtomInfo struct {
+	Rel  *relation.Relation
+	Vars []int
+
+	// BoundCols lists the relation columns holding bound variables, ordered
+	// by the view's global bound order; BoundPos[i] is the position in the
+	// view's Bound list of BoundCols[i] (used to slice access-request
+	// valuations).
+	BoundCols []int
+	BoundPos  []int
+
+	// FreeCols lists the relation columns holding free variables, ordered
+	// by the global lexicographic f-order; FreePos[i] is the global free
+	// position (0..µ-1) of FreeCols[i]. FreePos is strictly increasing.
+	FreeCols []int
+	FreePos  []int
+
+	// BoundFirst orders rows by bound columns then free columns; FreeFirst
+	// orders by free columns then bound columns. Prefix counting against a
+	// canonical box therefore reduces to binary searches on either index.
+	BoundFirst *relation.Index
+	FreeFirst  *relation.Index
+
+	// freeDepth[d] is the position of global free position d within
+	// FreePos, or -1 when the atom does not contain that variable.
+	freeDepth []int
+	// boundDepth[i] is the position of global bound position i within
+	// BoundPos, or -1.
+	boundDepth []int
+}
+
+// ContainsFree reports whether the atom contains the free variable at
+// global free position d.
+func (a *AtomInfo) ContainsFree(d int) bool { return a.freeDepth[d] >= 0 }
+
+// ContainsBound reports whether the atom contains the bound variable at
+// global bound position i.
+func (a *AtomInfo) ContainsBound(i int) bool { return a.boundDepth[i] >= 0 }
+
+// Instance binds a normalized view to a database: per-atom index structures
+// and per-variable active domains. Instances are immutable and safe for
+// concurrent readers.
+type Instance struct {
+	NV *cq.NormalizedView
+	// Mu is the number of free variables.
+	Mu    int
+	Atoms []*AtomInfo
+	// FreeDomains[d] is the sorted active domain of the free variable at
+	// global free position d (union over atoms containing it).
+	FreeDomains [][]relation.Value
+	// BoundDomains[i] is the sorted active domain of the bound variable at
+	// global bound position i.
+	BoundDomains [][]relation.Value
+}
+
+// NewInstance prepares indexes and active domains for the normalized view.
+func NewInstance(nv *cq.NormalizedView) (*Instance, error) {
+	inst := &Instance{NV: nv, Mu: len(nv.Free)}
+
+	freePosOf := make(map[int]int)  // var id -> global free position
+	boundPosOf := make(map[int]int) // var id -> global bound position
+	for d, id := range nv.Free {
+		freePosOf[id] = d
+	}
+	for i, id := range nv.Bound {
+		boundPosOf[id] = i
+	}
+
+	for _, na := range nv.Atoms {
+		a := &AtomInfo{
+			Rel:        na.Rel,
+			Vars:       na.Vars,
+			freeDepth:  make([]int, len(nv.Free)),
+			boundDepth: make([]int, len(nv.Bound)),
+		}
+		for i := range a.freeDepth {
+			a.freeDepth[i] = -1
+		}
+		for i := range a.boundDepth {
+			a.boundDepth[i] = -1
+		}
+		// Collect (global position, column) pairs, then sort by global
+		// position so index prefixes line up with the enumeration order.
+		type pc struct{ pos, col int }
+		var bound, free []pc
+		for col, id := range na.Vars {
+			if d, ok := freePosOf[id]; ok {
+				free = append(free, pc{d, col})
+			} else if i, ok := boundPosOf[id]; ok {
+				bound = append(bound, pc{i, col})
+			} else {
+				return nil, fmt.Errorf("join: atom %s variable id %d is neither free nor bound", na.Rel.Name(), id)
+			}
+		}
+		sort.Slice(bound, func(i, j int) bool { return bound[i].pos < bound[j].pos })
+		sort.Slice(free, func(i, j int) bool { return free[i].pos < free[j].pos })
+		for k, p := range bound {
+			a.BoundCols = append(a.BoundCols, p.col)
+			a.BoundPos = append(a.BoundPos, p.pos)
+			a.boundDepth[p.pos] = k
+		}
+		for k, p := range free {
+			a.FreeCols = append(a.FreeCols, p.col)
+			a.FreePos = append(a.FreePos, p.pos)
+			a.freeDepth[p.pos] = k
+		}
+		a.BoundFirst = na.Rel.Index(append(append([]int(nil), a.BoundCols...), a.FreeCols...)...)
+		a.FreeFirst = na.Rel.Index(append(append([]int(nil), a.FreeCols...), a.BoundCols...)...)
+		inst.Atoms = append(inst.Atoms, a)
+	}
+
+	inst.FreeDomains = make([][]relation.Value, inst.Mu)
+	for d := range inst.FreeDomains {
+		inst.FreeDomains[d] = inst.domainOf(freePosSelector(d))
+	}
+	inst.BoundDomains = make([][]relation.Value, len(nv.Bound))
+	for i := range inst.BoundDomains {
+		inst.BoundDomains[i] = inst.domainOf(boundPosSelector(i))
+	}
+	return inst, nil
+}
+
+// selector returns, for an atom, the column holding the wanted variable or
+// -1.
+type selector func(a *AtomInfo) int
+
+func freePosSelector(d int) selector {
+	return func(a *AtomInfo) int {
+		if k := a.freeDepth[d]; k >= 0 {
+			return a.FreeCols[k]
+		}
+		return -1
+	}
+}
+
+func boundPosSelector(i int) selector {
+	return func(a *AtomInfo) int {
+		if k := a.boundDepth[i]; k >= 0 {
+			return a.BoundCols[k]
+		}
+		return -1
+	}
+}
+
+// domainOf computes the sorted distinct values of a variable across all
+// atoms containing it.
+func (inst *Instance) domainOf(sel selector) []relation.Value {
+	seen := make(map[relation.Value]bool)
+	for _, a := range inst.Atoms {
+		col := sel(a)
+		if col < 0 {
+			continue
+		}
+		for i, n := 0, a.Rel.Len(); i < n; i++ {
+			seen[a.Rel.Row(i)[col]] = true
+		}
+	}
+	out := make([]relation.Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// vbPrefix extracts the atom's bound-column values from a global bound
+// valuation.
+func (a *AtomInfo) vbPrefix(vb relation.Tuple) relation.Tuple {
+	p := make(relation.Tuple, len(a.BoundPos))
+	for i, pos := range a.BoundPos {
+		p[i] = vb[pos]
+	}
+	return p
+}
+
+// boxConstraint describes how a canonical box restricts the atom's free
+// columns: pinned values for the leading columns, and an optional range on
+// the next column.
+func (a *AtomInfo) boxConstraint(b interval.Box) (pins relation.Tuple, hasRange bool, lo relation.Value, loInc bool, hi relation.Value, hiInc bool) {
+	p := len(b.Prefix)
+	k := 0
+	for k < len(a.FreePos) && a.FreePos[k] < p {
+		k++
+	}
+	pins = make(relation.Tuple, k)
+	for i := 0; i < k; i++ {
+		pins[i] = b.Prefix[a.FreePos[i]]
+	}
+	if b.HasRange && k < len(a.FreePos) && a.FreePos[k] == p {
+		return pins, true, b.Lo, b.LoInc, b.Hi, b.HiInc
+	}
+	return pins, false, 0, false, 0, false
+}
+
+// CountBox returns |R_F ⋉ B| for the atom at index ai: the number of rows
+// whose free columns are compatible with the canonical box.
+func (inst *Instance) CountBox(ai int, b interval.Box) int {
+	a := inst.Atoms[ai]
+	pins, hasRange, lo, loInc, hi, hiInc := a.boxConstraint(b)
+	if hasRange {
+		return a.FreeFirst.CountPrefixInterval(pins, lo, loInc, hi, hiInc)
+	}
+	return a.FreeFirst.CountPrefix(pins)
+}
+
+// CountBoxBound returns |R_F(v_b) ⋉ B|: rows matching both the bound
+// valuation and the box.
+func (inst *Instance) CountBoxBound(ai int, vb relation.Tuple, b interval.Box) int {
+	a := inst.Atoms[ai]
+	pins, hasRange, lo, loInc, hi, hiInc := a.boxConstraint(b)
+	prefix := append(a.vbPrefix(vb), pins...)
+	if hasRange {
+		return a.BoundFirst.CountPrefixInterval(prefix, lo, loInc, hi, hiInc)
+	}
+	return a.BoundFirst.CountPrefix(prefix)
+}
+
+// ContainsAll reports whether the fully specified valuation (bound tuple vb
+// plus free tuple ft) satisfies every atom — i.e. whether it is an output
+// tuple of the join. This is the unit-interval evaluation of Algorithm 2,
+// a constant number of index probes.
+func (inst *Instance) ContainsAll(vb, ft relation.Tuple) bool {
+	for _, a := range inst.Atoms {
+		row := make(relation.Tuple, len(a.Vars))
+		for i, col := range a.BoundCols {
+			row[col] = vb[a.BoundPos[i]]
+		}
+		for k, col := range a.FreeCols {
+			row[col] = ft[a.FreePos[k]]
+		}
+		if !a.Rel.Contains(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckAllBoundAtoms verifies the atoms whose variables are all bound: each
+// must contain the row named by vb. These atoms gate every access request
+// but do not participate in free-variable enumeration.
+func (inst *Instance) CheckAllBoundAtoms(vb relation.Tuple) bool {
+	for _, a := range inst.Atoms {
+		if len(a.FreeCols) > 0 {
+			continue
+		}
+		lo, hi := a.BoundFirst.Range(a.vbPrefix(vb))
+		if lo >= hi {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+// Package lp provides a small, exact-enough dense two-phase simplex solver
+// for the linear programs that arise in the paper: fractional edge covers
+// (Section 2.1), the slack-aware width ρ⁺ of eq. (3), and the
+// MinDelayCover / MinSpaceCover programs of Figure 5. Problems have at most
+// a few dozen variables, so a dense tableau with Bland's anti-cycling rule
+// is simple, robust, and fast.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // Σ coeffs·x ≤ rhs
+	GE           // Σ coeffs·x ≥ rhs
+	EQ           // Σ coeffs·x = rhs
+)
+
+// Constraint is one linear constraint over the decision variables.
+// Coefficients beyond len(Coeffs) are zero.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a minimization problem: minimize Objective·x subject to the
+// constraints, with every variable implicitly non-negative. Use Maximize to
+// flip the sense.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+	Maximize    bool
+}
+
+// ErrInfeasible is returned when no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded in the optimizing
+// direction.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solution is an optimal assignment and its objective value (in the
+// problem's original sense).
+type Solution struct {
+	X     []float64
+	Value float64
+}
+
+// Solve optimizes the problem with a two-phase simplex method.
+func Solve(p Problem) (Solution, error) {
+	if p.NumVars <= 0 {
+		return Solution{}, fmt.Errorf("lp: problem must have at least one variable")
+	}
+	if len(p.Objective) > p.NumVars {
+		return Solution{}, fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+	}
+
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Count auxiliary columns: one slack/surplus per inequality, one
+	// artificial per GE/EQ (after sign normalization).
+	type rowInfo struct {
+		coeffs []float64
+		rhs    float64
+		op     Op
+	}
+	rows := make([]rowInfo, m)
+	for i, c := range p.Constraints {
+		co := make([]float64, n)
+		copy(co, c.Coeffs)
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			for j := range co {
+				co[j] = -co[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = rowInfo{coeffs: co, rhs: rhs, op: op}
+	}
+
+	slackCount, artCount := 0, 0
+	for _, r := range rows {
+		switch r.op {
+		case LE:
+			slackCount++
+		case GE:
+			slackCount++
+			artCount++
+		case EQ:
+			artCount++
+		}
+	}
+
+	total := n + slackCount + artCount
+	// tab is the m x (total+1) constraint tableau; the last column is RHS.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	artStart := n + slackCount
+	si, ai := 0, 0
+	for i, r := range rows {
+		row := make([]float64, total+1)
+		copy(row, r.coeffs)
+		row[total] = r.rhs
+		switch r.op {
+		case LE:
+			row[n+si] = 1
+			basis[i] = n + si
+			si++
+		case GE:
+			row[n+si] = -1
+			si++
+			row[artStart+ai] = 1
+			basis[i] = artStart + ai
+			ai++
+		case EQ:
+			row[artStart+ai] = 1
+			basis[i] = artStart + ai
+			ai++
+		}
+		tab[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if artCount > 0 {
+		phase1Obj := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			phase1Obj[j] = 1
+		}
+		val, err := simplex(tab, basis, phase1Obj, total)
+		if err != nil {
+			return Solution{}, err
+		}
+		if val > 1e-7 {
+			return Solution{}, ErrInfeasible
+		}
+		// Pivot remaining artificial variables out of the basis where
+		// possible; rows where that is impossible are redundant.
+		for i := range basis {
+			if basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it never constrains phase 2.
+				for j := range tab[i] {
+					tab[i][j] = 0
+				}
+				basis[i] = -1
+			}
+		}
+	}
+
+	// Phase 2: the real objective (artificial columns frozen at zero).
+	obj := make([]float64, total)
+	for j := 0; j < n && j < len(p.Objective); j++ {
+		obj[j] = p.Objective[j]
+		if p.Maximize {
+			obj[j] = -obj[j]
+		}
+	}
+	if _, err := simplexRestricted(tab, basis, obj, artStart, total); err != nil {
+		return Solution{}, err
+	}
+
+	x := make([]float64, p.NumVars)
+	for i, b := range basis {
+		if b >= 0 && b < p.NumVars {
+			x[b] = tab[i][total]
+		}
+	}
+	value := 0.0
+	for j := 0; j < p.NumVars && j < len(p.Objective); j++ {
+		value += p.Objective[j] * x[j]
+	}
+	return Solution{X: x, Value: value}, nil
+}
+
+// simplex minimizes obj over all columns.
+func simplex(tab [][]float64, basis []int, obj []float64, total int) (float64, error) {
+	return simplexRestricted(tab, basis, obj, total, total)
+}
+
+// simplexRestricted minimizes obj, allowing only columns < allowed to enter
+// the basis (used in phase 2 to keep artificial variables at zero). It
+// returns the optimal objective value.
+func simplexRestricted(tab [][]float64, basis []int, obj []float64, allowed, total int) (float64, error) {
+	m := len(tab)
+	// The objective row in terms of non-basic variables: z_j = c_j - c_B·B⁻¹A_j,
+	// recomputed each iteration (problems are tiny; clarity over speed).
+	maxIter := 200 * (total + m + 1)
+	for iter := 0; iter < maxIter; iter++ {
+		// Compute reduced costs.
+		y := make([]float64, m) // c_B per row
+		for i, b := range basis {
+			if b >= 0 {
+				y[i] = obj[b]
+			}
+		}
+		entering := -1
+		for j := 0; j < allowed; j++ {
+			red := obj[j]
+			for i := 0; i < m; i++ {
+				red -= y[i] * tab[i][j]
+			}
+			if red < -eps {
+				entering = j // Bland: first (smallest-index) improving column
+				break
+			}
+		}
+		if entering == -1 {
+			val := 0.0
+			for i, b := range basis {
+				if b >= 0 {
+					val += obj[b] * tab[i][total]
+				}
+			}
+			return val, nil
+		}
+		// Ratio test with Bland tie-breaking on the leaving basis index.
+		leaving := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][entering]
+			if a > eps {
+				ratio := tab[i][total] / a
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					bestRatio = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(tab, basis, leaving, entering, total)
+	}
+	return 0, fmt.Errorf("lp: simplex exceeded iteration budget")
+}
+
+// pivot makes column col basic in row r.
+func pivot(tab [][]float64, basis []int, r, col, total int) {
+	p := tab[r][col]
+	for j := 0; j <= total; j++ {
+		tab[r][j] /= p
+	}
+	for i := range tab {
+		if i == r {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[r][j]
+		}
+	}
+	basis[r] = col
+}

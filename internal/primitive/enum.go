@@ -1,0 +1,141 @@
+package primitive
+
+import (
+	"cqrep/internal/interval"
+	"cqrep/internal/join"
+	"cqrep/internal/relation"
+)
+
+// Iter enumerates the answer of one access request Q^η[v_b] in
+// lexicographic order with the delay guarantees of Theorem 1, implementing
+// Algorithm 2 as a pull iterator: an explicit stack traverses the
+// delay-balanced tree, consulting the dictionary at every node; light (⊥)
+// nodes are evaluated with the worst-case-optimal enumerator, heavy 1-nodes
+// recurse, and 0-nodes are skipped.
+type Iter struct {
+	s     *Structure
+	vb    relation.Tuple
+	vbKey []byte
+
+	stack   []frame
+	sub     *join.Enum
+	boxes   []interval.Box
+	boxIdx  int
+	started bool
+	done    bool
+	ops     uint64
+}
+
+type frame struct {
+	n     *node
+	state int8 // 0: consult dictionary, 1: left done, 2: unit done, 3: exit
+}
+
+// Query returns an iterator over the result of the access request with
+// bound valuation vb (in the view's bound-variable order).
+func (s *Structure) Query(vb relation.Tuple) *Iter {
+	return &Iter{s: s, vb: vb, vbKey: vb.AppendEncode(nil)}
+}
+
+// Ops returns the number of index and dictionary probes performed so far —
+// the machine-independent work counter behind the delay measurements.
+func (it *Iter) Ops() uint64 {
+	if it.sub != nil {
+		return it.ops + it.sub.Ops()
+	}
+	return it.ops
+}
+
+func (it *Iter) push(n *node) { it.stack = append(it.stack, frame{n: n}) }
+
+func (it *Iter) pop() { it.stack = it.stack[:len(it.stack)-1] }
+
+// Next returns the next output tuple over the free variables, or false when
+// the enumeration has completed.
+func (it *Iter) Next() (relation.Tuple, bool) {
+	if it.done {
+		return nil, false
+	}
+	if !it.started {
+		it.started = true
+		if it.s.root == nil || len(it.vb) != len(it.s.inst.NV.Bound) || !it.s.inst.CheckAllBoundAtoms(it.vb) {
+			it.done = true
+			return nil, false
+		}
+		it.push(it.s.root)
+	}
+	for {
+		if it.sub != nil {
+			t, ok := it.sub.Next()
+			if ok {
+				return t, true
+			}
+			it.ops += it.sub.Ops()
+			it.sub = nil
+			it.boxIdx++
+			if it.boxIdx < len(it.boxes) {
+				it.sub = join.NewEnum(it.s.inst, it.vb, it.boxes[it.boxIdx])
+				continue
+			}
+			it.pop()
+			continue
+		}
+		if len(it.stack) == 0 {
+			it.done = true
+			return nil, false
+		}
+		f := &it.stack[len(it.stack)-1]
+		n := f.n
+		switch f.state {
+		case 0:
+			it.ops++
+			bit, heavy := it.s.lookup(n.id, it.vbKey)
+			if !heavy {
+				// ⊥: the pair is light; evaluate the whole interval with
+				// the worst-case-optimal enumerator (time O(τ_ℓ)).
+				f.state = 3
+				it.boxes = interval.Decompose(n.iv)
+				it.boxIdx = 0
+				if len(it.boxes) > 0 {
+					it.sub = join.NewEnum(it.s.inst, it.vb, it.boxes[0])
+				} else {
+					it.pop()
+				}
+				continue
+			}
+			if bit == 0 {
+				it.pop()
+				continue
+			}
+			f.state = 1
+			if n.left != nil {
+				it.push(n.left)
+			}
+		case 1:
+			f.state = 2
+			it.ops++
+			if n.beta != nil && it.s.inst.ContainsAll(it.vb, n.beta) {
+				return n.beta.Clone(), true
+			}
+		case 2:
+			f.state = 3
+			if n.right != nil {
+				it.push(n.right)
+			}
+		case 3:
+			it.pop()
+		}
+	}
+}
+
+// Drain collects all remaining tuples of the iterator.
+func (it *Iter) Drain() []relation.Tuple {
+	var out []relation.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,436 @@
+package primitive
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/fractional"
+	"cqrep/internal/interval"
+	"cqrep/internal/join"
+	"cqrep/internal/relation"
+)
+
+// runningExample builds the paper's running example (Examples 4, 13-15).
+func runningExample(t *testing.T) *join.Instance {
+	t.Helper()
+	db := relation.NewDatabase()
+	r1 := relation.NewRelation("R1", 3)
+	for _, x := range [][3]relation.Value{{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1}, {3, 1, 1}} {
+		r1.MustInsert(x[0], x[1], x[2])
+	}
+	r2 := relation.NewRelation("R2", 3)
+	for _, x := range [][3]relation.Value{{1, 1, 2}, {1, 2, 1}, {1, 2, 2}, {2, 1, 1}, {2, 1, 2}} {
+		r2.MustInsert(x[0], x[1], x[2])
+	}
+	r3 := relation.NewRelation("R3", 3)
+	for _, x := range [][3]relation.Value{{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1}, {2, 1, 2}} {
+		r3.MustInsert(x[0], x[1], x[2])
+	}
+	db.Add(r1)
+	db.Add(r2)
+	db.Add(r3)
+	nv, err := cq.Normalize(cq.MustParse(
+		"Q[fffbbb](x, y, z, w1, w2, w3) :- R1(w1, x, y), R2(w2, y, z), R3(w3, x, z)"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := join.NewInstance(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestFigure3Tree reproduces the delay-balanced tree of Figure 3 /
+// Example 14: root split at (1,1,2), right child split at (1,2,2), and
+// three leaves covering {(1,1,1)}, {(1,2,1)} and [(2,1,1), (2,2,2)].
+func TestFigure3Tree(t *testing.T) {
+	inst := runningExample(t)
+	s, err := Build(inst, fractional.Cover{1, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := s.Nodes()
+	if len(nodes) != 5 {
+		for _, n := range nodes {
+			t.Logf("node %d level %d iv %v beta %v", n.ID, n.Level, n.Interval, n.Beta)
+		}
+		t.Fatalf("tree has %d nodes, want 5 (Figure 3)", len(nodes))
+	}
+	root := nodes[0]
+	if !root.Beta.Equal(relation.Tuple{1, 1, 2}) {
+		t.Errorf("β(r) = %v, want (1,1,2)", root.Beta)
+	}
+	left := nodes[root.Left]
+	if left.Beta != nil {
+		t.Error("left child of root must be a leaf")
+	}
+	if !left.Interval.Contains(relation.Tuple{1, 1, 1}) || left.Interval.Contains(relation.Tuple{1, 1, 2}) {
+		t.Errorf("I(rl) = %v, want point set {(1,1,1)}", left.Interval)
+	}
+	rr := nodes[root.Right]
+	if !rr.Beta.Equal(relation.Tuple{1, 2, 2}) {
+		t.Errorf("β(rr) = %v, want (1,2,2)", rr.Beta)
+	}
+	rrl := nodes[rr.Left]
+	if rrl.Beta != nil || !rrl.Interval.Contains(relation.Tuple{1, 2, 1}) {
+		t.Errorf("I(rrl) = %v, want leaf containing (1,2,1)", rrl.Interval)
+	}
+	rrr := nodes[rr.Right]
+	if rrr.Beta != nil {
+		t.Error("rrr must be a leaf")
+	}
+	for _, probe := range []relation.Tuple{{2, 1, 1}, {2, 2, 2}} {
+		if !rrr.Interval.Contains(probe) {
+			t.Errorf("I(rrr) = %v must contain %v", rrr.Interval, probe)
+		}
+	}
+	if s.Stats().MaxLevel != 2 {
+		t.Errorf("max level = %d, want 2", s.Stats().MaxLevel)
+	}
+}
+
+// TestExample15Dictionary checks the dictionary entries of Example 15: for
+// v_b = (1,1,1), both the root and its right child store bit 1 (with τ
+// slightly below 4 so that T(v_b, I(r)) = 4 counts as heavy under our
+// endpoint-splitting box decomposition).
+func TestExample15Dictionary(t *testing.T) {
+	inst := runningExample(t)
+	s, err := Build(inst, fractional.Cover{1, 1, 1}, 3.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := s.Nodes()
+	if len(nodes) != 5 {
+		t.Fatalf("tree has %d nodes, want 5", len(nodes))
+	}
+	vb := relation.Tuple{1, 1, 1}
+	if bit, ok := s.DictBit(nodes[0].ID, vb); !ok || bit != 1 {
+		t.Errorf("D(I(r), vb) = %v/%v, want 1 (Example 15)", bit, ok)
+	}
+	rr := nodes[nodes[0].Right]
+	if bit, ok := s.DictBit(rr.ID, vb); !ok || bit != 1 {
+		t.Errorf("D(I(rr), vb) = %v/%v, want 1 (Example 15)", bit, ok)
+	}
+	// The left leaf holds only (1,1,1); T(vb, ·) = 0 there, so no entry.
+	if _, ok := s.DictBit(nodes[0].Left, vb); ok {
+		t.Error("left leaf must have no dictionary entry for vb")
+	}
+}
+
+func TestQueryRunningExample(t *testing.T) {
+	inst := runningExample(t)
+	for _, tau := range []float64{1, 2, 3.9, 8, 100} {
+		s, err := Build(inst, fractional.Cover{1, 1, 1}, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vb := range []relation.Tuple{{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 2, 2}, {3, 1, 1}, {7, 7, 7}} {
+			got := s.Query(vb).Drain()
+			want := join.NaiveJoin(inst, vb, interval.Box{})
+			if len(got) != len(want) {
+				t.Fatalf("τ=%v vb=%v: got %d tuples %v, want %d %v", tau, vb, len(got), got, len(want), want)
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("τ=%v vb=%v tuple %d: got %v want %v", tau, vb, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSplitBalances verifies Proposition 8 on random instances: both halves
+// of a split carry at most half the interval's cost.
+func TestSplitBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		inst := randomInstance(t, rng, 2+rng.Intn(3), 1+rng.Intn(3), 5, 2+rng.Intn(20))
+		est, err := join.NewEstimator(inst, allOnes(inst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random interval over the domain range.
+		mu := inst.Mu
+		lo := make(relation.Tuple, mu)
+		hi := make(relation.Tuple, mu)
+		for d := 0; d < mu; d++ {
+			a, b := relation.Value(rng.Intn(5)), relation.Value(rng.Intn(5))
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		iv := interval.Interval{Lo: lo, Hi: hi, LoInc: true, HiInc: true}
+		total := est.TInterval(iv)
+		c, ok := SplitInterval(inst, est, iv)
+		if !ok {
+			if total > 1e-9 {
+				t.Fatalf("trial %d: split refused with T=%v", trial, total)
+			}
+			continue
+		}
+		left, _, right := iv.SplitAt(c)
+		lt, rt := est.TInterval(left), est.TInterval(right)
+		if lt > total/2+1e-6 {
+			t.Errorf("trial %d iv=%v c=%v: T(I≺)=%v > T/2=%v", trial, iv, c, lt, total/2)
+		}
+		if rt > total/2+1e-6 {
+			t.Errorf("trial %d iv=%v c=%v: T(I≻)=%v > T/2=%v", trial, iv, c, rt, total/2)
+		}
+	}
+}
+
+// allOnes builds the all-ones cover for an instance.
+func allOnes(inst *join.Instance) fractional.Cover {
+	u := make(fractional.Cover, len(inst.Atoms))
+	for i := range u {
+		u[i] = 1
+	}
+	return u
+}
+
+// randomInstance mirrors the join package's generator (kept local to avoid
+// exporting test helpers).
+func randomInstance(t *testing.T, rng *rand.Rand, nVars, nAtoms, domain, rowsPerAtom int) *join.Instance {
+	t.Helper()
+	names := make([]string, nVars)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	db := relation.NewDatabase()
+	view := &cq.View{Name: "Q"}
+	perm := rng.Perm(nVars)
+	nFree := 1 + rng.Intn(nVars)
+	isFree := make(map[int]bool)
+	for _, p := range perm[:nFree] {
+		isFree[p] = true
+	}
+	for i, n := range names {
+		view.Head = append(view.Head, n)
+		if isFree[i] {
+			view.Pattern = append(view.Pattern, cq.Free)
+		} else {
+			view.Pattern = append(view.Pattern, cq.Bound)
+		}
+	}
+	covered := make(map[int]bool)
+	addAtom := func(vars []int, idx int) {
+		rel := relation.NewRelation(fmt.Sprintf("R%d", idx), len(vars))
+		for i := 0; i < rowsPerAtom; i++ {
+			tu := make(relation.Tuple, len(vars))
+			for j := range tu {
+				tu[j] = relation.Value(rng.Intn(domain))
+			}
+			if err := rel.Insert(tu); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.Add(rel)
+		atom := cq.Atom{Relation: rel.Name()}
+		for _, v := range vars {
+			atom.Terms = append(atom.Terms, cq.V(names[v]))
+			covered[v] = true
+		}
+		view.Body = append(view.Body, atom)
+	}
+	for i := 0; i < nAtoms; i++ {
+		k := 1 + rng.Intn(3)
+		if k > nVars {
+			k = nVars
+		}
+		addAtom(rng.Perm(nVars)[:k], i)
+	}
+	var leftovers []int
+	for v := 0; v < nVars; v++ {
+		if !covered[v] {
+			leftovers = append(leftovers, v)
+		}
+	}
+	if len(leftovers) > 0 {
+		addAtom(leftovers, nAtoms)
+	}
+	nv, err := cq.Normalize(view, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := join.NewInstance(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestQueryAgainstNaiveRandom is the central soundness property of the
+// Theorem-1 structure: across random instances, covers, thresholds and
+// valuations, Algorithm 2 must produce exactly the sorted join result.
+func TestQueryAgainstNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 80; trial++ {
+		inst := randomInstance(t, rng, 2+rng.Intn(3), 1+rng.Intn(3), 4, 1+rng.Intn(15))
+		tau := []float64{1, 2, 5, 30}[rng.Intn(4)]
+		s, err := Build(inst, allOnes(inst), tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 6; probe++ {
+			vb := make(relation.Tuple, len(inst.NV.Bound))
+			for i := range vb {
+				vb[i] = relation.Value(rng.Intn(4))
+			}
+			got := s.Query(vb).Drain()
+			want := join.NaiveJoin(inst, vb, interval.Box{})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d τ=%v %s vb=%v: got %d tuples %v want %d %v",
+					trial, tau, inst.NV.Source, vb, len(got), got, len(want), want)
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("trial %d τ=%v vb=%v tuple %d: got %v want %v", trial, tau, vb, i, got[i], want[i])
+				}
+			}
+			// Lexicographic order is part of the contract.
+			for i := 1; i < len(got); i++ {
+				if !got[i-1].Less(got[i]) {
+					t.Fatalf("trial %d: output out of order: %v then %v", trial, got[i-1], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSpaceShrinksWithTau verifies the headline tradeoff direction: larger
+// τ can only shrink the dictionary and the tree.
+func TestSpaceShrinksWithTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := randomInstance(t, rng, 3, 3, 6, 60)
+	var prev *Stats
+	for _, tau := range []float64{1, 2, 4, 8, 16, 64} {
+		s, err := Build(inst, allOnes(inst), tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if prev != nil {
+			if st.TreeNodes > prev.TreeNodes {
+				t.Errorf("τ=%v: tree grew from %d to %d nodes", tau, prev.TreeNodes, st.TreeNodes)
+			}
+			if st.DictEntries > prev.DictEntries {
+				t.Errorf("τ=%v: dictionary grew from %d to %d entries", tau, prev.DictEntries, st.DictEntries)
+			}
+		}
+		prev = &st
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	inst := runningExample(t)
+	if _, err := Build(inst, fractional.Cover{1, 1, 1}, 0.5); err == nil {
+		t.Error("τ < 1 must be rejected")
+	}
+	if _, err := Build(inst, fractional.Cover{1, 0, 0}, 2); err == nil {
+		t.Error("non-cover must be rejected")
+	}
+}
+
+func TestQueryOnEmptyDatabase(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.NewRelation("R", 2))
+	nv, err := cq.Normalize(cq.MustParse("Q[bf](x, y) :- R(x, y)"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := join.NewInstance(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(inst, fractional.Cover{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query(relation.Tuple{1}).Drain(); len(got) != 0 {
+		t.Errorf("empty database returned %v", got)
+	}
+	if s.Stats().TreeNodes != 0 {
+		t.Errorf("empty database built %d nodes", s.Stats().TreeNodes)
+	}
+}
+
+func TestQueryWrongArityValuation(t *testing.T) {
+	inst := runningExample(t)
+	s, err := Build(inst, fractional.Cover{1, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query(relation.Tuple{1}).Drain(); len(got) != 0 {
+		t.Errorf("malformed valuation returned %v", got)
+	}
+}
+
+// TestDelayOpsBounded samples the per-tuple work between consecutive
+// outputs and checks it stays within a polylog multiple of τ — the
+// measurable form of the Theorem-1 delay guarantee.
+func TestDelayOpsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	inst := randomInstance(t, rng, 3, 3, 8, 120)
+	n := 0
+	for _, a := range inst.Atoms {
+		n += a.Rel.Len()
+	}
+	for _, tau := range []float64{2, 8, 32} {
+		s, err := Build(inst, allOnes(inst), tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := uint64(0)
+		for probe := 0; probe < 10; probe++ {
+			vb := make(relation.Tuple, len(inst.NV.Bound))
+			for i := range vb {
+				vb[i] = relation.Value(rng.Intn(8))
+			}
+			it := s.Query(vb)
+			last := it.Ops()
+			for {
+				_, ok := it.Next()
+				now := it.Ops()
+				if now-last > worst {
+					worst = now - last
+				}
+				last = now
+				if !ok {
+					break
+				}
+			}
+		}
+		// Generous polylog envelope: c · τ · log²(n) · µ with c = 8.
+		logn := math.Log2(float64(n) + 2)
+		bound := uint64(8 * tau * logn * logn * float64(inst.Mu+1))
+		if worst > bound {
+			t.Errorf("τ=%v: worst per-tuple ops %d exceeds envelope %d", tau, worst, bound)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	inst := runningExample(t)
+	s, err := Build(inst, fractional.Cover{1, 1, 1}, 3.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TreeNodes != 5 || st.DictEntries == 0 || st.Bytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.Tau() != 3.9 {
+		t.Errorf("Tau() = %v", s.Tau())
+	}
+	if s.Estimator().Alpha != 2 {
+		t.Errorf("Alpha = %v", s.Estimator().Alpha)
+	}
+	if s.Instance() != inst {
+		t.Error("Instance() identity")
+	}
+}

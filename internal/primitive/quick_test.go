@@ -1,0 +1,43 @@
+package primitive
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cqrep/internal/relation"
+)
+
+// TestQuickDictKeyRoundTrip: encoding a (node, valuation) pair and decoding
+// it recovers the originals — the dictionary cannot alias distinct pairs.
+func TestQuickDictKeyRoundTrip(t *testing.T) {
+	f := func(id int32, a, b, c int64) bool {
+		if id < 0 {
+			id = -id
+		}
+		vb := relation.Tuple{relation.Value(a), relation.Value(b), relation.Value(c)}
+		gotID, gotVb := decodeDictKey(dictKey(id, vb), 3)
+		return gotID == id && gotVb.Equal(vb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDictKeyInjective: distinct pairs get distinct keys.
+func TestQuickDictKeyInjective(t *testing.T) {
+	f := func(id1, id2 int32, a1, a2 int64) bool {
+		if id1 < 0 {
+			id1 = -id1
+		}
+		if id2 < 0 {
+			id2 = -id2
+		}
+		k1 := dictKey(id1, relation.Tuple{relation.Value(a1)})
+		k2 := dictKey(id2, relation.Tuple{relation.Value(a2)})
+		same := id1 == id2 && a1 == a2
+		return (k1 == k2) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

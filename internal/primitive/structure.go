@@ -1,0 +1,297 @@
+package primitive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"cqrep/internal/fractional"
+	"cqrep/internal/interval"
+	"cqrep/internal/join"
+	"cqrep/internal/relation"
+)
+
+// node is one vertex of the delay-balanced tree. Leaves have beta == nil.
+type node struct {
+	id          int32
+	level       int
+	iv          interval.Interval
+	beta        relation.Tuple
+	left, right *node
+}
+
+// Structure is the compressed representation of Theorem 1 for one adorned
+// view: the delay-balanced tree T and the heavy-pair dictionary D, plus the
+// linear-space base indexes held by the underlying join.Instance.
+type Structure struct {
+	inst *join.Instance
+	est  *join.Estimator
+	tau  float64
+
+	root       *node
+	nodes      []*node // by id
+	maxLevel   int
+	dict       map[string]byte
+	exhaustive bool
+
+	buildTime time.Time
+	elapsed   time.Duration
+}
+
+// Build constructs the Theorem-1 structure for the instance under the
+// fractional edge cover u with threshold τ ≥ 1. The view must have at
+// least one free variable (all-bound views are served by a plain index; see
+// the baseline package).
+//
+// The dictionary covers the Proposition-13 candidate set (projections of
+// the E_Vb join). Use BuildExhaustive when heavy-but-empty requests must
+// also answer within the delay bound.
+func Build(inst *join.Instance, u fractional.Cover, tau float64) (*Structure, error) {
+	return build(inst, u, tau, false)
+}
+
+// BuildExhaustive is Build with the exhaustive candidate stream: the
+// dictionary additionally stores emptiness bits for heavy valuations whose
+// E_Vb join is empty even though every per-atom restriction is non-empty
+// (e.g. intersecting two large disjoint neighbor lists). This closes a gap
+// in the paper's Proposition 13 at the cost of preprocessing up to the
+// (T(I)/τ)^α heavy-valuation bound of Proposition 7.
+func BuildExhaustive(inst *join.Instance, u fractional.Cover, tau float64) (*Structure, error) {
+	return build(inst, u, tau, true)
+}
+
+func build(inst *join.Instance, u fractional.Cover, tau float64, exhaustive bool) (*Structure, error) {
+	if tau < 1 {
+		return nil, fmt.Errorf("primitive: threshold τ = %v must be at least 1", tau)
+	}
+	est, err := join.NewEstimator(inst, u)
+	if err != nil {
+		return nil, err
+	}
+	s := &Structure{inst: inst, est: est, tau: tau, dict: make(map[string]byte), exhaustive: exhaustive}
+	start := time.Now()
+
+	root, ok := s.rootInterval()
+	if ok {
+		s.root = s.buildTree(root, 0)
+		s.buildDictionary()
+	}
+	s.elapsed = time.Since(start)
+	return s, nil
+}
+
+// rootInterval is the active-domain bounding box of the free space: the
+// paper's I(r) = D_f. The boolean is false when some free domain is empty
+// (the view result is empty for every request).
+func (s *Structure) rootInterval() (interval.Interval, bool) {
+	mu := s.inst.Mu
+	lo := make(relation.Tuple, mu)
+	hi := make(relation.Tuple, mu)
+	for d := 0; d < mu; d++ {
+		dom := s.inst.FreeDomains[d]
+		if len(dom) == 0 {
+			return interval.Interval{}, false
+		}
+		lo[d] = dom[0]
+		hi[d] = dom[len(dom)-1]
+	}
+	return interval.Interval{Lo: lo, Hi: hi, LoInc: true, HiInc: true}, true
+}
+
+// levelThreshold returns τ_ℓ = τ / 2^{ℓ(1−1/α)}.
+func (s *Structure) levelThreshold(level int) float64 {
+	return s.tau / math.Pow(2, float64(level)*(1-1/s.est.Alpha))
+}
+
+// buildTree recursively constructs the delay-balanced tree of Section 4.3.
+func (s *Structure) buildTree(iv interval.Interval, level int) *node {
+	n := &node{id: int32(len(s.nodes)), level: level, iv: iv}
+	s.nodes = append(s.nodes, n)
+	if level > s.maxLevel {
+		s.maxLevel = level
+	}
+	if s.est.TInterval(iv) < s.levelThreshold(level) {
+		return n
+	}
+	beta, ok := SplitInterval(s.inst, s.est, iv)
+	if !ok {
+		return n
+	}
+	n.beta = beta
+	left, _, right := iv.SplitAt(beta)
+	if !left.Empty() {
+		n.left = s.buildTree(left, level+1)
+	}
+	if !right.Empty() {
+		n.right = s.buildTree(right, level+1)
+	}
+	return n
+}
+
+// dictKey encodes a (node, valuation) pair as a compact map key.
+func dictKey(id int32, vb relation.Tuple) string {
+	buf := make([]byte, 4, 4+8*len(vb))
+	binary.BigEndian.PutUint32(buf, uint32(id))
+	return string(vb.AppendEncode(buf))
+}
+
+// buildDictionary computes the heavy-pair dictionary of Appendix A: for
+// every tree node w at level ℓ and every bound valuation v_b with
+// T(v_b, I(w)) > τ_ℓ, it stores one bit recording whether the join
+// restricted to I(w) under v_b is non-empty.
+func (s *Structure) buildDictionary() {
+	candidates := join.BoundCandidates
+	if s.exhaustive {
+		candidates = join.BoundCandidatesExhaustive
+	}
+	for _, n := range s.nodes {
+		tauL := s.levelThreshold(n.level)
+		boxes := interval.Decompose(n.iv)
+		seen := make(map[string]bool)
+		for _, b := range boxes {
+			candidates(s.inst, b, func(vb relation.Tuple) bool {
+				key := string(vb.AppendEncode(nil))
+				if seen[key] {
+					return true
+				}
+				seen[key] = true
+				if s.est.TIntervalBound(vb, n.iv) <= tauL {
+					return true
+				}
+				bit := byte(0)
+				for _, eb := range boxes {
+					if join.NewEnum(s.inst, vb, eb).Exists() {
+						bit = 1
+						break
+					}
+				}
+				s.dict[dictKey(n.id, vb)] = bit
+				return true
+			})
+		}
+	}
+}
+
+// lookup returns the dictionary entry for (node, vb): 0, 1, or ⊥ (ok ==
+// false) when the pair is not heavy.
+func (s *Structure) lookup(id int32, vbKey []byte) (byte, bool) {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(id))
+	bit, ok := s.dict[string(buf[:])+string(vbKey)]
+	return bit, ok
+}
+
+// Instance returns the underlying join instance.
+func (s *Structure) Instance() *join.Instance { return s.inst }
+
+// Estimator returns the cost estimator (cover, slack) used by the
+// structure.
+func (s *Structure) Estimator() *join.Estimator { return s.est }
+
+// Tau returns the threshold parameter.
+func (s *Structure) Tau() float64 { return s.tau }
+
+// Stats summarizes the space footprint of the compressed representation.
+type Stats struct {
+	// TreeNodes is the number of delay-balanced tree nodes.
+	TreeNodes int
+	// MaxLevel is the deepest tree level.
+	MaxLevel int
+	// DictEntries is the number of heavy (node, valuation) pairs stored.
+	DictEntries int
+	// Bytes estimates the footprint of tree plus dictionary (excluding the
+	// always-linear base indexes).
+	Bytes int
+	// BuildTime is the preprocessing (compression) time T_C.
+	BuildTime time.Duration
+}
+
+// Stats reports the structure's size counters.
+func (s *Structure) Stats() Stats {
+	mu := s.inst.Mu
+	perNode := 8*2*mu + 8*mu + 32 // two interval endpoints, beta, links
+	perEntry := 4 + 8*len(s.inst.NV.Bound) + 1
+	return Stats{
+		TreeNodes:   len(s.nodes),
+		MaxLevel:    s.maxLevel,
+		DictEntries: len(s.dict),
+		Bytes:       len(s.nodes)*perNode + len(s.dict)*perEntry,
+		BuildTime:   s.elapsed,
+	}
+}
+
+// NodeView is a read-only description of one tree node, used by tests and
+// diagnostics to compare against the paper's worked examples (Figure 3).
+type NodeView struct {
+	ID          int32
+	Level       int
+	Interval    interval.Interval
+	Beta        relation.Tuple
+	Left, Right int32 // -1 when absent
+}
+
+// Nodes lists the tree in construction (pre-)order.
+func (s *Structure) Nodes() []NodeView {
+	out := make([]NodeView, len(s.nodes))
+	for i, n := range s.nodes {
+		v := NodeView{ID: n.id, Level: n.level, Interval: n.iv, Beta: n.beta, Left: -1, Right: -1}
+		if n.left != nil {
+			v.Left = n.left.id
+		}
+		if n.right != nil {
+			v.Right = n.right.id
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// DictBit exposes dictionary entries for tests: it returns the stored bit
+// and whether the (node, valuation) pair is present.
+func (s *Structure) DictBit(id int32, vb relation.Tuple) (byte, bool) {
+	return s.lookup(id, vb.AppendEncode(nil))
+}
+
+// NodeInterval returns the f-interval of the identified tree node.
+func (s *Structure) NodeInterval(id int32) interval.Interval {
+	return s.nodes[id].iv
+}
+
+// RefineOnes implements the mutation step of Algorithm 4: every dictionary
+// entry currently set to 1 is re-validated with keep; entries for which
+// keep returns false are flipped to 0. The Theorem-2 construction uses this
+// to push bottom-up semijoin information into parent-bag dictionaries, so
+// that a 1-entry guarantees a full downstream output, not merely a
+// bag-local one.
+func (s *Structure) RefineOnes(keep func(id int32, iv interval.Interval, vb relation.Tuple) bool) {
+	nb := len(s.inst.NV.Bound)
+	for key, bit := range s.dict {
+		if bit != 1 {
+			continue
+		}
+		id, vb := decodeDictKey(key, nb)
+		if !keep(id, s.nodes[id].iv, vb) {
+			s.dict[key] = 0
+		}
+	}
+}
+
+// DropDictionary clears the heavy-pair dictionary, leaving only the
+// delay-balanced tree. This exists for ablation studies: without the
+// dictionary every node reads ⊥ and Algorithm 2 degenerates to evaluating
+// the root interval from scratch, which demonstrates that the dictionary —
+// not the tree alone — delivers the delay guarantee.
+func (s *Structure) DropDictionary() {
+	s.dict = make(map[string]byte)
+}
+
+// decodeDictKey inverts dictKey.
+func decodeDictKey(key string, nb int) (int32, relation.Tuple) {
+	id := int32(binary.BigEndian.Uint32([]byte(key[:4])))
+	vb := make(relation.Tuple, nb)
+	for i := 0; i < nb; i++ {
+		vb[i] = relation.Value(binary.BigEndian.Uint64([]byte(key[4+8*i : 12+8*i])))
+	}
+	return id, vb
+}

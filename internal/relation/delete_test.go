@@ -1,0 +1,72 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDelete(t *testing.T) {
+	r := NewRelation("R", 2)
+	r.MustInsert(1, 2)
+	r.MustInsert(3, 4)
+	if !r.Delete(Tuple{1, 2}) {
+		t.Error("Delete must report success for a present tuple")
+	}
+	if r.Contains(Tuple{1, 2}) || r.Len() != 1 {
+		t.Error("tuple not removed")
+	}
+	if r.Delete(Tuple{1, 2}) {
+		t.Error("double delete must report false")
+	}
+	if r.Delete(Tuple{9}) {
+		t.Error("wrong arity must report false")
+	}
+}
+
+func TestDeleteInvalidatesIndexes(t *testing.T) {
+	r := NewRelation("R", 1)
+	r.MustInsert(1)
+	r.MustInsert(2)
+	ix := r.Index(0)
+	if ix.Len() != 2 {
+		t.Fatal("setup")
+	}
+	r.Delete(Tuple{1})
+	ix2 := r.Index(0)
+	if ix2.Len() != 1 || ix2.ValueAt(0, 0) != 2 {
+		t.Error("index not rebuilt after delete")
+	}
+}
+
+// TestInsertDeleteChurn randomly mutates a relation and mirrors it in a
+// map; the two must stay equal.
+func TestInsertDeleteChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	r := NewRelation("R", 2)
+	mirror := make(map[[2]Value]bool)
+	for step := 0; step < 2000; step++ {
+		a := Value(rng.Intn(8))
+		b := Value(rng.Intn(8))
+		if rng.Intn(2) == 0 {
+			r.MustInsert(a, b)
+			mirror[[2]Value{a, b}] = true
+		} else {
+			got := r.Delete(Tuple{a, b})
+			want := mirror[[2]Value{a, b}]
+			if got != want {
+				t.Fatalf("step %d: Delete(%v,%v) = %v, want %v", step, a, b, got, want)
+			}
+			delete(mirror, [2]Value{a, b})
+		}
+		if step%100 == 0 {
+			if r.Len() != len(mirror) {
+				t.Fatalf("step %d: Len %d vs mirror %d", step, r.Len(), len(mirror))
+			}
+		}
+	}
+	for k := range mirror {
+		if !r.Contains(Tuple{k[0], k[1]}) {
+			t.Fatalf("missing %v", k)
+		}
+	}
+}

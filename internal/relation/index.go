@@ -1,0 +1,201 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is a sorted access path over a relation: a permutation of the rows
+// ordered lexicographically by a sequence of columns. All range and count
+// operations used by the paper's cost estimators (|R_F ⋉ B|, |R_F(v) ⋉ B|)
+// reduce to two binary searches over an Index, giving the O~(1) counting the
+// construction of Theorem 1 relies on.
+//
+// An Index is immutable once built; Relation.Index caches one index per
+// column signature.
+type Index struct {
+	rel  *Relation
+	cols []int
+	perm []int32
+}
+
+// Index returns the (cached) index of r ordered by the given columns.
+// Columns not listed participate as tie-breakers in ascending column order,
+// so the order is always total and deterministic.
+func (r *Relation) Index(cols ...int) *Index {
+	r.dedupe()
+	sig := colSignature(cols)
+	r.mu.Lock()
+	if ix, ok := r.indexes[sig]; ok {
+		r.mu.Unlock()
+		return ix
+	}
+	r.mu.Unlock()
+
+	full := make([]int, 0, r.arity)
+	seen := make([]bool, r.arity)
+	for _, c := range cols {
+		if c < 0 || c >= r.arity {
+			panic(fmt.Sprintf("relation %s: index column %d out of range [0,%d)", r.name, c, r.arity))
+		}
+		if seen[c] {
+			panic(fmt.Sprintf("relation %s: duplicate index column %d", r.name, c))
+		}
+		seen[c] = true
+		full = append(full, c)
+	}
+	for c := 0; c < r.arity; c++ {
+		if !seen[c] {
+			full = append(full, c)
+		}
+	}
+
+	ix := &Index{rel: r, cols: full, perm: make([]int32, len(r.rows))}
+	for i := range ix.perm {
+		ix.perm[i] = int32(i)
+	}
+	sort.Slice(ix.perm, func(a, b int) bool {
+		ta, tb := r.rows[ix.perm[a]], r.rows[ix.perm[b]]
+		for _, c := range full {
+			switch {
+			case ta[c] < tb[c]:
+				return true
+			case ta[c] > tb[c]:
+				return false
+			}
+		}
+		return false
+	})
+
+	r.mu.Lock()
+	r.indexes[sig] = ix
+	r.mu.Unlock()
+	return ix
+}
+
+func colSignature(cols []int) string {
+	b := make([]byte, 0, 2*len(cols))
+	for _, c := range cols {
+		b = append(b, byte(c), ',')
+	}
+	return string(b)
+}
+
+// Len returns the number of indexed rows.
+func (ix *Index) Len() int { return len(ix.perm) }
+
+// Relation returns the indexed relation.
+func (ix *Index) Relation() *Relation { return ix.rel }
+
+// Columns returns the full column order of the index (requested columns
+// followed by tie-breakers).
+func (ix *Index) Columns() []int { return ix.cols }
+
+// Tuple returns the row stored at sorted position pos. The tuple must not be
+// modified.
+func (ix *Index) Tuple(pos int) Tuple { return ix.rel.rows[ix.perm[pos]] }
+
+// ValueAt returns the value of the depth-th order column at sorted position
+// pos. Depth indexes into the order columns, not the raw schema.
+func (ix *Index) ValueAt(pos, depth int) Value {
+	return ix.rel.rows[ix.perm[pos]][ix.cols[depth]]
+}
+
+// Range returns the half-open position range [lo, hi) of rows whose first
+// len(prefix) order columns equal prefix.
+func (ix *Index) Range(prefix Tuple) (int, int) {
+	return ix.SubRange(0, len(ix.perm), 0, prefix)
+}
+
+// SubRange narrows an existing position range [lo, hi), in which the first
+// depth order columns are constant, to the rows whose next len(prefix) order
+// columns equal prefix.
+func (ix *Index) SubRange(lo, hi, depth int, prefix Tuple) (int, int) {
+	for k, want := range prefix {
+		d := depth + k
+		lo, hi = ix.valueRange(lo, hi, d, want)
+		if lo >= hi {
+			return lo, lo
+		}
+	}
+	return lo, hi
+}
+
+// valueRange returns the subrange of [lo, hi) where order column d equals
+// want, assuming columns before d are constant on [lo, hi).
+func (ix *Index) valueRange(lo, hi, d int, want Value) (int, int) {
+	c := ix.cols[d]
+	first := lo + sort.Search(hi-lo, func(i int) bool {
+		return ix.rel.rows[ix.perm[lo+i]][c] >= want
+	})
+	last := lo + sort.Search(hi-lo, func(i int) bool {
+		return ix.rel.rows[ix.perm[lo+i]][c] > want
+	})
+	return first, last
+}
+
+// SeekGE returns the first position in [lo, hi) whose order column depth has
+// value >= v, assuming columns before depth are constant on [lo, hi).
+func (ix *Index) SeekGE(lo, hi, depth int, v Value) int {
+	c := ix.cols[depth]
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return ix.rel.rows[ix.perm[lo+i]][c] >= v
+	})
+}
+
+// SeekGT returns the first position in [lo, hi) whose order column depth has
+// value > v, assuming columns before depth are constant on [lo, hi).
+func (ix *Index) SeekGT(lo, hi, depth int, v Value) int {
+	c := ix.cols[depth]
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return ix.rel.rows[ix.perm[lo+i]][c] > v
+	})
+}
+
+// IntervalRange narrows [lo, hi) — constant on the first depth order columns
+// — to the rows whose order column depth lies in the interval between a and
+// b with the given inclusiveness. The sentinels NegInf/PosInf denote
+// unbounded endpoints.
+func (ix *Index) IntervalRange(lo, hi, depth int, a Value, aInc bool, b Value, bInc bool) (int, int) {
+	var first int
+	if aInc {
+		first = ix.SeekGE(lo, hi, depth, a)
+	} else {
+		first = ix.SeekGT(lo, hi, depth, a)
+	}
+	var last int
+	if bInc {
+		last = ix.SeekGT(lo, hi, depth, b)
+	} else {
+		last = ix.SeekGE(lo, hi, depth, b)
+	}
+	if last < first {
+		last = first
+	}
+	return first, last
+}
+
+// CountPrefix returns the number of rows whose leading order columns equal
+// prefix.
+func (ix *Index) CountPrefix(prefix Tuple) int {
+	lo, hi := ix.Range(prefix)
+	return hi - lo
+}
+
+// CountPrefixInterval returns the number of rows with the given prefix on
+// the leading order columns and whose next order column lies in the interval
+// between a and b with the given inclusiveness.
+func (ix *Index) CountPrefixInterval(prefix Tuple, a Value, aInc bool, b Value, bInc bool) int {
+	lo, hi := ix.Range(prefix)
+	if lo >= hi {
+		return 0
+	}
+	lo, hi = ix.IntervalRange(lo, hi, len(prefix), a, aInc, b, bInc)
+	return hi - lo
+}
+
+// SizeBytes estimates the index footprint: 4 bytes per row for the
+// permutation plus the column order slice.
+func (ix *Index) SizeBytes() int {
+	return 4*len(ix.perm) + 8*len(ix.cols)
+}

@@ -1,0 +1,232 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Relation is a named, fixed-arity set of tuples. Insertion order is not
+// semantically meaningful: the structures built on top always access tuples
+// through sorted indexes (see Index). Relations follow set semantics, as in
+// the paper; duplicate inserts are ignored at Build time.
+type Relation struct {
+	name  string
+	arity int
+	rows  []Tuple
+
+	mu      sync.Mutex
+	deduped bool
+	indexes map[string]*Index
+}
+
+// NewRelation creates an empty relation with the given name and arity.
+// Arity zero is permitted (a nullary relation holds at most one empty tuple,
+// representing a boolean fact).
+func NewRelation(name string, arity int) *Relation {
+	if arity < 0 {
+		panic("relation: negative arity")
+	}
+	return &Relation{name: name, arity: arity, indexes: make(map[string]*Index)}
+}
+
+// FromTuples builds a relation from the given tuples, deduplicating them.
+func FromTuples(name string, arity int, tuples []Tuple) (*Relation, error) {
+	r := NewRelation(name, arity)
+	for _, t := range tuples {
+		if err := r.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int {
+	r.dedupe()
+	return len(r.rows)
+}
+
+// Row returns the i-th stored tuple. The returned tuple must not be
+// modified. Row indices are stable only between mutations.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Insert adds a tuple. It returns an error when the arity does not match or
+// the tuple contains a reserved sentinel value. Inserting after indexes have
+// been built invalidates them (they are rebuilt lazily).
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.arity {
+		return fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
+	}
+	for _, v := range t {
+		if v == NegInf || v == PosInf {
+			return fmt.Errorf("relation %s: tuple %v contains reserved sentinel value", r.name, t)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rows = append(r.rows, t.Clone())
+	r.deduped = false
+	// Any previously built index is now stale.
+	r.indexes = make(map[string]*Index)
+	return nil
+}
+
+// Delete removes a tuple if present, reporting whether it was found.
+// Like Insert, it invalidates any built indexes.
+func (r *Relation) Delete(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	r.dedupe()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.rows), func(i int) bool { return !r.rows[i].Less(t) })
+	if i >= len(r.rows) || !r.rows[i].Equal(t) {
+		return false
+	}
+	r.rows = append(r.rows[:i], r.rows[i+1:]...)
+	r.indexes = make(map[string]*Index)
+	return true
+}
+
+// MustInsert is Insert that panics on error; it is a convenience for tests
+// and generators that construct tuples programmatically.
+func (r *Relation) MustInsert(vals ...Value) {
+	if err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// dedupe sorts rows lexicographically and removes duplicates. All read paths
+// call it first, so the relation behaves as a set.
+func (r *Relation) dedupe() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.deduped {
+		return
+	}
+	sort.Slice(r.rows, func(i, j int) bool { return r.rows[i].Less(r.rows[j]) })
+	out := r.rows[:0]
+	for i, t := range r.rows {
+		if i == 0 || !t.Equal(r.rows[i-1]) {
+			out = append(out, t)
+		}
+	}
+	r.rows = out
+	r.deduped = true
+}
+
+// Contains reports whether the relation holds the given tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	r.dedupe()
+	i := sort.Search(len(r.rows), func(i int) bool { return !r.rows[i].Less(t) })
+	return i < len(r.rows) && r.rows[i].Equal(t)
+}
+
+// Tuples returns a copy of the tuple set in lexicographic order.
+func (r *Relation) Tuples() []Tuple {
+	r.dedupe()
+	out := make([]Tuple, len(r.rows))
+	for i, t := range r.rows {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// Project returns a new deduplicated relation holding the projection of r
+// onto the given columns.
+func (r *Relation) Project(name string, cols []int) *Relation {
+	r.dedupe()
+	p := NewRelation(name, len(cols))
+	for _, t := range r.rows {
+		p.rows = append(p.rows, t.Project(cols))
+	}
+	p.deduped = false
+	p.dedupe()
+	return p
+}
+
+// SizeBytes estimates the in-memory footprint of the tuple payload: one
+// machine word per value plus a slice header per tuple. Index footprints are
+// accounted separately by Index.SizeBytes.
+func (r *Relation) SizeBytes() int {
+	r.dedupe()
+	const wordSize = 8
+	const sliceHeader = 3 * wordSize
+	return len(r.rows)*(sliceHeader+r.arity*wordSize) + sliceHeader
+}
+
+// String renders the relation for debugging: name, arity and cardinality.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s/%d[%d tuples]", r.name, r.arity, r.Len())
+}
+
+// Database is a named collection of relations.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return &Database{rels: make(map[string]*Relation)} }
+
+// Add registers a relation, replacing any previous relation with the same
+// name.
+func (d *Database) Add(r *Relation) { d.rels[r.Name()] = r }
+
+// Relation returns the named relation, or an error naming the missing table.
+func (d *Database) Relation(name string) (*Relation, error) {
+	r, ok := d.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: database has no relation named %q", name)
+	}
+	return r, nil
+}
+
+// Names returns the sorted relation names.
+func (d *Database) Names() []string {
+	names := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the total number of tuples across all relations — the |D| of
+// the paper's bounds.
+func (d *Database) Size() int {
+	total := 0
+	for _, r := range d.rels {
+		total += r.Len()
+	}
+	return total
+}
+
+// SizeBytes estimates the total tuple payload across relations.
+func (d *Database) SizeBytes() int {
+	total := 0
+	for _, r := range d.rels {
+		total += r.SizeBytes()
+	}
+	return total
+}
+
+// String lists the relations with their cardinalities.
+func (d *Database) String() string {
+	parts := make([]string, 0, len(d.rels))
+	for _, n := range d.Names() {
+		parts = append(parts, d.rels[n].String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/join"
+	"cqrep/internal/relation"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := TriangleDB(5, 100, 300)
+	b := TriangleDB(5, 100, 300)
+	ra, _ := a.Relation("R")
+	rb, _ := b.Relation("R")
+	if ra.Len() != rb.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", ra.Len(), rb.Len())
+	}
+	for i := 0; i < ra.Len(); i++ {
+		if !ra.Row(i).Equal(rb.Row(i)) {
+			t.Fatalf("same seed, different row %d", i)
+		}
+	}
+	c := TriangleDB(6, 100, 300)
+	rc, _ := c.Relation("R")
+	if rc.Len() == ra.Len() {
+		same := true
+		for i := 0; i < ra.Len(); i++ {
+			if !ra.Row(i).Equal(rc.Row(i)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestSymmetricGraphIsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := SymmetricGraph(rng, "R", 50, 200)
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		if !r.Contains(relation.Tuple{row[1], row[0]}) {
+			t.Fatalf("edge %v lacks its reverse", row)
+		}
+	}
+}
+
+func TestSkewedGraphHasHubs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := SkewedGraph(rng, "R", 200, 2000)
+	deg := map[relation.Value]int{}
+	for i := 0; i < r.Len(); i++ {
+		deg[r.Row(i)[0]]++
+	}
+	max, sum := 0, 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	avg := sum / len(deg)
+	if max < 4*avg {
+		t.Errorf("max degree %d not hubby relative to average %d", max, avg)
+	}
+}
+
+// TestViewsNormalizeAgainstTheirDBs is the structural contract: every
+// generator's view must normalize against its generator's database.
+func TestViewsNormalizeAgainstTheirDBs(t *testing.T) {
+	cases := []struct {
+		name string
+		view *cq.View
+		db   *relation.Database
+	}{
+		{"star2", StarView(2), StarDB(1, 2, 50, 10)},
+		{"star4", StarView(4), StarDB(1, 4, 50, 10)},
+		{"path3", PathView(3), PathDB(1, 3, 50, 10)},
+		{"path6", PathView(6), PathDB(1, 6, 50, 10)},
+		{"lw3", LWView(3), LWDB(1, 3, 50, 10)},
+		{"lw4", LWView(4), LWDB(1, 4, 50, 10)},
+		{"sets", SetIntersectionView(), SetFamilyDB(1, 10, 40, 100)},
+		{"coauthor", CoauthorView(), CoauthorDB(1, 20, 30, 100)},
+	}
+	for _, c := range cases {
+		nv, err := cq.Normalize(c.view, c.db)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if _, err := join.NewInstance(nv); err != nil {
+			t.Errorf("%s: instance: %v", c.name, err)
+		}
+	}
+}
+
+func TestViewShapes(t *testing.T) {
+	if got := StarView(3).String(); got != "S[bbbf](x1, x2, x3, z) :- R1(x1, z), R2(x2, z), R3(x3, z)" {
+		t.Errorf("StarView(3) = %q", got)
+	}
+	if got := PathView(2).String(); got != "P[bfb](x1, x2, x3) :- R1(x1, x2), R2(x2, x3)" {
+		t.Errorf("PathView(2) = %q", got)
+	}
+	lw := LWView(3)
+	if lw.Pattern.String() != "bbf" || len(lw.Body) != 3 {
+		t.Errorf("LWView(3) = %q", lw.String())
+	}
+	for _, atom := range lw.Body {
+		if len(atom.Terms) != 2 {
+			t.Errorf("LW3 atom arity = %d, want 2", len(atom.Terms))
+		}
+	}
+}
+
+func TestRandomFullViewAlwaysFullAndNormalizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		view, db := RandomFullView(rng, 2+rng.Intn(4), 1+rng.Intn(4), 5, 1+rng.Intn(10))
+		if !view.IsFull() {
+			t.Fatalf("trial %d: view not full: %s", trial, view)
+		}
+		if _, err := cq.Normalize(view, db); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestZipfValueInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		v := zipfValue(rng, 37, 1.1)
+		if v < 0 || v >= 37 {
+			t.Fatalf("zipf value %d out of range", v)
+		}
+	}
+}
