@@ -1,0 +1,44 @@
+# Local targets mirroring .github/workflows/ci.yml so that local runs and
+# CI stay identical. `make ci` runs everything CI runs.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (slow; prints ns/op for every experiment and structure).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# One iteration of every benchmark plus the experiment-runner smoke —
+# exactly what the CI bench-smoke job executes.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/cqbench -run E1 -n 2000
+	$(GO) run ./cmd/cqbench -parallel -n 1000 -queries 10
+
+smoke: bench-smoke
+
+ci: build vet fmt-check test race bench-smoke

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"cqrep/internal/baseline"
+	"cqrep/internal/core"
 	"cqrep/internal/cq"
 	"cqrep/internal/decomp"
 	"cqrep/internal/experiments"
@@ -251,6 +252,122 @@ func BenchmarkDecompPathQuery(b *testing.B) {
 			}
 		}
 	}
+}
+
+// ---- Parallel compilation & concurrent serving (core.WithWorkers, core.Server) ----
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkParallelBuildDecomp measures multi-bag Theorem-2 compilation at
+// increasing worker counts (the tentpole build-speedup measurement; on a
+// multi-core machine, wall-clock drops with workers while the structure
+// stays byte-identical).
+func BenchmarkParallelBuildDecomp(b *testing.B) {
+	db := workload.PathDB(5, 6, 1200, 36)
+	view := cq.MustParse("Q[bfffbbf](v1, v2, v3, v4, v5, v6, v7) :- " +
+		"R1(v1, v2), R2(v2, v3), R3(v3, v4), R4(v4, v5), R5(v5, v6), R6(v6, v7)")
+	dec := &decomp.Decomposition{
+		Bags:   [][]int{{0, 4, 5}, {0, 1, 3, 4}, {1, 2, 3}, {5, 6}},
+		Parent: []int{-1, 0, 1, 0},
+	}
+	delta := []float64{0, 1.0 / 3, 1.0 / 6, 0}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Build(view, db,
+					core.WithStrategy(core.DecompositionStrategy),
+					core.WithDecomposition(dec), core.WithDelta(delta),
+					core.WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(rep.Stats().Entries), "entries")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelBuildPrimitive measures heavy-pair dictionary
+// construction at increasing worker counts on a skewed triangle.
+func BenchmarkParallelBuildPrimitive(b *testing.B) {
+	db := workload.SkewedTriangleDB(7, 300, 3000)
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	tau := math.Sqrt(3000) / 4
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Build(view, db, core.WithTau(tau), core.WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(rep.Stats().Entries), "entries")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerThroughput measures concurrent query throughput through
+// the batching front at increasing worker counts over one shared
+// representation.
+func BenchmarkServerThroughput(b *testing.B) {
+	db := workload.TriangleDB(7, 250, 1500)
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	rep, err := core.Build(view, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _ := db.Relation("R")
+	rng := rand.New(rand.NewSource(9))
+	vbs := make([]relation.Tuple, 256)
+	for i := range vbs {
+		row := r.Row(rng.Intn(r.Len()))
+		vbs[i] = relation.Tuple{row[0], row[1]}
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			srv := core.NewServer(rep, w)
+			defer srv.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				its := srv.QueryBatch(vbs)
+				for _, it := range its {
+					for {
+						if _, ok := it.Next(); !ok {
+							break
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(len(vbs)*b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkConcurrentQuery measures raw Representation.Query throughput
+// under RunParallel — the lock-free read path that Server and Maintained
+// rely on.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	inst, vbs := triangleFixture(b, 4000)
+	s, err := primitive.Build(inst, fractional.Cover{0.5, 0.5, 0.5}, math.Sqrt(4000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			it := s.Query(vbs[i%len(vbs)])
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+			i++
+		}
+	})
 }
 
 // ---- Micro-benchmarks: join engine ----

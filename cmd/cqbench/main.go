@@ -4,6 +4,7 @@
 //
 //	cqbench -run all            # everything at default scale
 //	cqbench -run E1,E5 -n 20000 # selected experiments, custom scale
+//	cqbench -parallel           # parallel build / concurrent serving scaling
 //
 // Scales are edge/tuple counts; all generators are seeded and
 // deterministic.
@@ -13,25 +14,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"cqrep/internal/bench"
 	"cqrep/internal/experiments"
 )
 
+const numExperiments = 16
+
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E16) or 'all'")
 	n := flag.Int("n", 8000, "base data scale (edges / tuples per relation)")
 	queries := flag.Int("queries", 50, "access requests per measurement")
 	seed := flag.Int64("seed", 42, "generator seed")
+	parallel := flag.Bool("parallel", false, "run only the parallel-scaling experiment (E16): build speedup and server throughput across worker counts")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel / E16 (run sorted ascending; the smallest is the speedup baseline)")
 	flag.Parse()
 
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	selected := map[string]bool{}
-	if *run == "all" {
-		for i := 1; i <= 15; i++ {
+	switch {
+	case *parallel:
+		selected["E16"] = true
+	case *run == "all":
+		for i := 1; i <= numExperiments; i++ {
 			selected[fmt.Sprintf("E%d", i)] = true
 		}
-	} else {
+	default:
 		for _, id := range strings.Split(*run, ",") {
 			selected[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
@@ -72,6 +87,8 @@ func main() {
 			"ablation: compression time scaling"},
 		{"E15", func() []*bench.Table { return experiments.E15DeltaShapes(*n/4, *queries, *seed) },
 			"ablation: delay-assignment shapes"},
+		{"E16", func() []*bench.Table { return experiments.E16Parallel(*n/8, *queries, *seed, workers) },
+			"parallel compilation speedup and core.Server throughput scaling"},
 	}
 
 	ran := 0
@@ -86,7 +103,27 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E12 or all")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E16, all, or -parallel")
 		os.Exit(2)
 	}
+}
+
+// parseWorkers parses the -workers list into positive ints.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("cqbench: invalid worker count %q in -workers", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cqbench: -workers needs at least one count")
+	}
+	return out, nil
 }

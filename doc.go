@@ -16,8 +16,15 @@
 //     over a V_b-connex tree decomposition, with space O~(|D| + |D|^f) and
 //     delay O~(|D|^h) for the δ-width f and δ-height h.
 //   - internal/core is the public facade and the Section-6 planner
-//     (MinDelayCover / MinSpaceCover).
+//     (MinDelayCover / MinSpaceCover), plus the production extensions:
+//     parallel compilation (WithWorkers), concurrent serving (Server),
+//     and maintenance under updates (Maintained).
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-versus-measured record, and cmd/cqbench for the experiment runner.
+// Compilation is parallel and deterministic: Build with any worker count
+// produces the same structure. Built representations are immutable and
+// safe for concurrent queries.
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory,
+// EXPERIMENTS.md for the paper-versus-measured record, and cmd/cqbench
+// for the experiment runner.
 package cqrep

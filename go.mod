@@ -1,0 +1,3 @@
+module cqrep
+
+go 1.24.0

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"cqrep/internal/baseline"
@@ -80,6 +81,7 @@ type config struct {
 	delta       []float64
 	spaceBudget float64 // entries; 0 = unset
 	delayBudget float64 // τ bound; 0 = unset
+	workers     int     // build parallelism; 0 = GOMAXPROCS
 }
 
 // Option customizes Build.
@@ -113,6 +115,13 @@ func WithSpaceBudget(entries float64) Option { return func(cfg *config) { cfg.sp
 // delay at most the given τ.
 func WithDelayBudget(tau float64) Option { return func(cfg *config) { cfg.delayBudget = tau } }
 
+// WithWorkers bounds the goroutines used during compilation: decomposition
+// bags and heavy-pair dictionary nodes are built by a pool of at most n
+// workers. n <= 0 (the default) means runtime.GOMAXPROCS(0). The compiled
+// representation is identical for every worker count — parallelism changes
+// only the build wall-clock.
+func WithWorkers(n int) Option { return func(cfg *config) { cfg.workers = n } }
+
 // Stats describes a built representation.
 type Stats struct {
 	Strategy  Strategy
@@ -131,6 +140,12 @@ type Stats struct {
 }
 
 // Representation is a compiled adorned view ready to serve access requests.
+//
+// A Representation is immutable after Build and safe for any number of
+// concurrent Query/Exists callers: every iterator carries its own
+// enumeration state and the underlying structures and base indexes are
+// read-only. The base Database must not be mutated while queries run; use
+// Maintained for views over changing data.
 type Representation struct {
 	orig *cq.View // the view as given, possibly non-full
 	view *cq.View // the compiled full view
@@ -154,6 +169,9 @@ func Build(view *cq.View, db *relation.Database, opts ...Option) (*Representatio
 	cfg := &config{}
 	for _, o := range opts {
 		o(cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
 	}
 	full := view.ExtendToFull()
 	nv, err := cq.Normalize(full, db)
@@ -265,7 +283,7 @@ func (r *Representation) buildPrimitive(cfg *config) error {
 	if tau < 1 {
 		tau = 1
 	}
-	s, err := primitive.Build(r.inst, u, tau)
+	s, err := primitive.Build(r.inst, u, tau, primitive.Workers(cfg.workers))
 	if err != nil {
 		return err
 	}
@@ -315,7 +333,7 @@ func (r *Representation) buildDecomposition(cfg *config) error {
 			delta = make([]float64, len(d.Bags))
 		}
 	}
-	s, err := decomp.Build(r.nv, d, delta)
+	s, err := decomp.Build(r.nv, d, delta, decomp.Workers(cfg.workers))
 	if err != nil {
 		return err
 	}
@@ -364,7 +382,8 @@ func sanitizeCover(h cq.Hypergraph, u fractional.Cover) fractional.Cover {
 }
 
 // Query answers an access request given the bound-variable valuation in
-// head order.
+// head order. It is safe to call from any number of goroutines; the
+// returned Iterator is not itself safe for sharing between goroutines.
 func (r *Representation) Query(vb relation.Tuple) Iterator {
 	switch r.strategy {
 	case PrimitiveStrategy:
@@ -390,7 +409,8 @@ func (r *Representation) QueryArgs(args map[string]relation.Value) (Iterator, er
 }
 
 // Exists reports whether the access request has any answer — the boolean
-// semantics of non-full adorned views (Section 3.3).
+// semantics of non-full adorned views (Section 3.3). Like Query, it is safe
+// for concurrent use.
 func (r *Representation) Exists(vb relation.Tuple) bool {
 	_, ok := r.Query(vb).Next()
 	return ok

@@ -168,12 +168,15 @@ func TestMaintainedAutoRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 inserts > 10% of 20.
+	// 3 inserts > 10% of 20: the third insert triggers a background
+	// rebuild; Quiesce waits for the swap so the test observes it
+	// deterministically.
 	for i := 0; i < 3; i++ {
 		if err := m.Insert("R", relation.Tuple{100, relation.Value(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
+	m.Quiesce()
 	it, err := m.Query(relation.Tuple{100})
 	if err != nil {
 		t.Fatal(err)
@@ -190,6 +193,70 @@ func TestMaintainedAutoRebuild(t *testing.T) {
 	if err := m.Insert("R", relation.Tuple{1}); err == nil {
 		t.Error("arity mismatch must fail")
 	}
+}
+
+// TestMaintainedRebuildFailure forces a rebuild to fail (a buffered tuple
+// with a reserved sentinel value is rejected when the batch is applied)
+// and checks that no update is lost: the batch stays buffered, queries
+// keep serving the last good snapshot, the error surfaces exactly once
+// through Flush, and a later valid Flush applies the survivors.
+func TestMaintainedRebuildFailure(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewRelation("R", 2)
+	for i := 0; i < 10; i++ {
+		r.MustInsert(relation.Value(i), relation.Value(i+1))
+	}
+	db.Add(r)
+	view := cq.MustParse("V[bf](x, y) :- R(x, y)")
+	m, err := NewMaintained(view, db, 10, WithTau(1)) // manual flush only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert("R", relation.Tuple{50, 51}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert("R", relation.Tuple{relation.NegInf, 1}); err != nil {
+		t.Fatal(err) // buffering does not validate sentinels; apply does
+	}
+	if err := m.Flush(); err == nil {
+		t.Fatal("Flush must surface the failed rebuild")
+	}
+	if m.Pending() != 2 {
+		t.Fatalf("failed rebuild dropped the batch: pending = %d, want 2", m.Pending())
+	}
+	// Queries still serve the last good snapshot, without error.
+	it, err := m.Query(relation.Tuple{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Drain(it); len(got) != 1 || got[0][0] != 1 {
+		t.Fatalf("query after failed rebuild = %v", got)
+	}
+	// Remove the poison pill; the surviving insert must apply.
+	if !removePending(m, relation.Tuple{relation.NegInf, 1}) {
+		t.Fatal("could not remove poison change")
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	it, _ = m.Query(relation.Tuple{50})
+	if got := Drain(it); len(got) != 1 || got[0][0] != 51 {
+		t.Fatalf("surviving insert lost: %v", got)
+	}
+}
+
+// removePending drops one buffered change by tuple value — test-only
+// surgery standing in for an application-level dead-letter policy.
+func removePending(m *Maintained, tuple relation.Tuple) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, c := range m.pending {
+		if c.tuple.Equal(tuple) {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // TestOptimizeDelta exercises the Section-6 decomposition planner: tighter

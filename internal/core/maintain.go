@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"cqrep/internal/cq"
 	"cqrep/internal/relation"
@@ -12,25 +14,39 @@ import (
 // second open problem (Section 8). The simple, provably-correct strategy
 // implemented here is snapshot-plus-amortized-rebuild:
 //
-//   - Inserts and deletes are buffered; queries answer against the last
-//     compiled snapshot (no torn reads).
-//   - Once the buffered change count exceeds fraction·|D|, the next query
-//     (or an explicit Flush) applies the batch to the base relations and
-//     recompiles, giving amortized update cost O(T_C / (fraction·|D|)).
+//   - Inserts and deletes are buffered under a short write lock; queries
+//     answer against the last compiled snapshot (no torn reads).
+//   - Once the buffered change count exceeds fraction·|D|, a rebuild is
+//     triggered off the request path: the snapshot database is cloned, the
+//     batch applied to the clone, a fresh Representation compiled from it,
+//     and the (representation, database) pair swapped in atomically.
+//     Queries keep draining the old snapshot throughout — its relations are
+//     never mutated — giving amortized update cost O(T_C / (fraction·|D|))
+//     with zero read stalls.
 //
 // This is the baseline any dynamic structure must beat; the recent
 // dichotomy of Berkholz et al. [8] cited by the paper shows constant-time
 // maintenance is impossible for most joins, so an amortized rebuild is the
 // honest general-purpose answer.
+//
+// Maintained is safe for concurrent use: any number of goroutines may call
+// Query/Insert/Delete/Flush. Ownership of the database passes to Maintained
+// at construction; callers must not mutate it afterwards.
 type Maintained struct {
 	view *cq.View
-	db   *relation.Database
 	opts []Option
 
-	rep      *Representation
 	fraction float64
+	rep      atomic.Pointer[Representation]
+
+	mu       sync.RWMutex // guards db, pending, rebuilds, err
+	db       *relation.Database
 	pending  []change
 	rebuilds int
+	err      error
+
+	rebuilding atomic.Bool
+	wg         sync.WaitGroup
 }
 
 type change struct {
@@ -41,39 +57,53 @@ type change struct {
 
 // NewMaintained compiles the view and arms the rebuild policy. fraction is
 // the staleness budget relative to |D| (e.g. 0.1 rebuilds after 10% churn);
-// values ≤ 0 rebuild on every change.
+// values <= 0 rebuild on every change.
 func NewMaintained(view *cq.View, db *relation.Database, fraction float64, opts ...Option) (*Maintained, error) {
 	rep, err := Build(view, db, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Maintained{view: view, db: db, opts: opts, rep: rep, fraction: fraction}, nil
+	m := &Maintained{view: view, db: db, opts: opts, fraction: fraction}
+	m.rep.Store(rep)
+	return m, nil
 }
 
-// Insert buffers a tuple insertion into the named base relation.
+// Insert buffers a tuple insertion into the named base relation. When the
+// buffered churn crosses the staleness budget a background rebuild starts;
+// Insert itself never blocks on compilation.
 func (m *Maintained) Insert(rel string, t relation.Tuple) error {
+	return m.buffer(rel, t, false)
+}
+
+// Delete buffers a tuple deletion from the named base relation, with the
+// same non-blocking rebuild policy as Insert.
+func (m *Maintained) Delete(rel string, t relation.Tuple) error {
+	return m.buffer(rel, t, true)
+}
+
+func (m *Maintained) buffer(rel string, t relation.Tuple, del bool) error {
+	m.mu.Lock()
 	r, err := m.db.Relation(rel)
 	if err != nil {
+		m.mu.Unlock()
 		return err
 	}
-	if r.Arity() != len(t) {
+	if !del && r.Arity() != len(t) {
+		m.mu.Unlock()
 		return fmt.Errorf("core: inserting arity-%d tuple into %s/%d", len(t), rel, r.Arity())
 	}
-	m.pending = append(m.pending, change{rel: rel, tuple: t.Clone()})
-	return nil
-}
-
-// Delete buffers a tuple deletion from the named base relation.
-func (m *Maintained) Delete(rel string, t relation.Tuple) error {
-	if _, err := m.db.Relation(rel); err != nil {
-		return err
+	m.pending = append(m.pending, change{rel: rel, tuple: t.Clone(), delete: del})
+	stale := m.staleLocked()
+	m.mu.Unlock()
+	if stale {
+		m.triggerRebuild()
 	}
-	m.pending = append(m.pending, change{rel: rel, tuple: t.Clone(), delete: true})
 	return nil
 }
 
-// stale reports whether the buffered churn exceeds the policy budget.
-func (m *Maintained) stale() bool {
+// staleLocked reports whether the buffered churn exceeds the policy budget.
+// Callers hold m.mu (read or write).
+func (m *Maintained) staleLocked() bool {
 	if len(m.pending) == 0 {
 		return false
 	}
@@ -81,48 +111,159 @@ func (m *Maintained) stale() bool {
 	return float64(len(m.pending)) > math.Max(budget, 0)
 }
 
-// Flush applies all buffered changes and recompiles the representation.
-func (m *Maintained) Flush() error {
-	if len(m.pending) == 0 {
-		return nil
+// triggerRebuild starts a background rebuild unless one is already in
+// flight or a previous rebuild failed (a standing error pauses automatic
+// maintenance — retrying every failing build in a loop would burn CPU
+// without making progress; Flush retries after surfacing the error).
+func (m *Maintained) triggerRebuild() {
+	m.mu.RLock()
+	failed := m.err != nil
+	m.mu.RUnlock()
+	if failed {
+		return
 	}
-	for _, c := range m.pending {
-		r, err := m.db.Relation(c.rel)
+	if !m.rebuilding.CompareAndSwap(false, true) {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.rebuildBatch()
+	}()
+}
+
+// rebuildBatch performs one build-aside cycle: snapshot the pending batch,
+// clone the database, apply, compile, swap. It clears the rebuilding flag
+// and re-triggers itself when more churn accumulated during the build.
+func (m *Maintained) rebuildBatch() {
+	m.mu.RLock()
+	n := len(m.pending)
+	batch := m.pending[:n]
+	db := m.db
+	m.mu.RUnlock()
+
+	if n == 0 {
+		m.rebuilding.Store(false)
+		return
+	}
+
+	clone := db.Clone()
+	var applyErr error
+	for _, c := range batch {
+		r, err := clone.Relation(c.rel)
 		if err != nil {
-			return err
+			applyErr = err
+			break
 		}
 		if c.delete {
 			r.Delete(c.tuple)
 		} else if err := r.Insert(c.tuple); err != nil {
-			return err
+			applyErr = err
+			break
 		}
 	}
-	m.pending = m.pending[:0]
-	rep, err := Build(m.view, m.db, m.opts...)
-	if err != nil {
-		return err
+	var rep *Representation
+	if applyErr == nil {
+		rep, applyErr = Build(m.view, clone, m.opts...)
 	}
-	m.rep = rep
-	m.rebuilds++
-	return nil
+
+	m.mu.Lock()
+	if applyErr != nil {
+		// Keep the batch buffered so no update is lost; further automatic
+		// rebuilds are suppressed until Flush observes the error and
+		// retries explicitly (see triggerRebuild).
+		m.err = applyErr
+	} else {
+		m.db = clone
+		m.pending = append([]change(nil), m.pending[n:]...)
+		m.rebuilds++
+		m.rep.Store(rep)
+	}
+	stale := applyErr == nil && m.staleLocked()
+	m.mu.Unlock()
+
+	m.rebuilding.Store(false)
+	if stale {
+		m.triggerRebuild()
+	}
 }
 
-// Query answers an access request, rebuilding first when the snapshot is
-// past its staleness budget.
-func (m *Maintained) Query(vb relation.Tuple) (Iterator, error) {
-	if m.stale() {
-		if err := m.Flush(); err != nil {
-			return nil, err
+// Flush synchronously applies all buffered changes: it waits for any
+// in-flight background rebuild, then compiles whatever is still pending.
+func (m *Maintained) Flush() error {
+	for {
+		m.Quiesce()
+		m.mu.Lock()
+		n := len(m.pending)
+		err := m.err
+		m.err = nil
+		m.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		if m.rebuilding.CompareAndSwap(false, true) {
+			m.rebuildBatch()
 		}
 	}
-	return m.rep.Query(vb), nil
+}
+
+// Quiesce blocks until no background rebuild is in flight. Afterwards the
+// snapshot reflects every change that was buffered before the last rebuild
+// trigger (tests use it to observe rebuild effects deterministically).
+func (m *Maintained) Quiesce() { m.wg.Wait() }
+
+// Query answers an access request against the current snapshot. It never
+// blocks on a rebuild: when the snapshot is past its staleness budget a
+// background rebuild is triggered and the query proceeds against the old
+// (consistent) snapshot. Queries do not fail when maintenance does —
+// after a rebuild failure they keep serving the last good snapshot; the
+// failure is reported by Err and by the next Flush, which retries it.
+func (m *Maintained) Query(vb relation.Tuple) (Iterator, error) {
+	m.mu.RLock()
+	stale := m.staleLocked()
+	m.mu.RUnlock()
+	if stale {
+		m.triggerRebuild()
+	}
+	return m.rep.Load().Query(vb), nil
+}
+
+// Err returns the error of the most recent failed rebuild, if any, without
+// clearing it. While it is non-nil automatic rebuilds are paused and the
+// failed batch stays buffered; Flush clears the error and retries.
+func (m *Maintained) Err() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.err
+}
+
+// Exists reports whether the access request has any answer in the current
+// snapshot.
+func (m *Maintained) Exists(vb relation.Tuple) (bool, error) {
+	it, err := m.Query(vb)
+	if err != nil {
+		return false, err
+	}
+	_, ok := it.Next()
+	return ok, nil
 }
 
 // Pending returns the number of buffered, not-yet-applied changes.
-func (m *Maintained) Pending() int { return len(m.pending) }
+func (m *Maintained) Pending() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pending)
+}
 
 // Rebuilds returns how many times the representation was recompiled.
-func (m *Maintained) Rebuilds() int { return m.rebuilds }
+func (m *Maintained) Rebuilds() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.rebuilds
+}
 
 // Rep exposes the current snapshot's representation (for stats).
-func (m *Maintained) Rep() *Representation { return m.rep }
+func (m *Maintained) Rep() *Representation { return m.rep.Load() }

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cqrep/internal/relation"
+)
+
+// QuerySource is anything that can answer access requests — a
+// Representation, or any façade over one (the Maintained wrapper exposes a
+// compatible snapshot via Rep).
+type QuerySource interface {
+	Query(vb relation.Tuple) Iterator
+}
+
+// serverIteratorBuffer is the per-request channel capacity: deep enough to
+// decouple producer and consumer for typical result sizes, small enough
+// that an undrained request exerts backpressure instead of buffering an
+// unbounded result set.
+const serverIteratorBuffer = 256
+
+// Server is a batching front over a QuerySource: callers submit access
+// requests from any goroutine and receive a per-request Iterator
+// immediately, while a fixed pool of workers drains the underlying
+// representation and streams tuples into the iterators. It exists to drive
+// one compiled representation at hardware speed from many clients —
+// submission never blocks, fan-out is bounded by the worker count, and
+// per-request results arrive in enumeration order.
+//
+// Iterators returned by Submit/QueryBatch block in Next until their
+// request is served; requests are served in submission order. Close aborts
+// outstanding work: undrained iterators terminate early rather than hang.
+type Server struct {
+	src     QuerySource
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*serverReq
+	closed bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	requests atomic.Uint64
+	tuples   atomic.Uint64
+}
+
+type serverReq struct {
+	vb  relation.Tuple
+	out chan relation.Tuple
+}
+
+// NewServer starts a server over src with the given number of worker
+// goroutines; workers <= 0 means runtime.GOMAXPROCS(0). Callers must Close
+// the server when done.
+func NewServer(src QuerySource, workers int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{src: src, workers: workers, quit: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues one access request and returns its result stream. It
+// never blocks: the queue is unbounded and serving happens on the worker
+// pool. After Close, the returned iterator is immediately exhausted.
+func (s *Server) Submit(vb relation.Tuple) Iterator {
+	out := make(chan relation.Tuple, serverIteratorBuffer)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		close(out)
+		return &chanIterator{ch: out}
+	}
+	s.queue = append(s.queue, &serverReq{vb: vb.Clone(), out: out})
+	s.requests.Add(1)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return &chanIterator{ch: out}
+}
+
+// QueryBatch submits every valuation and returns the per-request iterators
+// in matching order. Up to the server's worker count of requests are
+// evaluated concurrently. Requests are served FIFO with bounded
+// per-request buffers, so consumers should drain the iterators roughly in
+// submission order: leaving an early iterator undrained while its result
+// set exceeds the buffer blocks the worker serving it (backpressure), and
+// with all workers blocked that way later requests wait until the early
+// ones drain or the server closes.
+func (s *Server) QueryBatch(vbs []relation.Tuple) []Iterator {
+	out := make([]Iterator, len(vbs))
+	for i, vb := range vbs {
+		out[i] = s.Submit(vb)
+	}
+	return out
+}
+
+// worker pops requests in FIFO order and serves them until the server
+// closes and the queue drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.serve(req)
+	}
+}
+
+// serve drains one request into its channel, aborting on Close so that a
+// consumer that stopped reading cannot wedge the worker forever.
+func (s *Server) serve(req *serverReq) {
+	defer close(req.out)
+	select {
+	case <-s.quit:
+		return
+	default:
+	}
+	it := s.src.Query(req.vb)
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return
+		}
+		select {
+		case req.out <- t:
+			s.tuples.Add(1)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// Close stops accepting requests, aborts in-flight enumerations, and waits
+// for the workers to exit. Iterators for unserved requests terminate empty.
+// Close is idempotent.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.quit)
+		s.cond.Broadcast()
+		s.wg.Wait()
+	})
+}
+
+// ServerStats counts the server's lifetime traffic.
+type ServerStats struct {
+	Workers  int
+	Requests uint64
+	Tuples   uint64
+}
+
+// Stats reports the traffic counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Workers: s.workers, Requests: s.requests.Load(), Tuples: s.tuples.Load()}
+}
+
+// chanIterator adapts a result channel to the Iterator interface.
+type chanIterator struct {
+	ch <-chan relation.Tuple
+}
+
+// Next blocks until the serving worker produces the next tuple, returning
+// false when the request's enumeration is complete (or was aborted by
+// Close).
+func (it *chanIterator) Next() (relation.Tuple, bool) {
+	t, ok := <-it.ch
+	return t, ok
+}

@@ -3,7 +3,9 @@ package decomp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cqrep/internal/cq"
@@ -31,6 +33,9 @@ type bag struct {
 // structure per bag of a V_b-connex tree decomposition, with dictionaries
 // refined by bottom-up semijoins (Algorithm 4). Access requests are
 // answered by Algorithm 5 with delay O~(|D|^h), h the δ-height.
+//
+// Once Build returns, a Structure is immutable and safe for concurrent
+// Query callers.
 type Structure struct {
 	nv    *cq.NormalizedView
 	gInst *join.Instance
@@ -47,10 +52,25 @@ type Structure struct {
 	elapsed time.Duration
 }
 
+// BuildOption customizes the construction without affecting the built
+// structure.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	workers int
+}
+
+// Workers bounds the number of goroutines used to build decomposition bags
+// (and, within each bag, its Theorem-1 dictionary). n <= 0 means
+// runtime.GOMAXPROCS(0). Bags land in id-indexed slots and the Algorithm-4
+// refinement stays sequential, so the structure is identical for every
+// worker count.
+func Workers(n int) BuildOption { return func(c *buildConfig) { c.workers = n } }
+
 // Build constructs the Theorem-2 structure for a normalized view under the
 // given connex decomposition and delay assignment δ (indexed by bag;
 // δ[0] is ignored and treated as 0). Bag thresholds are τ_t = |D|^{δ(t)}.
-func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64) (*Structure, error) {
+func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64, opts ...BuildOption) (*Structure, error) {
 	h := nv.Hypergraph()
 	if err := dec.Validate(h, nv.Bound); err != nil {
 		return nil, err
@@ -62,6 +82,13 @@ func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64) (*Structu
 		if delta[t] < 0 {
 			return nil, fmt.Errorf("decomp: negative delay exponent %v at bag %d", delta[t], t)
 		}
+	}
+	cfg := buildConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
 	gInst, err := join.NewInstance(nv)
@@ -81,22 +108,43 @@ func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64) (*Structu
 		widths: widths,
 		dbSize: databaseSize(nv),
 	}
-	// Bags are independent until the Algorithm-4 refinement, so build them
-	// concurrently; the refinement below stays sequential (post-order
-	// dependencies).
-	var wg sync.WaitGroup
+	// Bags are independent until the Algorithm-4 refinement, so a bounded
+	// pool of workers pulls bag ids from a shared counter; the refinement
+	// below stays sequential (post-order dependencies). The total worker
+	// budget is split between the bag pool and each bag's inner dictionary
+	// pool so that bag-pool × inner never exceeds cfg.workers.
+	poolSize := cfg.workers
+	if poolSize > len(dec.Bags)-1 {
+		poolSize = len(dec.Bags) - 1
+	}
+	inner := 1
+	if poolSize > 0 {
+		inner = cfg.workers / poolSize
+		if inner < 1 {
+			inner = 1
+		}
+	}
 	errs := make([]error, len(dec.Bags))
-	for t := 1; t < len(dec.Bags); t++ {
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(1) // bag 0 is the root placeholder
+	for w := 0; w < poolSize; w++ {
 		wg.Add(1)
-		go func(t int) {
+		go func() {
 			defer wg.Done()
-			b, err := s.buildBag(t, h)
-			if err != nil {
-				errs[t] = err
-				return
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(dec.Bags) {
+					return
+				}
+				b, err := s.buildBag(t, h, inner)
+				if err != nil {
+					errs[t] = err
+					continue
+				}
+				s.bags[t] = b
 			}
-			s.bags[t] = b
-		}(t)
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -142,7 +190,7 @@ func databaseSize(nv *cq.NormalizedView) int {
 // buildBag projects the touching relations onto the bag and assembles its
 // instance and (when free variables exist) its Theorem-1 structure with the
 // eq. (3)-optimal cover.
-func (s *Structure) buildBag(t int, h cq.Hypergraph) (*bag, error) {
+func (s *Structure) buildBag(t int, h cq.Hypergraph, workers int) (*bag, error) {
 	dec := s.dec
 	b := &bag{
 		id:        t,
@@ -201,7 +249,7 @@ func (s *Structure) buildBag(t int, h cq.Hypergraph) (*bag, error) {
 	// Rescale the LP cover so rounding never drops below exact coverage.
 	localU = normalizeCover(nvBag.Hypergraph(), localU)
 	b.tau = math.Max(1, math.Pow(float64(s.dbSize), s.delta[t]))
-	b.prim, err = primitive.Build(b.inst, localU, b.tau)
+	b.prim, err = primitive.Build(b.inst, localU, b.tau, primitive.Workers(workers))
 	if err != nil {
 		return nil, fmt.Errorf("decomp: bag %d structure: %w", t, err)
 	}

@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cqrep/internal/fractional"
@@ -24,6 +27,11 @@ type node struct {
 // Structure is the compressed representation of Theorem 1 for one adorned
 // view: the delay-balanced tree T and the heavy-pair dictionary D, plus the
 // linear-space base indexes held by the underlying join.Instance.
+//
+// Once built, a Structure is immutable and safe for any number of
+// concurrent Query callers (each Iter carries its own state). The two
+// mutating methods — RefineOnes and DropDictionary — are construction- and
+// ablation-time tools and must not run concurrently with queries.
 type Structure struct {
 	inst *join.Instance
 	est  *join.Estimator
@@ -39,6 +47,22 @@ type Structure struct {
 	elapsed   time.Duration
 }
 
+// BuildOption customizes the construction without affecting the built
+// structure: any option combination yields a byte-identical tree and
+// dictionary.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	workers int
+}
+
+// Workers bounds the number of goroutines used to build the heavy-pair
+// dictionary. n <= 0 means runtime.GOMAXPROCS(0). The output is
+// deterministic regardless of the worker count: tree nodes own disjoint key
+// ranges of the dictionary, so per-node results merge into the same map no
+// matter which worker computed them.
+func Workers(n int) BuildOption { return func(c *buildConfig) { c.workers = n } }
+
 // Build constructs the Theorem-1 structure for the instance under the
 // fractional edge cover u with threshold τ ≥ 1. The view must have at
 // least one free variable (all-bound views are served by a plain index; see
@@ -47,8 +71,8 @@ type Structure struct {
 // The dictionary covers the Proposition-13 candidate set (projections of
 // the E_Vb join). Use BuildExhaustive when heavy-but-empty requests must
 // also answer within the delay bound.
-func Build(inst *join.Instance, u fractional.Cover, tau float64) (*Structure, error) {
-	return build(inst, u, tau, false)
+func Build(inst *join.Instance, u fractional.Cover, tau float64, opts ...BuildOption) (*Structure, error) {
+	return build(inst, u, tau, false, opts)
 }
 
 // BuildExhaustive is Build with the exhaustive candidate stream: the
@@ -57,13 +81,20 @@ func Build(inst *join.Instance, u fractional.Cover, tau float64) (*Structure, er
 // (e.g. intersecting two large disjoint neighbor lists). This closes a gap
 // in the paper's Proposition 13 at the cost of preprocessing up to the
 // (T(I)/τ)^α heavy-valuation bound of Proposition 7.
-func BuildExhaustive(inst *join.Instance, u fractional.Cover, tau float64) (*Structure, error) {
-	return build(inst, u, tau, true)
+func BuildExhaustive(inst *join.Instance, u fractional.Cover, tau float64, opts ...BuildOption) (*Structure, error) {
+	return build(inst, u, tau, true, opts)
 }
 
-func build(inst *join.Instance, u fractional.Cover, tau float64, exhaustive bool) (*Structure, error) {
+func build(inst *join.Instance, u fractional.Cover, tau float64, exhaustive bool, opts []BuildOption) (*Structure, error) {
 	if tau < 1 {
 		return nil, fmt.Errorf("primitive: threshold τ = %v must be at least 1", tau)
+	}
+	cfg := buildConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
 	}
 	est, err := join.NewEstimator(inst, u)
 	if err != nil {
@@ -75,7 +106,7 @@ func build(inst *join.Instance, u fractional.Cover, tau float64, exhaustive bool
 	root, ok := s.rootInterval()
 	if ok {
 		s.root = s.buildTree(root, 0)
-		s.buildDictionary()
+		s.buildDictionary(cfg.workers)
 	}
 	s.elapsed = time.Since(start)
 	return s, nil
@@ -140,36 +171,78 @@ func dictKey(id int32, vb relation.Tuple) string {
 // every tree node w at level ℓ and every bound valuation v_b with
 // T(v_b, I(w)) > τ_ℓ, it stores one bit recording whether the join
 // restricted to I(w) under v_b is non-empty.
-func (s *Structure) buildDictionary() {
+//
+// Nodes are independent — each owns the dictionary keys prefixed with its
+// id — so they are processed by up to workers goroutines pulling node
+// indices from a shared counter (nodes near the root carry most of the
+// candidate work, so static striping would balance poorly). Per-node
+// results are merged afterwards; the final map is identical for every
+// worker count.
+func (s *Structure) buildDictionary(workers int) {
+	if workers > len(s.nodes) {
+		workers = len(s.nodes)
+	}
+	if workers <= 1 {
+		for _, n := range s.nodes {
+			s.nodeDictionary(n, s.dict)
+		}
+		return
+	}
+	results := make([]map[string]byte, len(s.nodes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.nodes) {
+					return
+				}
+				m := make(map[string]byte)
+				s.nodeDictionary(s.nodes[i], m)
+				results[i] = m
+			}
+		}()
+	}
+	wg.Wait()
+	for _, m := range results {
+		for k, bit := range m {
+			s.dict[k] = bit
+		}
+	}
+}
+
+// nodeDictionary computes one node's heavy-pair entries into dst.
+func (s *Structure) nodeDictionary(n *node, dst map[string]byte) {
 	candidates := join.BoundCandidates
 	if s.exhaustive {
 		candidates = join.BoundCandidatesExhaustive
 	}
-	for _, n := range s.nodes {
-		tauL := s.levelThreshold(n.level)
-		boxes := interval.Decompose(n.iv)
-		seen := make(map[string]bool)
-		for _, b := range boxes {
-			candidates(s.inst, b, func(vb relation.Tuple) bool {
-				key := string(vb.AppendEncode(nil))
-				if seen[key] {
-					return true
-				}
-				seen[key] = true
-				if s.est.TIntervalBound(vb, n.iv) <= tauL {
-					return true
-				}
-				bit := byte(0)
-				for _, eb := range boxes {
-					if join.NewEnum(s.inst, vb, eb).Exists() {
-						bit = 1
-						break
-					}
-				}
-				s.dict[dictKey(n.id, vb)] = bit
+	tauL := s.levelThreshold(n.level)
+	boxes := interval.Decompose(n.iv)
+	seen := make(map[string]bool)
+	for _, b := range boxes {
+		candidates(s.inst, b, func(vb relation.Tuple) bool {
+			key := string(vb.AppendEncode(nil))
+			if seen[key] {
 				return true
-			})
-		}
+			}
+			seen[key] = true
+			if s.est.TIntervalBound(vb, n.iv) <= tauL {
+				return true
+			}
+			bit := byte(0)
+			for _, eb := range boxes {
+				if join.NewEnum(s.inst, vb, eb).Exists() {
+					bit = 1
+					break
+				}
+			}
+			dst[dictKey(n.id, vb)] = bit
+			return true
+		})
 	}
 }
 

@@ -5,19 +5,26 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Relation is a named, fixed-arity set of tuples. Insertion order is not
 // semantically meaningful: the structures built on top always access tuples
 // through sorted indexes (see Index). Relations follow set semantics, as in
 // the paper; duplicate inserts are ignored at Build time.
+//
+// A quiescent relation (no Insert/Delete in flight) is safe for concurrent
+// readers: the deduplication fast path is an atomic load, and indexes are
+// immutable once built. Mutations must be externally serialized against
+// readers — the core package's Maintained does this by cloning before it
+// applies a batch.
 type Relation struct {
 	name  string
 	arity int
 	rows  []Tuple
 
 	mu      sync.Mutex
-	deduped bool
+	deduped atomic.Bool
 	indexes map[string]*Index
 }
 
@@ -73,7 +80,7 @@ func (r *Relation) Insert(t Tuple) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.rows = append(r.rows, t.Clone())
-	r.deduped = false
+	r.deduped.Store(false)
 	// Any previously built index is now stale.
 	r.indexes = make(map[string]*Index)
 	return nil
@@ -106,11 +113,17 @@ func (r *Relation) MustInsert(vals ...Value) {
 }
 
 // dedupe sorts rows lexicographically and removes duplicates. All read paths
-// call it first, so the relation behaves as a set.
+// call it first, so the relation behaves as a set. The atomic fast path
+// keeps concurrent readers off the mutex once the relation is quiescent
+// (the Store below happens-before any Load that observes true, so readers
+// also observe the sorted rows).
 func (r *Relation) dedupe() {
+	if r.deduped.Load() {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.deduped {
+	if r.deduped.Load() {
 		return
 	}
 	sort.Slice(r.rows, func(i, j int) bool { return r.rows[i].Less(r.rows[j]) })
@@ -121,7 +134,7 @@ func (r *Relation) dedupe() {
 		}
 	}
 	r.rows = out
-	r.deduped = true
+	r.deduped.Store(true)
 }
 
 // Contains reports whether the relation holds the given tuple.
@@ -152,9 +165,22 @@ func (r *Relation) Project(name string, cols []int) *Relation {
 	for _, t := range r.rows {
 		p.rows = append(p.rows, t.Project(cols))
 	}
-	p.deduped = false
 	p.dedupe()
 	return p
+}
+
+// Clone returns an independent copy of the relation sharing the (immutable)
+// tuple payloads but owning its row slice, so mutating the clone never
+// disturbs readers of the original. Indexes are not copied; the clone
+// rebuilds them lazily.
+func (r *Relation) Clone() *Relation {
+	r.dedupe()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := NewRelation(r.name, r.arity)
+	c.rows = append(make([]Tuple, 0, len(r.rows)), r.rows...)
+	c.deduped.Store(true)
+	return c
 }
 
 // SizeBytes estimates the in-memory footprint of the tuple payload: one
@@ -201,6 +227,17 @@ func (d *Database) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Clone returns a database whose relations are independent copies (see
+// Relation.Clone); it is the snapshot primitive behind build-aside
+// rebuilds.
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, r := range d.rels {
+		out.Add(r.Clone())
+	}
+	return out
 }
 
 // Size returns the total number of tuples across all relations — the |D| of
