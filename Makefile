@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke examples ci
 
 all: build
 
@@ -41,4 +41,13 @@ bench-smoke:
 
 smoke: bench-smoke
 
-ci: build vet fmt-check test race bench-smoke
+# Build and run every examples/ program — the public-API consumers. CI runs
+# this on every PR so the importable surface cannot silently break them.
+examples:
+	$(GO) build ./examples/...
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run "./$$d" || exit 1; \
+	done
+
+ci: build vet fmt-check test race bench-smoke examples

@@ -329,7 +329,10 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	for _, w := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			srv := core.NewServer(rep, w)
+			srv, err := core.NewServer(rep, w)
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer srv.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -1,0 +1,246 @@
+// Cancellation tests: a context cancelled mid-compilation or
+// mid-enumeration must surface ctx.Err() promptly and leave no goroutines
+// behind. All of them run under -race in CI.
+package cqrep_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cqrep"
+	"cqrep/internal/workload"
+)
+
+// waitNoLeak polls until the goroutine count returns to (about) the
+// baseline, failing with a full stack dump if it never does. A small
+// tolerance absorbs runtime/test-framework goroutines.
+func waitNoLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// cancelDuringCompile starts Compile on a workload whose full build takes
+// seconds, cancels after delay, and asserts the prompt ctx.Err() contract.
+func cancelDuringCompile(t *testing.T, view *cqrep.View, db *cqrep.Database, opts ...cqrep.Option) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep, err := cqrep.Compile(ctx, view, db, opts...)
+	elapsed := time.Since(start)
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Compile = (%v, %v), want (nil, context.Canceled); elapsed %v", rep, err, elapsed)
+	}
+	// "Prompt" allows generous slack for race-instrumented CI machines —
+	// workers only poll between candidates, so they finish their in-flight
+	// per-candidate join work first — but stays far below the uncancelled
+	// build (~8s plain, ~43s under -race for the star workload).
+	if elapsed > 10*time.Second {
+		t.Fatalf("Compile returned %v after cancellation, not promptly", elapsed)
+	}
+	waitNoLeak(t, base)
+}
+
+// TestCompileCancelPrimitive cancels a parallel Theorem-1 build (star
+// join, τ = 1 — several seconds of heavy-pair dictionary work across 4
+// workers) mid-flight.
+func TestCompileCancelPrimitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload")
+	}
+	db := workload.StarDB(7, 3, 700, 90)
+	cancelDuringCompile(t, workload.StarView(3), db,
+		cqrep.WithStrategy(cqrep.PrimitiveStrategy), cqrep.WithTau(1), cqrep.WithWorkers(4))
+}
+
+// TestCompileCancelDecomposition cancels a parallel Theorem-2 build (path
+// query over the Example-10 decomposition, per-bag structures on 4
+// workers) mid-flight.
+func TestCompileCancelDecomposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload")
+	}
+	db := workload.PathDB(11, 4, 1000, 60)
+	cancelDuringCompile(t, workload.PathView(4), db,
+		cqrep.WithStrategy(cqrep.DecompositionStrategy), cqrep.WithWorkers(4))
+}
+
+// TestAllCancelMidEnumeration cancels the context inside a range loop and
+// requires the sequence to stop within one tuple.
+func TestAllCancelMidEnumeration(t *testing.T) {
+	ctx0 := context.Background()
+	db := workload.TriangleDB(7, 120, 900)
+	view := cqrep.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	rep, err := cqrep.Compile(ctx0, view, db, cqrep.WithStrategy(cqrep.DirectStrategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a binding with several answers so cancellation hits mid-stream.
+	r, _ := db.Relation("R")
+	var binding cqrep.Tuple
+	total := 0
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		vb := cqrep.Tuple{row[0], row[1]}
+		if n := len(cqrep.Drain(rep.Query(vb))); n > total {
+			binding, total = vb, n
+		}
+	}
+	if total < 3 {
+		t.Fatalf("densest binding has only %d answers; workload too sparse for the test", total)
+	}
+	ctx, cancel := context.WithCancel(ctx0)
+	defer cancel()
+	got := 0
+	for range rep.All(ctx, binding) {
+		got++
+		if got == 2 {
+			cancel()
+		}
+	}
+	if got != 2 {
+		t.Fatalf("enumerated %d tuples after cancelling at 2 (full result: %d)", got, total)
+	}
+}
+
+// TestServerCancelFreesWorker submits a request on a soon-cancelled
+// context to a single-worker server with a 1-tuple buffer and never
+// drains it; cancellation must free the worker so a second request still
+// completes, and Close must leave no goroutines behind.
+func TestServerCancelFreesWorker(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx := context.Background()
+	db := workload.TriangleDB(7, 120, 900)
+	view := cqrep.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	rep, err := cqrep.Compile(ctx, view, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Relation("R")
+	var binding cqrep.Tuple
+	total := 0
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		vb := cqrep.Tuple{row[0], row[1]}
+		if n := len(cqrep.Drain(rep.Query(vb))); n > total {
+			binding, total = vb, n
+		}
+	}
+	if total < 3 {
+		t.Fatalf("densest binding has only %d answers; need a result larger than the server buffer", total)
+	}
+
+	srv, err := cqrep.NewServer(rep, cqrep.WithWorkers(1), cqrep.WithServerBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqCtx, cancel := context.WithCancel(ctx)
+	abandoned, err := srv.Submit(reqCtx, binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := abandoned.Next(); !ok {
+		t.Fatal("first request yielded nothing")
+	}
+	cancel() // abandon the rest; the worker must not stay wedged on the full buffer
+
+	done := make(chan []cqrep.Tuple, 1)
+	go func() {
+		it, err := srv.Submit(ctx, binding)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- cqrep.Drain(it)
+	}()
+	select {
+	case got := <-done:
+		if len(got) != total {
+			t.Fatalf("second request served %d tuples, want %d", len(got), total)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second request never served: cancelled request wedged the worker")
+	}
+	// The abandoned iterator terminates rather than hanging.
+	for {
+		if _, ok := abandoned.Next(); !ok {
+			break
+		}
+	}
+	srv.Close()
+	waitNoLeak(t, base)
+}
+
+// TestServerAllEarlyBreakFreesWorker breaks out of a Server.All range loop
+// after one tuple — the idiomatic consumer move — and requires the
+// single worker to come free for the next request: All must cancel its
+// request when the loop exits, not leave the worker wedged on the buffer.
+func TestServerAllEarlyBreakFreesWorker(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx := context.Background()
+	db := workload.TriangleDB(7, 120, 900)
+	view := cqrep.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	rep, err := cqrep.Compile(ctx, view, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Relation("R")
+	var binding cqrep.Tuple
+	total := 0
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		vb := cqrep.Tuple{row[0], row[1]}
+		if n := len(cqrep.Drain(rep.Query(vb))); n > total {
+			binding, total = vb, n
+		}
+	}
+	if total < 3 {
+		t.Fatalf("densest binding has only %d answers; need a result larger than the server buffer", total)
+	}
+	srv, err := cqrep.NewServer(rep, cqrep.WithWorkers(1), cqrep.WithServerBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := srv.All(ctx, binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range seq {
+		break // abandon after the first tuple
+	}
+	done := make(chan int, 1)
+	go func() {
+		it, err := srv.Submit(ctx, binding)
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- len(cqrep.Drain(it))
+	}()
+	select {
+	case got := <-done:
+		if got != total {
+			t.Fatalf("request after abandoned All served %d tuples, want %d", got, total)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("request never served: abandoned All range loop wedged the worker")
+	}
+	srv.Close()
+	waitNoLeak(t, base)
+}

@@ -7,7 +7,9 @@
 //	cqbench -parallel           # parallel build / concurrent serving scaling
 //
 // Scales are edge/tuple counts; all generators are seeded and
-// deterministic.
+// deterministic. cqbench drives the suite through the public cqrep
+// experiment facade (Experiments / RunExperiment) — like cqcli, it
+// imports nothing under internal/.
 package main
 
 import (
@@ -17,11 +19,8 @@ import (
 	"strconv"
 	"strings"
 
-	"cqrep/internal/bench"
-	"cqrep/internal/experiments"
+	"cqrep"
 )
-
-const numExperiments = 16
 
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids (E1..E16) or 'all'")
@@ -37,14 +36,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cfg := cqrep.ExperimentConfig{Scale: *n, Queries: *queries, Seed: *seed, Workers: workers}
 
 	selected := map[string]bool{}
 	switch {
 	case *parallel:
 		selected["E16"] = true
 	case *run == "all":
-		for i := 1; i <= numExperiments; i++ {
-			selected[fmt.Sprintf("E%d", i)] = true
+		for _, e := range cqrep.Experiments() {
+			selected[e.ID] = true
 		}
 	default:
 		for _, id := range strings.Split(*run, ",") {
@@ -52,53 +52,19 @@ func main() {
 		}
 	}
 
-	runners := []struct {
-		id  string
-		fn  func() []*bench.Table
-		des string
-	}{
-		{"E1", func() []*bench.Table { return experiments.E1Triangle(*n, *queries, *seed) },
-			"triangle V^bfb space/delay tradeoff (Examples 1, 5)"},
-		{"E2", func() []*bench.Table { return experiments.E2AllBound(*n, *queries, *seed) },
-			"all-bound views (Proposition 1)"},
-		{"E3", func() []*bench.Table { return experiments.E3DRep([]int{*n / 4, *n / 2, *n}, *seed) },
-			"d-representation constant delay (Propositions 2, 4)"},
-		{"E4", func() []*bench.Table { return experiments.E4LoomisWhitney(*n/3, *queries, *seed) },
-			"Loomis-Whitney LW3 (Example 6)"},
-		{"E5", func() []*bench.Table { return experiments.E5StarSlack(*n/8, *queries, *seed) },
-			"star join slack (Example 7); scale n/8 — preprocessing is Θ(N^3) for S3"},
-		{"E6", func() []*bench.Table { return experiments.E6PathDecomp(*n/8, *queries, *seed) },
-			"path query: Theorem 1 vs Theorem 2 (Example 10); scale n/8 — Theorem-1 preprocessing is Θ(|D|^3)"},
-		{"E7", func() []*bench.Table { return experiments.E7SetIntersection(*n, *queries, *seed) },
-			"fast set intersection (Section 3.1, [13])"},
-		{"E8", func() []*bench.Table { return experiments.E8RunningExample() },
-			"running example tree and dictionary (Examples 13-15, Figure 3)"},
-		{"E9", func() []*bench.Table { return experiments.E9Optimizer(*n) },
-			"MinDelayCover / MinSpaceCover LPs (Section 6, Figure 5)"},
-		{"E10", func() []*bench.Table { return experiments.E10Connex() },
-			"connex decompositions and widths (Figures 2, 7; Examples 9, 16, 17)"},
-		{"E11", func() []*bench.Table { return experiments.E11Coauthor(*n, *queries, *seed) },
-			"co-author graph application (introduction)"},
-		{"E12", func() []*bench.Table { return experiments.E12AnswerTime(*n/2, *queries, *seed) },
-			"answer-time model validation (Theorem 1)"},
-		{"E13", func() []*bench.Table { return experiments.E13DictionaryAblation(*n, *queries, *seed) },
-			"ablation: heavy-pair dictionary on/off"},
-		{"E14", func() []*bench.Table { return experiments.E14BuildScaling([]int{*n / 4, *n / 2, *n}, *seed) },
-			"ablation: compression time scaling"},
-		{"E15", func() []*bench.Table { return experiments.E15DeltaShapes(*n/4, *queries, *seed) },
-			"ablation: delay-assignment shapes"},
-		{"E16", func() []*bench.Table { return experiments.E16Parallel(*n/8, *queries, *seed, workers) },
-			"parallel compilation speedup and core.Server throughput scaling"},
-	}
-
 	ran := 0
-	for _, r := range runners {
-		if !selected[r.id] {
+	for _, e := range cqrep.Experiments() {
+		if !selected[e.ID] {
 			continue
 		}
 		ran++
-		fmt.Printf("=== %s: %s ===\n\n", r.id, r.des)
-		for _, tb := range r.fn() {
+		fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Description)
+		tables, err := cqrep.RunExperiment(e.ID, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		for _, tb := range tables {
 			fmt.Println(tb.String())
 		}
 	}

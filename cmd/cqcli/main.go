@@ -7,23 +7,27 @@
 // building, the tool reads one access request per line on stdin: bound
 // values separated by spaces (in the view's bound-variable order), and
 // prints the matching free tuples. Options mirror the library's planner:
-// -tau, -space, -delay, -strategy.
+// -tau, -space, -delay, -strategy. Ctrl-C cancels an in-flight
+// compilation or enumeration cleanly.
+//
+// cqcli is written entirely against the public cqrep package — it is the
+// reference out-of-tree consumer of the API.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
-	"cqrep/internal/core"
-	"cqrep/internal/cq"
-	"cqrep/internal/relation"
+	"cqrep"
 )
 
 type relFlags []string
@@ -38,19 +42,25 @@ func main() {
 	tau := flag.Float64("tau", 0, "Theorem-1 threshold τ (0 = unset)")
 	space := flag.Float64("space", 0, "space budget in entries (planner minimizes delay)")
 	delay := flag.Float64("delay", 0, "delay budget τ (planner minimizes space)")
-	strategy := flag.String("strategy", "auto", "auto|primitive|decomposition|materialized|direct")
+	strategy := flag.String("strategy", "auto", "auto|primitive|decomposition|materialized|direct|allbound")
+	workers := flag.Int("workers", 0, "compilation worker goroutines (0 = GOMAXPROCS)")
 	limit := flag.Int("limit", 20, "max tuples printed per request")
 	flag.Parse()
+
+	// Ctrl-C cancels compilation and any in-flight enumeration instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *viewStr == "" || len(rels) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: cqcli -view '...' -rel NAME=FILE [-rel ...]")
 		os.Exit(2)
 	}
-	view, err := cq.Parse(*viewStr)
+	view, err := cqrep.Parse(*viewStr)
 	if err != nil {
 		fatal(err)
 	}
-	db := relation.NewDatabase()
+	db := cqrep.NewDatabase()
 	for _, spec := range rels {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -64,31 +74,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded %s: %d tuples\n", name, rel.Len())
 	}
 
-	var opts []core.Option
+	opts := []cqrep.Option{cqrep.WithWorkers(*workers)}
 	switch *strategy {
 	case "auto":
 	case "primitive":
-		opts = append(opts, core.WithStrategy(core.PrimitiveStrategy))
+		opts = append(opts, cqrep.WithStrategy(cqrep.PrimitiveStrategy))
 	case "decomposition":
-		opts = append(opts, core.WithStrategy(core.DecompositionStrategy))
+		opts = append(opts, cqrep.WithStrategy(cqrep.DecompositionStrategy))
 	case "materialized":
-		opts = append(opts, core.WithStrategy(core.MaterializedStrategy))
+		opts = append(opts, cqrep.WithStrategy(cqrep.MaterializedStrategy))
 	case "direct":
-		opts = append(opts, core.WithStrategy(core.DirectStrategy))
+		opts = append(opts, cqrep.WithStrategy(cqrep.DirectStrategy))
+	case "allbound":
+		opts = append(opts, cqrep.WithStrategy(cqrep.AllBoundStrategy))
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 	if *tau > 0 {
-		opts = append(opts, core.WithTau(*tau))
+		opts = append(opts, cqrep.WithTau(*tau))
 	}
 	if *space > 0 {
-		opts = append(opts, core.WithSpaceBudget(*space))
+		opts = append(opts, cqrep.WithSpaceBudget(*space))
 	}
 	if *delay > 0 {
-		opts = append(opts, core.WithDelayBudget(*delay))
+		opts = append(opts, cqrep.WithDelayBudget(*delay))
 	}
 
-	rep, err := core.Build(view, db, opts...)
+	rep, err := cqrep.Compile(ctx, view, db, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -99,9 +111,29 @@ func main() {
 	free := rep.FreeNames()
 	fmt.Fprintf(os.Stderr, "bound order: %v; output columns: %v\n", bound, free)
 
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	// Stdin is read on its own goroutine so Ctrl-C still exits the process
+	// while the main loop is blocked waiting for a request line (the signal
+	// context suppresses SIGINT's default kill behavior).
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	for {
+		var raw string
+		var open bool
+		select {
+		case <-ctx.Done():
+			interrupted()
+		case raw, open = <-lines:
+			if !open {
+				return
+			}
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
@@ -110,7 +142,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "want %d bound values (%v), got %d\n", len(bound), bound, len(fields))
 			continue
 		}
-		vb := make(relation.Tuple, len(fields))
+		vb := make(cqrep.Tuple, len(fields))
 		ok := true
 		for i, f := range fields {
 			v, err := strconv.ParseInt(f, 10, 64)
@@ -119,33 +151,58 @@ func main() {
 				ok = false
 				break
 			}
-			vb[i] = relation.Value(v)
+			vb[i] = cqrep.Value(v)
 		}
 		if !ok {
 			continue
 		}
-		it := rep.Query(vb)
 		count := 0
-		for {
-			t, found := it.Next()
-			if !found {
-				break
-			}
+		for t := range rep.All(ctx, vb) {
 			count++
 			if count <= *limit {
 				fmt.Println(t)
 			}
 		}
+		if ctx.Err() != nil {
+			interrupted()
+		}
 		fmt.Fprintf(os.Stderr, "%d tuples\n", count)
 	}
 }
 
+// interrupted reports a Ctrl-C abort and exits with the conventional
+// SIGINT status (128+2), so scripts can tell an aborted session from a
+// completed one.
+func interrupted() {
+	fmt.Fprintln(os.Stderr, "interrupted")
+	os.Exit(130)
+}
+
+// fatal prints the failure and exits. The typed sentinel errors of the
+// public API get actionable one-liners; anything else prints as-is.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cqcli:", err)
+	switch {
+	case errors.Is(err, cqrep.ErrInfeasibleBudget):
+		fmt.Fprintln(os.Stderr, "cqcli: the requested -space/-delay budget is infeasible for this view and data; relax it or drop it to let the planner choose")
+		fmt.Fprintln(os.Stderr, "cqcli:", err)
+	case errors.Is(err, cqrep.ErrBadView):
+		fmt.Fprintln(os.Stderr, "cqcli: the -view does not compile against the loaded relations (check the syntax, relation names, and arities)")
+		fmt.Fprintln(os.Stderr, "cqcli:", err)
+	case errors.Is(err, cqrep.ErrStrategyMismatch):
+		fmt.Fprintln(os.Stderr, "cqcli: the forced -strategy cannot serve this view's adornment; try -strategy auto")
+		fmt.Fprintln(os.Stderr, "cqcli:", err)
+	case errors.Is(err, cqrep.ErrBadOption):
+		fmt.Fprintln(os.Stderr, "cqcli: an option argument is out of range")
+		fmt.Fprintln(os.Stderr, "cqcli:", err)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "cqcli: interrupted")
+	default:
+		fmt.Fprintln(os.Stderr, "cqcli:", err)
+	}
 	os.Exit(1)
 }
 
-func loadCSV(name, file string) (*relation.Relation, error) {
+func loadCSV(name, file string) (*cqrep.Relation, error) {
 	f, err := os.Open(file)
 	if err != nil {
 		return nil, err
@@ -153,7 +210,7 @@ func loadCSV(name, file string) (*relation.Relation, error) {
 	defer f.Close()
 	rd := csv.NewReader(f)
 	rd.FieldsPerRecord = -1
-	var rel *relation.Relation
+	var rel *cqrep.Relation
 	for {
 		rec, err := rd.Read()
 		if err != nil {
@@ -163,15 +220,15 @@ func loadCSV(name, file string) (*relation.Relation, error) {
 			return nil, fmt.Errorf("%s: %w", file, err)
 		}
 		if rel == nil {
-			rel = relation.NewRelation(name, len(rec))
+			rel = cqrep.NewRelation(name, len(rec))
 		}
-		t := make(relation.Tuple, len(rec))
+		t := make(cqrep.Tuple, len(rec))
 		for i, c := range rec {
 			v, err := strconv.ParseInt(strings.TrimSpace(c), 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("%s: non-integer cell %q", file, c)
 			}
-			t[i] = relation.Value(v)
+			t[i] = cqrep.Value(v)
 		}
 		if err := rel.Insert(t); err != nil {
 			return nil, err

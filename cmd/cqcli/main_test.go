@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"cqrep/internal/relation"
+	"cqrep"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -29,7 +29,7 @@ func TestLoadCSV(t *testing.T) {
 	if rel.Len() != 3 { // duplicate (1,2) deduplicated
 		t.Errorf("Len = %d, want 3", rel.Len())
 	}
-	if !rel.Contains(relation.Tuple{3, 1}) {
+	if !rel.Contains(cqrep.Tuple{3, 1}) {
 		t.Error("whitespace-trimmed row missing")
 	}
 }

@@ -1,0 +1,140 @@
+package cqrep
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"cqrep/internal/core"
+)
+
+// Representation is a compiled adorned view ready to serve access
+// requests. It is immutable after Compile and safe for any number of
+// concurrent callers; every enumeration (All sequence or legacy Iterator)
+// carries its own state. The base Database must not be mutated while
+// queries run; use Maintained for views over changing data.
+type Representation struct {
+	rep *core.Representation
+}
+
+// Compile builds the compressed representation of the adorned view over
+// db, choosing the structure with the Section-6 planner unless options
+// force one. Non-full views (boolean or projected heads) are extended to
+// full views first; their boolean answer is "is the enumeration
+// non-empty".
+//
+// ctx cancels compilation: the parallel Theorem-1/Theorem-2 construction
+// pools poll it and Compile returns ctx.Err() promptly — use it to bound
+// expensive builds (deadlines) or abandon them (caller went away). A nil
+// ctx means context.Background().
+//
+// Failures wrap the package's sentinel errors: ErrBadView,
+// ErrInfeasibleBudget, ErrStrategyMismatch, ErrUnknownStrategy,
+// ErrBadOption.
+func Compile(ctx context.Context, view *View, db *Database, opts ...Option) (*Representation, error) {
+	cfg := newConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	rep, err := core.BuildContext(ctx, view, db, cfg.build...)
+	if err != nil {
+		return nil, err
+	}
+	return &Representation{rep: rep}, nil
+}
+
+// All enumerates the answers to one access request as a range-over-func
+// sequence: binding is the bound-variable valuation in BoundNames order,
+// and the sequence yields matching free-variable tuples in the
+// representation's enumeration order (identical to the legacy Query
+// iterator's order, tuple for tuple).
+//
+//	for t := range rep.All(ctx, binding) {
+//	    ...
+//	}
+//
+// The sequence checks ctx between tuples, so cancelling it ends even a
+// huge enumeration promptly; breaking out of the range loop simply stops
+// the pull — nothing leaks either way, and the sequence is resumable-free
+// (each call to All starts a fresh enumeration).
+//
+// A binding of the wrong arity is a programming error and panics with an
+// error wrapping ErrBadBinding; use Bind or AllArgs for a checked path.
+func (r *Representation) All(ctx context.Context, binding Tuple) iter.Seq[Tuple] {
+	checkBindingArity(binding, len(r.rep.BoundNames()))
+	return allSeq(ctx, func() Iterator { return r.rep.Query(binding) })
+}
+
+// checkBindingArity enforces the All contract: arity mismatches are
+// programming errors and panic with an error wrapping ErrBadBinding.
+func checkBindingArity(binding Tuple, n int) {
+	if len(binding) != n {
+		panic(fmt.Errorf("%w: binding has %d values for %d bound variables", ErrBadBinding, len(binding), n))
+	}
+}
+
+// allSeq is the shared enumeration contract behind Representation.All and
+// Maintained.All: each ranging opens a fresh iterator, ctx is polled
+// between tuples, and breaking out of the loop simply stops the pull.
+func allSeq(ctx context.Context, open func() Iterator) iter.Seq[Tuple] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return func(yield func(Tuple) bool) {
+		it := open()
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			t, ok := it.Next()
+			if !ok || !yield(t) {
+				return
+			}
+		}
+	}
+}
+
+// AllArgs is All with the binding given by variable name; unlike All it
+// reports a mismatched binding as an error wrapping ErrBadBinding instead
+// of panicking.
+func (r *Representation) AllArgs(ctx context.Context, args map[string]Value) (iter.Seq[Tuple], error) {
+	vb, err := r.Bind(args)
+	if err != nil {
+		return nil, err
+	}
+	return r.All(ctx, vb), nil
+}
+
+// Query answers an access request through the legacy pull iterator. It is
+// safe to call from any number of goroutines; the returned Iterator is
+// not itself safe for sharing between goroutines. New code should prefer
+// All, which adds cancellation; both enumerate in the same order.
+func (r *Representation) Query(binding Tuple) Iterator { return r.rep.Query(binding) }
+
+// QueryArgs is Query with the binding given by variable name; a valuation
+// that does not match the view's bound variables fails with an error
+// wrapping ErrBadBinding.
+func (r *Representation) QueryArgs(args map[string]Value) (Iterator, error) {
+	return r.rep.QueryArgs(args)
+}
+
+// Bind resolves named bound values into a valuation in BoundNames order,
+// wrapping failures with ErrBadBinding.
+func (r *Representation) Bind(args map[string]Value) (Tuple, error) { return r.rep.Bind(args) }
+
+// Exists reports whether the access request has any answer — the boolean
+// semantics of non-full adorned views (Section 3.3). Safe for concurrent
+// use.
+func (r *Representation) Exists(binding Tuple) bool { return r.rep.Exists(binding) }
+
+// Stats returns the build statistics.
+func (r *Representation) Stats() Stats { return r.rep.Stats() }
+
+// View returns the (full) compiled view.
+func (r *Representation) View() *View { return r.rep.View() }
+
+// FreeNames returns the output column names of enumerated tuples.
+func (r *Representation) FreeNames() []string { return r.rep.FreeNames() }
+
+// BoundNames returns the expected valuation order for All/Query bindings.
+func (r *Representation) BoundNames() []string { return r.rep.BoundNames() }

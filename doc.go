@@ -1,13 +1,48 @@
-// Package cqrep is a from-scratch Go reproduction of "Compressed
-// Representations of Conjunctive Query Results" (Shaleen Deep and Paraschos
-// Koutris, PODS 2018, arXiv:1709.06186).
-//
-// The library compiles an adorned view — a conjunctive query whose head
+// Package cqrep compiles adorned views — conjunctive queries whose head
 // variables are marked bound (b) or free (f) — over a relational database
-// into a compressed representation that answers access requests (valuations
+// into compressed representations that answer access requests (valuations
 // of the bound variables) by enumerating matching free-variable tuples,
-// with a tunable tradeoff between the space of the representation and the
-// per-tuple delay:
+// with a tunable tradeoff between representation space and per-tuple
+// delay. It is a from-scratch Go reproduction of "Compressed
+// Representations of Conjunctive Query Results" (Shaleen Deep and
+// Paraschos Koutris, PODS 2018, arXiv:1709.06186), grown into a
+// concurrent serving system.
+//
+// # Compiling and enumerating
+//
+// Compile is the single entry point. It is context-aware: cancelling ctx
+// aborts even a parallel multi-second build promptly.
+//
+//	view := cqrep.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+//	rep, err := cqrep.Compile(ctx, view, db,
+//	    cqrep.WithSpaceBudget(1e6), // Section-6 planner: minimize delay under budget
+//	    cqrep.WithWorkers(8))       // parallel compilation
+//
+// Answers stream through Go 1.23+ range-over-func iteration; the sequence
+// checks ctx between tuples, so a cancelled context ends even a huge
+// enumeration promptly:
+//
+//	for t := range rep.All(ctx, cqrep.Tuple{1, 3}) {
+//	    ...
+//	}
+//
+// The legacy pull iterator (rep.Query(vb).Next()) remains available and
+// enumerates in exactly the same order.
+//
+// Failures wrap typed sentinel errors — ErrBadView, ErrInfeasibleBudget,
+// ErrBadBinding, ErrClosed, ErrStrategyMismatch, ErrUnknownStrategy,
+// ErrBadOption — so callers branch with errors.Is instead of matching
+// message strings.
+//
+// # Serving and maintenance
+//
+// NewServer puts a bounded worker pool in front of a compiled
+// representation for many concurrent clients; every submission is tied to
+// a context, so an abandoned client frees its worker. NewMaintained wraps
+// a representation with buffered updates and amortized build-aside
+// rebuilds: queries never stall on compilation.
+//
+// # Paper structure map
 //
 //   - internal/primitive implements Theorem 1: a delay-balanced tree over
 //     f-intervals plus a heavy-pair dictionary, with space
@@ -15,16 +50,16 @@
 //   - internal/decomp implements Theorem 2: per-bag Theorem-1 structures
 //     over a V_b-connex tree decomposition, with space O~(|D| + |D|^f) and
 //     delay O~(|D|^h) for the δ-width f and δ-height h.
-//   - internal/core is the public facade and the Section-6 planner
-//     (MinDelayCover / MinSpaceCover), plus the production extensions:
-//     parallel compilation (WithWorkers), concurrent serving (Server),
-//     and maintenance under updates (Maintained).
+//   - internal/core implements the Section-6 planner (MinDelayCover /
+//     MinSpaceCover) plus the production extensions: parallel compilation,
+//     concurrent serving, and maintenance under updates.
 //
-// Compilation is parallel and deterministic: Build with any worker count
+// Compilation is parallel and deterministic: Compile with any worker count
 // produces the same structure. Built representations are immutable and
 // safe for concurrent queries.
 //
-// See README.md for the quickstart, DESIGN.md for the system inventory,
-// EXPERIMENTS.md for the paper-versus-measured record, and cmd/cqbench
-// for the experiment runner.
+// See README.md for the quickstart, DESIGN.md for the system inventory
+// and the public-API-to-internal map, EXPERIMENTS.md for the
+// paper-versus-measured record, and cmd/cqbench for the experiment
+// runner.
 package cqrep

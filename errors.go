@@ -1,0 +1,35 @@
+package cqrep
+
+import "cqrep/internal/core"
+
+// Sentinel errors of the public API. Every failure returned by Compile,
+// the binding helpers, and Server wraps one of these, so callers branch
+// with errors.Is / errors.As instead of matching message strings:
+//
+//	rep, err := cqrep.Compile(ctx, view, db, cqrep.WithDelayBudget(2))
+//	switch {
+//	case errors.Is(err, cqrep.ErrInfeasibleBudget):
+//		// relax the budget and retry
+//	case errors.Is(err, context.Canceled):
+//		// the caller gave up mid-compilation
+//	}
+var (
+	// ErrInfeasibleBudget: the Section-6 planner cannot realize the
+	// requested space or delay budget for this view and database.
+	ErrInfeasibleBudget = core.ErrInfeasibleBudget
+	// ErrBadBinding: an access request's valuation does not match the
+	// view's bound variables (wrong arity, unknown or missing name).
+	ErrBadBinding = core.ErrBadBinding
+	// ErrClosed: the request was submitted to a closed Server.
+	ErrClosed = core.ErrClosed
+	// ErrBadView: the view cannot be parsed or compiled as given (syntax,
+	// unknown base relation, arity mismatch).
+	ErrBadView = core.ErrBadView
+	// ErrUnknownStrategy: a Strategy value outside the menu.
+	ErrUnknownStrategy = core.ErrUnknownStrategy
+	// ErrStrategyMismatch: the forced strategy cannot serve this view.
+	ErrStrategyMismatch = core.ErrStrategyMismatch
+	// ErrBadOption: an option argument outside its domain (server buffer
+	// < 1, negative budget, ...).
+	ErrBadOption = core.ErrBadOption
+)

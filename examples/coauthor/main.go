@@ -10,31 +10,50 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"time"
 
-	"cqrep/internal/core"
-	"cqrep/internal/relation"
-	"cqrep/internal/workload"
+	"cqrep"
 )
 
+// coauthorDB generates an author–paper relation with power-law paper
+// counts per author (a few prolific authors, a long tail), the shape of
+// the DBLP workload.
+func coauthorDB(seed int64, authors, papers, entries int) *cqrep.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := cqrep.NewDatabase()
+	r := cqrep.NewRelation("R", 2)
+	for k := 0; k < entries; k++ {
+		// Inverse-CDF sampling of a Zipf-ish author distribution.
+		a := cqrep.Value(float64(authors) * math.Pow(rng.Float64(), 3))
+		p := cqrep.Value(rng.Intn(papers))
+		r.MustInsert(a, p)
+	}
+	db.Add(r)
+	return db
+}
+
 func main() {
+	ctx := context.Background()
 	const entries = 20000
-	db := workload.CoauthorDB(7, entries/8, entries/4, entries)
+	db := coauthorDB(7, entries/8, entries/4, entries)
 	r, _ := db.Relation("R")
 	fmt.Printf("author-paper pairs: %d\n", r.Len())
 
 	// The full view carries the witnessing paper; projecting it away is the
 	// co-author pair. (The library compiles boolean/projected views by
 	// extending them to full views, Section 3.3.)
-	view := workload.CoauthorView()
+	view := cqrep.MustParse("V[bff](x, y, p) :- R(x, p), R(y, p)")
 
-	compressed, err := core.Build(view, db)
+	compressed, err := cqrep.Compile(ctx, view, db)
 	if err != nil {
 		log.Fatal(err)
 	}
-	materialized, err := core.Build(view, db, core.WithStrategy(core.MaterializedStrategy))
+	materialized, err := cqrep.Compile(ctx, view, db, cqrep.WithStrategy(cqrep.MaterializedStrategy))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,11 +63,11 @@ func main() {
 	fmt.Printf("materialized: %8d tuples,  %10d bytes\n", ms.Entries, ms.Bytes)
 
 	// Neighborhood API: distinct co-authors of the busiest author.
-	counts := map[relation.Value]int{}
+	counts := map[cqrep.Value]int{}
 	for i := 0; i < r.Len(); i++ {
 		counts[r.Row(i)[0]]++
 	}
-	var busiest relation.Value
+	var busiest cqrep.Value
 	best := -1
 	for a, c := range counts {
 		if c > best {
@@ -56,13 +75,8 @@ func main() {
 		}
 	}
 	start := time.Now()
-	it := compressed.Query(relation.Tuple{busiest})
-	coauthors := map[relation.Value]bool{}
-	for {
-		t, ok := it.Next()
-		if !ok {
-			break
-		}
+	coauthors := map[cqrep.Value]bool{}
+	for t := range compressed.All(ctx, cqrep.Tuple{busiest}) {
 		if t[0] != busiest {
 			coauthors[t[0]] = true // t = (y, p); project the paper away
 		}

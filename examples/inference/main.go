@@ -17,26 +17,59 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
-	"cqrep/internal/bench"
-	"cqrep/internal/core"
-	"cqrep/internal/cq"
-	"cqrep/internal/relation"
-	"cqrep/internal/workload"
+	"cqrep"
 )
 
+// symmetricGraph generates an undirected friendship relation: each random
+// edge is inserted in both directions, self-loops skipped.
+func symmetricGraph(rng *rand.Rand, name string, nodes, edges int) *cqrep.Relation {
+	r := cqrep.NewRelation(name, 2)
+	for k := 0; k < edges; k++ {
+		a := cqrep.Value(rng.Intn(nodes))
+		b := cqrep.Value(rng.Intn(nodes))
+		if a == b {
+			continue
+		}
+		r.MustInsert(a, b)
+		r.MustInsert(b, a)
+	}
+	return r
+}
+
+// maxDelay enumerates one access request and reports the largest gap
+// between consecutive tuples (including the gap before the first and the
+// one after the last) — the paper's delay measure.
+func maxDelay(ctx context.Context, rep *cqrep.Representation, vb cqrep.Tuple) time.Duration {
+	var worst time.Duration
+	last := time.Now()
+	for range rep.All(ctx, vb) {
+		if d := time.Since(last); d > worst {
+			worst = d
+		}
+		last = time.Now()
+	}
+	if d := time.Since(last); d > worst {
+		worst = d
+	}
+	return worst
+}
+
 func main() {
+	ctx := context.Background()
 	const people = 900
 	const friendships = 9000
 	rng := rand.New(rand.NewSource(17))
-	db := relation.NewDatabase()
-	db.Add(workload.SymmetricGraph(rng, "F", people, friendships))
-	smokes := relation.NewRelation("S", 1)
+	db := cqrep.NewDatabase()
+	db.Add(symmetricGraph(rng, "F", people, friendships))
+	smokes := cqrep.NewRelation("S", 1)
 	for p := 0; p < people/5; p++ {
-		smokes.MustInsert(relation.Value(rng.Intn(people)))
+		smokes.MustInsert(cqrep.Value(rng.Intn(people)))
 	}
 	db.Add(smokes)
 	f, _ := db.Relation("F")
@@ -44,49 +77,53 @@ func main() {
 	fmt.Printf("|F| = %d friendships, |S| = %d smokers, |D| = %d\n", f.Len(), smokes.Len(), n)
 
 	// Two-hop influence: the expensive grounding pattern.
-	view := cq.MustParse("I[bff](x, y, z) :- S(x), F(x, y), F(y, z)")
+	view := cqrep.MustParse("I[bff](x, y, z) :- S(x), F(x, y), F(y, z)")
 
 	// Sample grounding requests: smokers (the rule only fires for them).
-	var vbs []relation.Tuple
+	var vbs []cqrep.Tuple
 	for i := 0; i < smokes.Len() && i < 40; i++ {
-		vbs = append(vbs, relation.Tuple{smokes.Row(i)[0]})
+		vbs = append(vbs, cqrep.Tuple{smokes.Row(i)[0]})
 	}
 
 	fmt.Println("\nbudget sweep (Section 6 planner chooses τ per budget):")
 	fmt.Printf("%-14s %10s %12s %10s %14s\n", "space budget", "entries", "bytes", "tau", "max delay")
 	for _, budget := range []float64{float64(n), float64(n) * 8, float64(n) * 64, 1e12} {
-		rep, err := core.Build(view, db, core.WithSpaceBudget(budget))
+		rep, err := cqrep.Compile(ctx, view, db, cqrep.WithSpaceBudget(budget))
 		if err != nil {
 			log.Fatal(err)
 		}
-		var agg bench.Aggregate
+		var worst time.Duration
 		for _, vb := range vbs {
-			agg.Add(bench.Measure(rep.Query(vb)))
+			if d := maxDelay(ctx, rep, vb); d > worst {
+				worst = d
+			}
 		}
 		st := rep.Stats()
 		fmt.Printf("%-14.3g %10d %12d %10.1f %14v\n",
-			budget, st.Entries, st.Bytes, st.Tau, agg.MaxDelay)
+			budget, st.Entries, st.Bytes, st.Tau, worst)
 	}
 
 	// Felix's two discrete extremes for comparison.
 	fmt.Println("\nFelix-style discrete extremes:")
 	for _, c := range []struct {
 		name string
-		opt  core.Option
+		opt  cqrep.Option
 	}{
-		{"eager (materialize)", core.WithStrategy(core.MaterializedStrategy)},
-		{"lazy (from scratch)", core.WithStrategy(core.DirectStrategy)},
+		{"eager (materialize)", cqrep.WithStrategy(cqrep.MaterializedStrategy)},
+		{"lazy (from scratch)", cqrep.WithStrategy(cqrep.DirectStrategy)},
 	} {
-		rep, err := core.Build(view, db, c.opt)
+		rep, err := cqrep.Compile(ctx, view, db, c.opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var agg bench.Aggregate
+		var worst time.Duration
 		for _, vb := range vbs {
-			agg.Add(bench.Measure(rep.Query(vb)))
+			if d := maxDelay(ctx, rep, vb); d > worst {
+				worst = d
+			}
 		}
 		st := rep.Stats()
 		fmt.Printf("%-22s entries=%8d bytes=%10d max delay=%v\n",
-			c.name, st.Entries, st.Bytes, agg.MaxDelay)
+			c.name, st.Entries, st.Bytes, worst)
 	}
 }

@@ -3,25 +3,28 @@
 // We load a small symmetric friendship relation, compile the adorned view
 // V^bfb(x, y, z) = R(x,y), R(y,z), R(z,x) — "given friends x and z, list
 // their mutual friends y" — under three different strategies, and compare
-// answers and footprints.
+// answers and footprints. Everything below uses only the public cqrep
+// package: Compile with functional options, named bindings, and
+// range-over-func enumeration.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cqrep/internal/core"
-	"cqrep/internal/cq"
-	"cqrep/internal/relation"
+	"cqrep"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A small social network: edges are symmetric friendships.
-	db := relation.NewDatabase()
-	r := relation.NewRelation("R", 2)
-	friends := [][2]relation.Value{
+	db := cqrep.NewDatabase()
+	r := cqrep.NewRelation("R", 2)
+	friends := [][2]cqrep.Value{
 		{1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {4, 5}, {1, 5}, {3, 5},
 	}
 	for _, f := range friends {
@@ -30,37 +33,34 @@ func main() {
 	}
 	db.Add(r)
 
-	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	view := cqrep.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
 	fmt.Println("view:", view)
 
 	// Compile with the default strategy (Theorem-2 structure, constant
 	// delay), with an explicit Theorem-1 threshold, and materialized.
 	for _, c := range []struct {
 		name string
-		opts []core.Option
+		opts []cqrep.Option
 	}{
 		{"auto (Theorem 2)", nil},
-		{"primitive tau=2 (Theorem 1)", []core.Option{core.WithTau(2)}},
-		{"materialized", []core.Option{core.WithStrategy(core.MaterializedStrategy)}},
+		{"primitive tau=2 (Theorem 1)", []cqrep.Option{cqrep.WithTau(2)}},
+		{"materialized", []cqrep.Option{cqrep.WithStrategy(cqrep.MaterializedStrategy)}},
 	} {
-		rep, err := core.Build(view, db, c.opts...)
+		rep, err := cqrep.Compile(ctx, view, db, c.opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		st := rep.Stats()
 		fmt.Printf("\n[%s] strategy=%v entries=%d bytes=%d\n", c.name, st.Strategy, st.Entries, st.Bytes)
 
-		// Access request: mutual friends of 1 and 3.
-		it, err := rep.QueryArgs(map[string]relation.Value{"x": 1, "z": 3})
+		// Access request: mutual friends of 1 and 3, enumerated with the
+		// range-over-func API.
+		seq, err := rep.AllArgs(ctx, map[string]cqrep.Value{"x": 1, "z": 3})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print("mutual friends of 1 and 3: ")
-		for {
-			t, ok := it.Next()
-			if !ok {
-				break
-			}
+		for t := range seq {
 			fmt.Printf("%v ", t[0])
 		}
 		fmt.Println()

@@ -10,28 +10,43 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"math/rand"
 
-	"cqrep/internal/core"
-	"cqrep/internal/fractional"
-	"cqrep/internal/relation"
-	"cqrep/internal/workload"
+	"cqrep"
 )
 
+// setFamilyDB generates a membership relation R(set, element) with
+// power-law element popularity, so sets overlap on hot elements.
+func setFamilyDB(seed int64, numSets, universe, totalSize int) *cqrep.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := cqrep.NewDatabase()
+	r := cqrep.NewRelation("R", 2)
+	for k := 0; k < totalSize; k++ {
+		s := cqrep.Value(rng.Intn(numSets))
+		e := cqrep.Value(float64(universe) * math.Pow(rng.Float64(), 2.5))
+		r.MustInsert(s, e)
+	}
+	db.Add(r)
+	return db
+}
+
 func main() {
+	ctx := context.Background()
 	const totalSize = 12000
 	const numSets = 110
-	db := workload.SetFamilyDB(3, numSets, totalSize/2, totalSize)
+	db := setFamilyDB(3, numSets, totalSize/2, totalSize)
 	r, _ := db.Relation("R")
 	n := float64(r.Len())
 	fmt.Printf("membership pairs: %d across %d sets\n", r.Len(), numSets)
 
-	view := workload.SetIntersectionView()
+	view := cqrep.MustParse("S[bbf](x1, x2, z) :- R(x1, z), R(x2, z)")
 	for _, tau := range []float64{1, math.Sqrt(math.Sqrt(n)), math.Sqrt(n)} {
-		rep, err := core.Build(view, db,
-			core.WithCover(fractional.Cover{1, 1}), core.WithTau(tau))
+		rep, err := cqrep.Compile(ctx, view, db,
+			cqrep.WithCover(cqrep.Cover{1, 1}), cqrep.WithTau(tau))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,25 +55,28 @@ func main() {
 			tau, st.Alpha, st.Entries, st.Bytes, n*n/(tau*tau))
 	}
 
-	// Intersect two concrete sets.
-	rep, err := core.Build(view, db, core.WithCover(fractional.Cover{1, 1}),
-		core.WithTau(math.Sqrt(n)))
+	// Intersect two concrete sets through the named-binding API.
+	rep, err := cqrep.Compile(ctx, view, db, cqrep.WithCover(cqrep.Cover{1, 1}),
+		cqrep.WithTau(math.Sqrt(n)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	it, err := rep.QueryArgs(map[string]relation.Value{"x1": 1, "x2": 2})
+	seq, err := rep.AllArgs(ctx, map[string]cqrep.Value{"x1": 1, "x2": 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	out := core.Drain(it)
+	var out []cqrep.Value
+	for t := range seq {
+		out = append(out, t[0])
+	}
 	fmt.Printf("|set1 ∩ set2| = %d", len(out))
 	if len(out) > 0 {
 		fmt.Printf(" (first few:")
-		for i, t := range out {
+		for i, v := range out {
 			if i == 5 {
 				break
 			}
-			fmt.Printf(" %v", t[0])
+			fmt.Printf(" %v", v)
 		}
 		fmt.Print(")")
 	}

@@ -220,7 +220,10 @@ func TestServerBatch(t *testing.T) {
 	}
 	want := drainAll(rep, vbs)
 
-	srv := NewServer(rep, 4)
+	srv, err := NewServer(rep, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 
 	// Batch submission.
@@ -267,7 +270,10 @@ func TestServerClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(rep, 2)
+	srv, err := NewServer(rep, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	its := srv.QueryBatch(vbs)
 	_ = its // deliberately undrained
 	srv.Close()

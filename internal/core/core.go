@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -82,6 +83,7 @@ type config struct {
 	spaceBudget float64 // entries; 0 = unset
 	delayBudget float64 // τ bound; 0 = unset
 	workers     int     // build parallelism; 0 = GOMAXPROCS
+	ctx         context.Context
 }
 
 // Option customizes Build.
@@ -166,21 +168,38 @@ type Representation struct {
 // projected heads) are extended to full views first; their boolean answer
 // is "is the iterator non-empty".
 func Build(view *cq.View, db *relation.Database, opts ...Option) (*Representation, error) {
-	cfg := &config{}
+	return BuildContext(context.Background(), view, db, opts...)
+}
+
+// BuildContext is Build with cancellation: ctx is threaded into the
+// parallel Theorem-1 and Theorem-2 construction pools, which poll it and
+// abandon the build promptly, returning ctx.Err(). A nil ctx means
+// context.Background().
+func BuildContext(ctx context.Context, view *cq.View, db *relation.Database, opts ...Option) (*Representation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := &config{ctx: ctx}
 	for _, o := range opts {
 		o(cfg)
 	}
 	if cfg.workers <= 0 {
 		cfg.workers = runtime.GOMAXPROCS(0)
 	}
+	if err := validateBudgets(cfg); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	full := view.ExtendToFull()
 	nv, err := cq.Normalize(full, db)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadView, err)
 	}
 	inst, err := join.NewInstance(nv)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadView, err)
 	}
 	r := &Representation{orig: view, view: full, nv: nv, inst: inst}
 	start := time.Now()
@@ -221,14 +240,32 @@ func Build(view *cq.View, db *relation.Database, opts ...Option) (*Representatio
 		r.direct = baseline.NewDirectEval(inst)
 	case AllBoundStrategy:
 		if inst.Mu != 0 {
-			return nil, fmt.Errorf("core: AllBound strategy requires a view with every variable bound")
+			return nil, fmt.Errorf("%w: AllBound requires every variable bound, view has %d free", ErrStrategyMismatch, inst.Mu)
 		}
 		r.allBound = baseline.NewAllBound(inst)
 	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
+		return nil, fmt.Errorf("%w: %v", ErrUnknownStrategy, strategy)
+	}
+	if err := cfg.ctx.Err(); err != nil {
+		return nil, err
 	}
 	r.stats.BuildTime = time.Since(start)
 	return r, nil
+}
+
+// validateBudgets rejects out-of-domain planner budgets before any work
+// happens. Zero means unset; negative or NaN values are option misuse.
+func validateBudgets(cfg *config) error {
+	if cfg.spaceBudget < 0 || math.IsNaN(cfg.spaceBudget) {
+		return fmt.Errorf("%w: space budget %v", ErrBadOption, cfg.spaceBudget)
+	}
+	if cfg.delayBudget < 0 || math.IsNaN(cfg.delayBudget) {
+		return fmt.Errorf("%w: delay budget %v", ErrBadOption, cfg.delayBudget)
+	}
+	if cfg.tau < 0 || math.IsNaN(cfg.tau) {
+		return fmt.Errorf("%w: tau %v", ErrBadOption, cfg.tau)
+	}
+	return nil
 }
 
 // relationSizes lists per-atom base relation sizes.
@@ -244,7 +281,7 @@ func relationSizes(inst *join.Instance) []int {
 // builds the Theorem-1 structure.
 func (r *Representation) buildPrimitive(cfg *config) error {
 	if r.inst.Mu == 0 {
-		return fmt.Errorf("core: primitive strategy requires at least one free variable")
+		return fmt.Errorf("%w: primitive strategy requires at least one free variable", ErrStrategyMismatch)
 	}
 	h := r.nv.Hypergraph()
 	u := cfg.cover
@@ -253,7 +290,7 @@ func (r *Representation) buildPrimitive(cfg *config) error {
 	case cfg.spaceBudget > 0:
 		pt, err := fractional.MinDelayCover(h, r.nv.Free, relationSizes(r.inst), math.Log(cfg.spaceBudget))
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: space budget %g: %w", ErrInfeasibleBudget, cfg.spaceBudget, err)
 		}
 		if u == nil {
 			u = pt.U
@@ -264,7 +301,7 @@ func (r *Representation) buildPrimitive(cfg *config) error {
 	case cfg.delayBudget > 0:
 		pt, err := fractional.MinSpaceCover(h, r.nv.Free, relationSizes(r.inst), math.Log(cfg.delayBudget))
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: delay budget %g: %w", ErrInfeasibleBudget, cfg.delayBudget, err)
 		}
 		if u == nil {
 			u = pt.U
@@ -283,7 +320,7 @@ func (r *Representation) buildPrimitive(cfg *config) error {
 	if tau < 1 {
 		tau = 1
 	}
-	s, err := primitive.Build(r.inst, u, tau, primitive.Workers(cfg.workers))
+	s, err := primitive.Build(r.inst, u, tau, primitive.Workers(cfg.workers), primitive.Context(cfg.ctx))
 	if err != nil {
 		return err
 	}
@@ -320,7 +357,7 @@ func (r *Representation) buildDecomposition(cfg *config) error {
 			var err error
 			delta, err = decomp.OptimizeDelta(r.nv, d, math.Log(cfg.spaceBudget))
 			if err != nil {
-				return err
+				return fmt.Errorf("%w: space budget %g: %w", ErrInfeasibleBudget, cfg.spaceBudget, err)
 			}
 		case cfg.delayBudget > 1:
 			// Delay budget |D|^h: scale a uniform assignment to height h.
@@ -333,7 +370,7 @@ func (r *Representation) buildDecomposition(cfg *config) error {
 			delta = make([]float64, len(d.Bags))
 		}
 	}
-	s, err := decomp.Build(r.nv, d, delta, decomp.Workers(cfg.workers))
+	s, err := decomp.Build(r.nv, d, delta, decomp.Workers(cfg.workers), decomp.Context(cfg.ctx))
 	if err != nil {
 		return err
 	}
@@ -400,12 +437,24 @@ func (r *Representation) Query(vb relation.Tuple) Iterator {
 }
 
 // QueryArgs answers an access request given bound values by variable name.
+// A valuation that does not match the view's bound variables fails with an
+// error wrapping ErrBadBinding.
 func (r *Representation) QueryArgs(args map[string]relation.Value) (Iterator, error) {
-	vb, err := r.nv.BindArgs(args)
+	vb, err := r.Bind(args)
 	if err != nil {
 		return nil, err
 	}
 	return r.Query(vb), nil
+}
+
+// Bind resolves named bound values into a valuation in the view's bound
+// order, wrapping failures with ErrBadBinding.
+func (r *Representation) Bind(args map[string]relation.Value) (relation.Tuple, error) {
+	vb, err := r.nv.BindArgs(args)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadBinding, err)
+	}
+	return vb, nil
 }
 
 // Exists reports whether the access request has any answer — the boolean

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -59,7 +60,15 @@ type change struct {
 // the staleness budget relative to |D| (e.g. 0.1 rebuilds after 10% churn);
 // values <= 0 rebuild on every change.
 func NewMaintained(view *cq.View, db *relation.Database, fraction float64, opts ...Option) (*Maintained, error) {
-	rep, err := Build(view, db, opts...)
+	return NewMaintainedContext(context.Background(), view, db, fraction, opts...)
+}
+
+// NewMaintainedContext is NewMaintained with cancellation of the initial
+// compile. ctx governs only construction: background rebuilds triggered by
+// later churn belong to the Maintained's own lifetime, not the
+// constructor's, and are bounded by the staleness policy instead.
+func NewMaintainedContext(ctx context.Context, view *cq.View, db *relation.Database, fraction float64, opts ...Option) (*Maintained, error) {
+	rep, err := BuildContext(ctx, view, db, opts...)
 	if err != nil {
 		return nil, err
 	}

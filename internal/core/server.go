@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,11 +17,33 @@ type QuerySource interface {
 	Query(vb relation.Tuple) Iterator
 }
 
-// serverIteratorBuffer is the per-request channel capacity: deep enough to
-// decouple producer and consumer for typical result sizes, small enough
-// that an undrained request exerts backpressure instead of buffering an
-// unbounded result set.
-const serverIteratorBuffer = 256
+// defaultServerBuffer is the default per-request channel capacity: deep
+// enough to decouple producer and consumer for typical result sizes, small
+// enough that an undrained request exerts backpressure instead of
+// buffering an unbounded result set. Override with WithServerBuffer.
+const defaultServerBuffer = 256
+
+// ServerOption customizes NewServer.
+type ServerOption func(*serverConfig) error
+
+type serverConfig struct {
+	buffer int
+}
+
+// WithServerBuffer sets the per-request iterator channel capacity. n
+// trades memory per in-flight request against producer/consumer coupling:
+// n tuples are buffered before the serving worker blocks on an undrained
+// iterator. n must be at least 1; NewServer fails with ErrBadOption
+// otherwise.
+func WithServerBuffer(n int) ServerOption {
+	return func(c *serverConfig) error {
+		if n < 1 {
+			return fmt.Errorf("%w: server buffer %d, need at least 1", ErrBadOption, n)
+		}
+		c.buffer = n
+		return nil
+	}
+}
 
 // Server is a batching front over a QuerySource: callers submit access
 // requests from any goroutine and receive a per-request Iterator
@@ -32,9 +56,13 @@ const serverIteratorBuffer = 256
 // Iterators returned by Submit/QueryBatch block in Next until their
 // request is served; requests are served in submission order. Close aborts
 // outstanding work: undrained iterators terminate early rather than hang.
+// SubmitContext additionally ties one request to a context: when it is
+// cancelled the request's iterator terminates and its serving worker
+// abandons the enumeration.
 type Server struct {
 	src     QuerySource
 	workers int
+	buffer  int
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -50,42 +78,71 @@ type Server struct {
 }
 
 type serverReq struct {
-	vb  relation.Tuple
-	out chan relation.Tuple
+	vb   relation.Tuple
+	out  chan relation.Tuple
+	done <-chan struct{} // the submitting context's Done channel; may be nil
 }
 
 // NewServer starts a server over src with the given number of worker
 // goroutines; workers <= 0 means runtime.GOMAXPROCS(0). Callers must Close
-// the server when done.
-func NewServer(src QuerySource, workers int) *Server {
+// the server when done. An invalid option (e.g. WithServerBuffer below 1)
+// fails with an error wrapping ErrBadOption and starts nothing.
+func NewServer(src QuerySource, workers int, opts ...ServerOption) (*Server, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Server{src: src, workers: workers, quit: make(chan struct{})}
+	cfg := serverConfig{buffer: defaultServerBuffer}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{src: src, workers: workers, buffer: cfg.buffer, quit: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Submit enqueues one access request and returns its result stream. It
 // never blocks: the queue is unbounded and serving happens on the worker
 // pool. After Close, the returned iterator is immediately exhausted.
 func (s *Server) Submit(vb relation.Tuple) Iterator {
-	out := make(chan relation.Tuple, serverIteratorBuffer)
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	it, err := s.SubmitContext(context.Background(), vb)
+	if err != nil { // closed: preserve the legacy exhausted-iterator contract
+		out := make(chan relation.Tuple)
 		close(out)
 		return &chanIterator{ch: out}
 	}
-	s.queue = append(s.queue, &serverReq{vb: vb.Clone(), out: out})
+	return it
+}
+
+// SubmitContext enqueues one access request tied to ctx and returns its
+// result stream. When ctx is cancelled the iterator terminates (Next
+// returns false) and the serving worker abandons the enumeration instead
+// of filling a buffer nobody drains. Submitting to a closed server fails
+// with ErrClosed; a ctx that is already done fails with its error. A nil
+// ctx means context.Background().
+func (s *Server) SubmitContext(ctx context.Context, vb relation.Tuple) (Iterator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make(chan relation.Tuple, s.buffer)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.queue = append(s.queue, &serverReq{vb: vb.Clone(), out: out, done: ctx.Done()})
 	s.requests.Add(1)
 	s.mu.Unlock()
 	s.cond.Signal()
-	return &chanIterator{ch: out}
+	return &chanIterator{ch: out, done: ctx.Done()}, nil
 }
 
 // QueryBatch submits every valuation and returns the per-request iterators
@@ -124,14 +181,22 @@ func (s *Server) worker() {
 	}
 }
 
-// serve drains one request into its channel, aborting on Close so that a
-// consumer that stopped reading cannot wedge the worker forever.
+// serve drains one request into its channel, aborting on Close or on the
+// request's own context so that a consumer that stopped reading cannot
+// wedge the worker forever.
 func (s *Server) serve(req *serverReq) {
 	defer close(req.out)
 	select {
 	case <-s.quit:
 		return
 	default:
+	}
+	if req.done != nil {
+		select {
+		case <-req.done:
+			return
+		default:
+		}
 	}
 	it := s.src.Query(req.vb)
 	for {
@@ -144,8 +209,18 @@ func (s *Server) serve(req *serverReq) {
 			s.tuples.Add(1)
 		case <-s.quit:
 			return
+		case <-req.done: // nil when the request has no context: never ready
+			return
 		}
 	}
+}
+
+// Closed reports whether Close has begun. A false result is advisory
+// only: a concurrent Close may land immediately after.
+func (s *Server) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // Close stops accepting requests, aborts in-flight enumerations, and waits
@@ -165,24 +240,32 @@ func (s *Server) Close() {
 // ServerStats counts the server's lifetime traffic.
 type ServerStats struct {
 	Workers  int
+	Buffer   int
 	Requests uint64
 	Tuples   uint64
 }
 
 // Stats reports the traffic counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{Workers: s.workers, Requests: s.requests.Load(), Tuples: s.tuples.Load()}
+	return ServerStats{Workers: s.workers, Buffer: s.buffer, Requests: s.requests.Load(), Tuples: s.tuples.Load()}
 }
 
-// chanIterator adapts a result channel to the Iterator interface.
+// chanIterator adapts a result channel to the Iterator interface. When the
+// submitting context is cancelled (done closes), Next stops early instead
+// of draining whatever was already buffered.
 type chanIterator struct {
-	ch <-chan relation.Tuple
+	ch   <-chan relation.Tuple
+	done <-chan struct{} // nil = no context: the select degenerates to a receive
 }
 
 // Next blocks until the serving worker produces the next tuple, returning
 // false when the request's enumeration is complete (or was aborted by
-// Close).
+// Close or context cancellation).
 func (it *chanIterator) Next() (relation.Tuple, bool) {
-	t, ok := <-it.ch
-	return t, ok
+	select {
+	case t, ok := <-it.ch:
+		return t, ok
+	case <-it.done:
+		return nil, false
+	}
 }

@@ -1,6 +1,7 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -58,6 +59,7 @@ type BuildOption func(*buildConfig)
 
 type buildConfig struct {
 	workers int
+	ctx     context.Context
 }
 
 // Workers bounds the number of goroutines used to build decomposition bags
@@ -66,6 +68,12 @@ type buildConfig struct {
 // refinement stays sequential, so the structure is identical for every
 // worker count.
 func Workers(n int) BuildOption { return func(c *buildConfig) { c.workers = n } }
+
+// Context arms Build with a cancellation context: the bag pool stops
+// pulling work, in-flight per-bag Theorem-1 builds abort, and the
+// Algorithm-4 refinement stops, with Build returning ctx.Err(). A nil ctx
+// means context.Background().
+func Context(ctx context.Context) BuildOption { return func(c *buildConfig) { c.ctx = ctx } }
 
 // Build constructs the Theorem-2 structure for a normalized view under the
 // given connex decomposition and delay assignment δ (indexed by bag;
@@ -89,6 +97,9 @@ func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64, opts ...B
 	}
 	if cfg.workers <= 0 {
 		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ctx == nil {
+		cfg.ctx = context.Background()
 	}
 	start := time.Now()
 	gInst, err := join.NewInstance(nv)
@@ -134,10 +145,10 @@ func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64, opts ...B
 			defer wg.Done()
 			for {
 				t := int(next.Add(1)) - 1
-				if t >= len(dec.Bags) {
+				if t >= len(dec.Bags) || cfg.ctx.Err() != nil {
 					return
 				}
-				b, err := s.buildBag(t, h, inner)
+				b, err := s.buildBag(cfg.ctx, t, h, inner)
 				if err != nil {
 					errs[t] = err
 					continue
@@ -147,6 +158,9 @@ func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64, opts ...B
 		}()
 	}
 	wg.Wait()
+	if err := cfg.ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -169,7 +183,9 @@ func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64, opts ...B
 			s.parentPos[i] = s.posOf[p]
 		}
 	}
-	s.refineDictionaries()
+	if err := s.refineDictionaries(cfg.ctx); err != nil {
+		return nil, err
+	}
 	s.elapsed = time.Since(start)
 	return s, nil
 }
@@ -190,7 +206,7 @@ func databaseSize(nv *cq.NormalizedView) int {
 // buildBag projects the touching relations onto the bag and assembles its
 // instance and (when free variables exist) its Theorem-1 structure with the
 // eq. (3)-optimal cover.
-func (s *Structure) buildBag(t int, h cq.Hypergraph, workers int) (*bag, error) {
+func (s *Structure) buildBag(ctx context.Context, t int, h cq.Hypergraph, workers int) (*bag, error) {
 	dec := s.dec
 	b := &bag{
 		id:        t,
@@ -249,7 +265,7 @@ func (s *Structure) buildBag(t int, h cq.Hypergraph, workers int) (*bag, error) 
 	// Rescale the LP cover so rounding never drops below exact coverage.
 	localU = normalizeCover(nvBag.Hypergraph(), localU)
 	b.tau = math.Max(1, math.Pow(float64(s.dbSize), s.delta[t]))
-	b.prim, err = primitive.Build(b.inst, localU, b.tau, primitive.Workers(workers))
+	b.prim, err = primitive.Build(b.inst, localU, b.tau, primitive.Workers(workers), primitive.Context(ctx))
 	if err != nil {
 		return nil, fmt.Errorf("decomp: bag %d structure: %w", t, err)
 	}
@@ -296,9 +312,15 @@ func normalizeCover(h cq.Hypergraph, u fractional.Cover) fractional.Cover {
 // (post-order), each non-root bag t with a non-root parent re-validates the
 // parent's 1-entries — an entry survives only if some parent-bag output
 // tuple within the entry's interval has a non-empty continuation in t.
-func (s *Structure) refineDictionaries() {
+// ctx is polled once per refined entry; on cancellation the remaining
+// entries are left as-is (the half-refined structure is discarded by the
+// caller) and ctx.Err() is returned.
+func (s *Structure) refineDictionaries(ctx context.Context) error {
 	post := s.postorder()
 	for _, t := range post {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p := s.dec.Parent[t]
 		if t == 0 || p == 0 {
 			continue
@@ -312,6 +334,9 @@ func (s *Structure) refineDictionaries() {
 		// bound tuple.
 		pick := makePicker(parent, child)
 		parent.prim.RefineOnes(func(_ int32, iv interval.Interval, vbParent relation.Tuple) bool {
+			if ctx.Err() != nil {
+				return true // keep unchanged; the whole build is abandoned
+			}
 			for _, box := range interval.Decompose(iv) {
 				en := join.NewEnum(parent.inst, vbParent, box)
 				for {
@@ -328,6 +353,7 @@ func (s *Structure) refineDictionaries() {
 			return false
 		})
 	}
+	return ctx.Err()
 }
 
 // postorder returns non-root bags with every bag after its whole subtree.

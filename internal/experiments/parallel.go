@@ -98,7 +98,10 @@ func E16Parallel(sizePer, queries int, seed int64, workerCounts []int) []*bench.
 	t3 := bench.NewTable("E16 Concurrent serving: core.Server throughput",
 		"workers", "requests", "tuples", "total", "req/s")
 	for _, w := range workerCounts {
-		srv := core.NewServer(rep, w)
+		srv, err := core.NewServer(rep, w)
+		if err != nil {
+			panic(err)
+		}
 		start := time.Now()
 		its := srv.QueryBatch(vbs)
 		for _, it := range its {

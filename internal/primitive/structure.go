@@ -1,6 +1,7 @@
 package primitive
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -54,6 +55,7 @@ type BuildOption func(*buildConfig)
 
 type buildConfig struct {
 	workers int
+	ctx     context.Context
 }
 
 // Workers bounds the number of goroutines used to build the heavy-pair
@@ -62,6 +64,11 @@ type buildConfig struct {
 // ranges of the dictionary, so per-node results merge into the same map no
 // matter which worker computed them.
 func Workers(n int) BuildOption { return func(c *buildConfig) { c.workers = n } }
+
+// Context arms Build with a cancellation context: tree construction and
+// the dictionary workers poll ctx and abandon the build promptly when it
+// is done, returning ctx.Err(). A nil ctx means context.Background().
+func Context(ctx context.Context) BuildOption { return func(c *buildConfig) { c.ctx = ctx } }
 
 // Build constructs the Theorem-1 structure for the instance under the
 // fractional edge cover u with threshold τ ≥ 1. The view must have at
@@ -96,6 +103,9 @@ func build(inst *join.Instance, u fractional.Cover, tau float64, exhaustive bool
 	if cfg.workers <= 0 {
 		cfg.workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.ctx == nil {
+		cfg.ctx = context.Background()
+	}
 	est, err := join.NewEstimator(inst, u)
 	if err != nil {
 		return nil, err
@@ -105,8 +115,12 @@ func build(inst *join.Instance, u fractional.Cover, tau float64, exhaustive bool
 
 	root, ok := s.rootInterval()
 	if ok {
-		s.root = s.buildTree(root, 0)
-		s.buildDictionary(cfg.workers)
+		if s.root, err = s.buildTree(cfg.ctx, root, 0); err != nil {
+			return nil, err
+		}
+		if err := s.buildDictionary(cfg.ctx, cfg.workers); err != nil {
+			return nil, err
+		}
 	}
 	s.elapsed = time.Since(start)
 	return s, nil
@@ -135,29 +149,38 @@ func (s *Structure) levelThreshold(level int) float64 {
 	return s.tau / math.Pow(2, float64(level)*(1-1/s.est.Alpha))
 }
 
-// buildTree recursively constructs the delay-balanced tree of Section 4.3.
-func (s *Structure) buildTree(iv interval.Interval, level int) *node {
+// buildTree recursively constructs the delay-balanced tree of Section 4.3,
+// polling ctx once per node so a cancelled build unwinds promptly.
+func (s *Structure) buildTree(ctx context.Context, iv interval.Interval, level int) (*node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := &node{id: int32(len(s.nodes)), level: level, iv: iv}
 	s.nodes = append(s.nodes, n)
 	if level > s.maxLevel {
 		s.maxLevel = level
 	}
 	if s.est.TInterval(iv) < s.levelThreshold(level) {
-		return n
+		return n, nil
 	}
 	beta, ok := SplitInterval(s.inst, s.est, iv)
 	if !ok {
-		return n
+		return n, nil
 	}
 	n.beta = beta
 	left, _, right := iv.SplitAt(beta)
+	var err error
 	if !left.Empty() {
-		n.left = s.buildTree(left, level+1)
+		if n.left, err = s.buildTree(ctx, left, level+1); err != nil {
+			return nil, err
+		}
 	}
 	if !right.Empty() {
-		n.right = s.buildTree(right, level+1)
+		if n.right, err = s.buildTree(ctx, right, level+1); err != nil {
+			return nil, err
+		}
 	}
-	return n
+	return n, nil
 }
 
 // dictKey encodes a (node, valuation) pair as a compact map key.
@@ -177,16 +200,20 @@ func dictKey(id int32, vb relation.Tuple) string {
 // indices from a shared counter (nodes near the root carry most of the
 // candidate work, so static striping would balance poorly). Per-node
 // results are merged afterwards; the final map is identical for every
-// worker count.
-func (s *Structure) buildDictionary(workers int) {
+// worker count. Workers poll ctx between nodes and every 64 candidates
+// within a node, so cancellation aborts the pull loop promptly and
+// buildDictionary returns ctx.Err().
+func (s *Structure) buildDictionary(ctx context.Context, workers int) error {
 	if workers > len(s.nodes) {
 		workers = len(s.nodes)
 	}
 	if workers <= 1 {
 		for _, n := range s.nodes {
-			s.nodeDictionary(n, s.dict)
+			if err := s.nodeDictionary(ctx, n, s.dict); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	results := make([]map[string]byte, len(s.nodes))
 	var next atomic.Int64
@@ -197,25 +224,33 @@ func (s *Structure) buildDictionary(workers int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(s.nodes) {
+				if i >= len(s.nodes) || ctx.Err() != nil {
 					return
 				}
 				m := make(map[string]byte)
-				s.nodeDictionary(s.nodes[i], m)
+				if s.nodeDictionary(ctx, s.nodes[i], m) != nil {
+					return
+				}
 				results[i] = m
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, m := range results {
 		for k, bit := range m {
 			s.dict[k] = bit
 		}
 	}
+	return nil
 }
 
-// nodeDictionary computes one node's heavy-pair entries into dst.
-func (s *Structure) nodeDictionary(n *node, dst map[string]byte) {
+// nodeDictionary computes one node's heavy-pair entries into dst. The
+// candidate stream of a node near the root can dominate the whole build,
+// so ctx is polled every 64 candidates, not just per node.
+func (s *Structure) nodeDictionary(ctx context.Context, n *node, dst map[string]byte) error {
 	candidates := join.BoundCandidates
 	if s.exhaustive {
 		candidates = join.BoundCandidatesExhaustive
@@ -223,8 +258,12 @@ func (s *Structure) nodeDictionary(n *node, dst map[string]byte) {
 	tauL := s.levelThreshold(n.level)
 	boxes := interval.Decompose(n.iv)
 	seen := make(map[string]bool)
+	steps := 0
 	for _, b := range boxes {
 		candidates(s.inst, b, func(vb relation.Tuple) bool {
+			if steps++; steps&0x3f == 0 && ctx.Err() != nil {
+				return false
+			}
 			key := string(vb.AppendEncode(nil))
 			if seen[key] {
 				return true
@@ -243,7 +282,11 @@ func (s *Structure) nodeDictionary(n *node, dst map[string]byte) {
 			dst[dictKey(n.id, vb)] = bit
 			return true
 		})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // lookup returns the dictionary entry for (node, vb): 0, 1, or ⊥ (ok ==

@@ -1,0 +1,109 @@
+package cqrep
+
+import (
+	"fmt"
+
+	"cqrep/internal/core"
+)
+
+// Option customizes Compile, NewServer, and NewMaintained through one
+// consolidated functional-option vocabulary. Options that do not apply to
+// the consumer are validated but otherwise ignored — WithServerBuffer on
+// Compile, for example, is legal and inert — so one option slice can be
+// shared between compiling a representation and serving it.
+type Option func(*config)
+
+// config accumulates the consolidated options. Invalid arguments are
+// recorded in err and surfaced by the consuming constructor, keeping the
+// option functions themselves infallible.
+type config struct {
+	build        []core.Option
+	workers      int
+	serverBuffer int
+	err          error
+}
+
+func newConfig(opts []Option) *config {
+	cfg := &config{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	return cfg
+}
+
+// fail records the first invalid option; later valid options still apply
+// so error reporting does not depend on option order.
+func (c *config) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// WithStrategy forces a representation strategy instead of Auto.
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.build = append(c.build, core.WithStrategy(s)) }
+}
+
+// WithTau sets the Theorem-1 threshold τ directly (τ ≥ 1; larger τ trades
+// delay for space).
+func WithTau(tau float64) Option {
+	return func(c *config) { c.build = append(c.build, core.WithTau(tau)) }
+}
+
+// WithCover sets the fractional edge cover used by the Theorem-1
+// structure (one weight per body atom).
+func WithCover(u Cover) Option {
+	return func(c *config) { c.build = append(c.build, core.WithCover(u)) }
+}
+
+// WithDecomposition supplies a connex tree decomposition for the
+// Theorem-2 structure (bags over the normalized view's variable ids).
+func WithDecomposition(d *Decomposition) Option {
+	return func(c *config) { c.build = append(c.build, core.WithDecomposition(d)) }
+}
+
+// WithDelta supplies the per-bag delay assignment for the Theorem-2
+// structure; see UniformDelta.
+func WithDelta(delta []float64) Option {
+	return func(c *config) { c.build = append(c.build, core.WithDelta(delta)) }
+}
+
+// WithSpaceBudget asks the Section-6 planner to minimize delay subject to
+// the structure using about the given number of entries. A budget the
+// planner cannot realize fails Compile with ErrInfeasibleBudget.
+func WithSpaceBudget(entries float64) Option {
+	return func(c *config) { c.build = append(c.build, core.WithSpaceBudget(entries)) }
+}
+
+// WithDelayBudget asks the Section-6 planner to minimize space subject to
+// delay at most the given τ. A budget the planner cannot realize fails
+// Compile with ErrInfeasibleBudget.
+func WithDelayBudget(tau float64) Option {
+	return func(c *config) { c.build = append(c.build, core.WithDelayBudget(tau)) }
+}
+
+// WithWorkers bounds the goroutines used during compilation and, for
+// NewServer, the serving worker pool. n <= 0 (the default) means
+// runtime.GOMAXPROCS(0). The compiled representation is identical for
+// every worker count — parallelism changes only the wall-clock.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		c.workers = n
+		c.build = append(c.build, core.WithWorkers(n))
+	}
+}
+
+// WithServerBuffer sets a Server's per-request iterator channel capacity
+// (default 256). n trades memory per in-flight request against
+// producer/consumer coupling: a serving worker buffers up to n tuples
+// before blocking on an undrained iterator. n must be at least 1;
+// violating that fails the consuming constructor with ErrBadOption.
+func WithServerBuffer(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.fail(fmt.Errorf("%w: server buffer %d, need at least 1", ErrBadOption, n))
+			return
+		}
+		c.serverBuffer = n
+	}
+}

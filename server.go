@@ -1,0 +1,118 @@
+package cqrep
+
+import (
+	"context"
+	"iter"
+
+	"cqrep/internal/core"
+)
+
+// Server is a batching front over a QuerySource (typically a
+// *Representation): callers submit access requests from any goroutine and
+// receive a per-request result stream immediately, while a fixed pool of
+// workers drains the underlying representation. Submission never blocks,
+// fan-out is bounded by WithWorkers, and per-request results arrive in
+// enumeration order.
+//
+// Every submission is tied to a context: cancelling it terminates that
+// request's stream and frees its serving worker, so one abandoned client
+// cannot wedge the pool. Close aborts all outstanding work.
+type Server struct {
+	srv *core.Server
+}
+
+// NewServer starts a server over src. WithWorkers bounds the serving pool
+// (default runtime.GOMAXPROCS(0)); WithServerBuffer sets the per-request
+// channel capacity (default 256, must be ≥ 1 — violations fail with
+// ErrBadOption). Callers must Close the server when done.
+func NewServer(src QuerySource, opts ...Option) (*Server, error) {
+	cfg := newConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	var coreOpts []core.ServerOption
+	if cfg.serverBuffer > 0 {
+		coreOpts = append(coreOpts, core.WithServerBuffer(cfg.serverBuffer))
+	}
+	srv, err := core.NewServer(src, cfg.workers, coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{srv: srv}, nil
+}
+
+// Submit enqueues one access request tied to ctx and returns its result
+// stream. It never blocks: the queue is unbounded and serving happens on
+// the worker pool; the returned Iterator blocks in Next until the request
+// is served. Cancelling ctx terminates the stream (Next returns false)
+// and makes the serving worker abandon the enumeration. Submitting to a
+// closed server fails with ErrClosed.
+func (s *Server) Submit(ctx context.Context, binding Tuple) (Iterator, error) {
+	return s.srv.SubmitContext(ctx, binding)
+}
+
+// All is Submit as a range-over-func sequence. The request is enqueued
+// lazily, when the sequence is first ranged, and runs under a derived
+// context that is cancelled as soon as the range loop exits for any
+// reason — cancellation of ctx, exhaustion, or an early break — so
+// neither an abandoned loop nor a never-ranged sequence can wedge a
+// serving worker. The sequence is single-use: ranging it a second time
+// yields nothing. A server that closes between All and the ranging also
+// yields nothing (the eager ErrClosed check below covers the common
+// already-closed case).
+func (s *Server) All(ctx context.Context, binding Tuple) (iter.Seq[Tuple], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.srv.Closed() {
+		return nil, ErrClosed
+	}
+	vb := binding.Clone() // submission is deferred; insulate from caller mutation
+	var once bool
+	return func(yield func(Tuple) bool) {
+		if once {
+			return
+		}
+		once = true
+		reqCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		it, err := s.srv.SubmitContext(reqCtx, vb)
+		if err != nil {
+			return
+		}
+		for {
+			t, ok := it.Next()
+			if !ok || !yield(t) {
+				return
+			}
+		}
+	}, nil
+}
+
+// QueryBatch submits every valuation under one context and returns the
+// per-request iterators in matching order. Consumers should drain the
+// iterators roughly in submission order: requests are served FIFO with
+// bounded buffers, so an early undrained iterator exerts backpressure on
+// its worker. Submitting to a closed server fails with ErrClosed.
+func (s *Server) QueryBatch(ctx context.Context, bindings []Tuple) ([]Iterator, error) {
+	out := make([]Iterator, len(bindings))
+	for i, vb := range bindings {
+		it, err := s.srv.SubmitContext(ctx, vb)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = it
+	}
+	return out, nil
+}
+
+// Close stops accepting requests, aborts in-flight enumerations, and
+// waits for the workers to exit. Iterators for unserved requests
+// terminate empty. Close is idempotent.
+func (s *Server) Close() { s.srv.Close() }
+
+// Stats reports the server's lifetime traffic counters.
+func (s *Server) Stats() ServerStats { return s.srv.Stats() }
