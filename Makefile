@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke examples ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke examples snapshot-check ci
 
 all: build
 
@@ -50,4 +50,11 @@ examples:
 		$(GO) run "./$$d" || exit 1; \
 	done
 
-ci: build vet fmt-check test race bench-smoke examples
+# Snapshot format gate: the round-trip/corruption test suites plus the E17
+# compile → save → load → verify pass over the E1/E6 workloads, so any wire
+# format regression fails the build. Mirrors the CI snapshot job.
+snapshot-check:
+	$(GO) test -run 'TestSnapshot' ./...
+	$(GO) run ./cmd/cqbench -startup -n 1500 -queries 20
+
+ci: build vet fmt-check test race bench-smoke examples snapshot-check

@@ -5,6 +5,7 @@
 //	cqbench -run all            # everything at default scale
 //	cqbench -run E1,E5 -n 20000 # selected experiments, custom scale
 //	cqbench -parallel           # parallel build / concurrent serving scaling
+//	cqbench -startup            # snapshot load vs recompile startup cost (E17)
 //
 // Scales are edge/tuple counts; all generators are seeded and
 // deterministic. cqbench drives the suite through the public cqrep
@@ -23,11 +24,12 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E16) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E17) or 'all'")
 	n := flag.Int("n", 8000, "base data scale (edges / tuples per relation)")
 	queries := flag.Int("queries", 50, "access requests per measurement")
 	seed := flag.Int64("seed", 42, "generator seed")
 	parallel := flag.Bool("parallel", false, "run only the parallel-scaling experiment (E16): build speedup and server throughput across worker counts")
+	startup := flag.Bool("startup", false, "run only the snapshot startup experiment (E17): compile, save, load, verify byte-identical enumeration, and compare load time against the compression time T_C")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel / E16 (run sorted ascending; the smallest is the speedup baseline)")
 	flag.Parse()
 
@@ -42,6 +44,8 @@ func main() {
 	switch {
 	case *parallel:
 		selected["E16"] = true
+	case *startup:
+		selected["E17"] = true
 	case *run == "all":
 		for _, e := range cqrep.Experiments() {
 			selected[e.ID] = true
@@ -69,7 +73,7 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E16, all, or -parallel")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E17, all, -parallel, or -startup")
 		os.Exit(2)
 	}
 }

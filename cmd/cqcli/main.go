@@ -1,14 +1,23 @@
 // Command cqcli compiles an adorned view over CSV relations and serves
-// access requests interactively:
+// access requests interactively. It supports the compile-once / serve-many
+// split through snapshots:
+//
+//	cqcli compile -view 'V[bf](x, y) :- R(x, p), R2(y, p)' -rel R=r.csv -rel R2=r.csv -o rep.cqs
+//	cqcli serve rep.cqs
+//
+// `compile` pays the preprocessing cost T_C once and writes the compiled
+// representation to a versioned, checksummed snapshot file; `serve` loads
+// it — without recompiling — and answers access requests read from stdin:
+// bound values separated by spaces (in the view's bound-variable order),
+// one request per line, printing the matching free tuples.
+//
+// Invoked without a subcommand, cqcli keeps its original behavior of
+// compiling and serving in one process:
 //
 //	cqcli -view 'V[bf](x, y) :- R(x, p), R2(y, p)' -rel R=r.csv -rel R2=r.csv
 //
-// Each -rel flag names a relation and a CSV file of integer columns. After
-// building, the tool reads one access request per line on stdin: bound
-// values separated by spaces (in the view's bound-variable order), and
-// prints the matching free tuples. Options mirror the library's planner:
-// -tau, -space, -delay, -strategy. Ctrl-C cancels an in-flight
-// compilation or enumeration cleanly.
+// Options mirror the library's planner: -tau, -space, -delay, -strategy.
+// Ctrl-C cancels an in-flight compilation or enumeration cleanly.
 //
 // cqcli is written entirely against the public cqrep package — it is the
 // reference out-of-tree consumer of the API.
@@ -35,33 +44,44 @@ type relFlags []string
 func (r *relFlags) String() string     { return strings.Join(*r, ",") }
 func (r *relFlags) Set(s string) error { *r = append(*r, s); return nil }
 
-func main() {
-	viewStr := flag.String("view", "", "adorned view, e.g. 'V[bfb](x,y,z) :- R(x,y), R(y,z), R(z,x)'")
+// compileFlags is the option vocabulary shared by the legacy one-shot mode
+// and the compile subcommand.
+type compileFlags struct {
+	view     *string
+	rels     *relFlags
+	tau      *float64
+	space    *float64
+	delay    *float64
+	strategy *string
+	workers  *int
+}
+
+func addCompileFlags(fs *flag.FlagSet) *compileFlags {
 	var rels relFlags
-	flag.Var(&rels, "rel", "relation source NAME=FILE.csv (repeatable)")
-	tau := flag.Float64("tau", 0, "Theorem-1 threshold τ (0 = unset)")
-	space := flag.Float64("space", 0, "space budget in entries (planner minimizes delay)")
-	delay := flag.Float64("delay", 0, "delay budget τ (planner minimizes space)")
-	strategy := flag.String("strategy", "auto", "auto|primitive|decomposition|materialized|direct|allbound")
-	workers := flag.Int("workers", 0, "compilation worker goroutines (0 = GOMAXPROCS)")
-	limit := flag.Int("limit", 20, "max tuples printed per request")
-	flag.Parse()
+	fs.Var(&rels, "rel", "relation source NAME=FILE.csv (repeatable)")
+	return &compileFlags{
+		view:     fs.String("view", "", "adorned view, e.g. 'V[bfb](x,y,z) :- R(x,y), R(y,z), R(z,x)'"),
+		rels:     &rels,
+		tau:      fs.Float64("tau", 0, "Theorem-1 threshold τ (0 = unset)"),
+		space:    fs.Float64("space", 0, "space budget in entries (planner minimizes delay)"),
+		delay:    fs.Float64("delay", 0, "delay budget τ (planner minimizes space)"),
+		strategy: fs.String("strategy", "auto", "auto|primitive|decomposition|materialized|direct|allbound"),
+		workers:  fs.Int("workers", 0, "compilation worker goroutines (0 = GOMAXPROCS)"),
+	}
+}
 
-	// Ctrl-C cancels compilation and any in-flight enumeration instead of
-	// killing the process mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	if *viewStr == "" || len(rels) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cqcli -view '...' -rel NAME=FILE [-rel ...]")
+// compile loads the relations and compiles the view per the flags.
+func (cf *compileFlags) compile(ctx context.Context, usage string) *cqrep.Representation {
+	if *cf.view == "" || len(*cf.rels) == 0 {
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
-	view, err := cqrep.Parse(*viewStr)
+	view, err := cqrep.Parse(*cf.view)
 	if err != nil {
 		fatal(err)
 	}
 	db := cqrep.NewDatabase()
-	for _, spec := range rels {
+	for _, spec := range *cf.rels {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok {
 			fatal(fmt.Errorf("bad -rel %q, want NAME=FILE", spec))
@@ -74,8 +94,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded %s: %d tuples\n", name, rel.Len())
 	}
 
-	opts := []cqrep.Option{cqrep.WithWorkers(*workers)}
-	switch *strategy {
+	opts := []cqrep.Option{cqrep.WithWorkers(*cf.workers)}
+	switch *cf.strategy {
 	case "auto":
 	case "primitive":
 		opts = append(opts, cqrep.WithStrategy(cqrep.PrimitiveStrategy))
@@ -88,29 +108,105 @@ func main() {
 	case "allbound":
 		opts = append(opts, cqrep.WithStrategy(cqrep.AllBoundStrategy))
 	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		fatal(fmt.Errorf("unknown strategy %q", *cf.strategy))
 	}
-	if *tau > 0 {
-		opts = append(opts, cqrep.WithTau(*tau))
+	if *cf.tau > 0 {
+		opts = append(opts, cqrep.WithTau(*cf.tau))
 	}
-	if *space > 0 {
-		opts = append(opts, cqrep.WithSpaceBudget(*space))
+	if *cf.space > 0 {
+		opts = append(opts, cqrep.WithSpaceBudget(*cf.space))
 	}
-	if *delay > 0 {
-		opts = append(opts, cqrep.WithDelayBudget(*delay))
+	if *cf.delay > 0 {
+		opts = append(opts, cqrep.WithDelayBudget(*cf.delay))
 	}
 
 	rep, err := cqrep.Compile(ctx, view, db, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	st := rep.Stats()
-	fmt.Fprintf(os.Stderr, "built %v representation: %d entries, %d bytes, %v\n",
-		st.Strategy, st.Entries, st.Bytes, st.BuildTime)
-	bound := rep.BoundNames()
-	free := rep.FreeNames()
-	fmt.Fprintf(os.Stderr, "bound order: %v; output columns: %v\n", bound, free)
+	return rep
+}
 
+func main() {
+	// Ctrl-C cancels compilation and any in-flight enumeration instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "compile":
+			compileMain(ctx, os.Args[2:])
+			return
+		case "serve":
+			serveMain(ctx, os.Args[2:])
+			return
+		}
+	}
+	legacyMain(ctx)
+}
+
+// compileMain is `cqcli compile`: compile the view and save the snapshot.
+func compileMain(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("cqcli compile", flag.ExitOnError)
+	cf := addCompileFlags(fs)
+	out := fs.String("o", "", "snapshot output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: cqcli compile -view '...' -rel NAME=FILE [-rel ...] -o FILE.cqs")
+		os.Exit(2)
+	}
+	rep := cf.compile(ctx, "usage: cqcli compile -view '...' -rel NAME=FILE [-rel ...] -o FILE.cqs")
+	printStats(rep, "built")
+	if err := rep.Save(*out); err != nil {
+		fatal(err)
+	}
+	if info, err := os.Stat(*out); err == nil {
+		fmt.Fprintf(os.Stderr, "saved snapshot %s (%d bytes); serve it with: cqcli serve %s\n", *out, info.Size(), *out)
+	}
+}
+
+// serveMain is `cqcli serve`: load a snapshot and answer stdin requests —
+// no recompilation, so startup is bounded by I/O, not by T_C.
+func serveMain(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("cqcli serve", flag.ExitOnError)
+	limit := fs.Int("limit", 20, "max tuples printed per request")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cqcli serve [-limit N] FILE.cqs")
+		os.Exit(2)
+	}
+	rep, err := cqrep.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	printStats(rep, "loaded")
+	serveLoop(ctx, rep, *limit)
+}
+
+// legacyMain is the original one-process flow: compile, then serve stdin.
+func legacyMain(ctx context.Context) {
+	fs := flag.NewFlagSet("cqcli", flag.ExitOnError)
+	cf := addCompileFlags(fs)
+	limit := fs.Int("limit", 20, "max tuples printed per request")
+	fs.Parse(os.Args[1:])
+	rep := cf.compile(ctx, "usage: cqcli [compile|serve] -view '...' -rel NAME=FILE [-rel ...]")
+	printStats(rep, "built")
+	serveLoop(ctx, rep, *limit)
+}
+
+// printStats reports the representation's shape on stderr.
+func printStats(rep *cqrep.Representation, verb string) {
+	st := rep.Stats()
+	fmt.Fprintf(os.Stderr, "%s %v representation: %d entries, %d bytes, compile time %v\n",
+		verb, st.Strategy, st.Entries, st.Bytes, st.BuildTime)
+	fmt.Fprintf(os.Stderr, "bound order: %v; output columns: %v\n", rep.BoundNames(), rep.FreeNames())
+}
+
+// serveLoop reads one access request per line from stdin and prints the
+// matching free tuples.
+func serveLoop(ctx context.Context, rep *cqrep.Representation, limit int) {
+	bound := rep.BoundNames()
 	// Stdin is read on its own goroutine so Ctrl-C still exits the process
 	// while the main loop is blocked waiting for a request line (the signal
 	// context suppresses SIGINT's default kill behavior).
@@ -159,7 +255,7 @@ func main() {
 		count := 0
 		for t := range rep.All(ctx, vb) {
 			count++
-			if count <= *limit {
+			if count <= limit {
 				fmt.Println(t)
 			}
 		}
@@ -193,6 +289,12 @@ func fatal(err error) {
 		fmt.Fprintln(os.Stderr, "cqcli:", err)
 	case errors.Is(err, cqrep.ErrBadOption):
 		fmt.Fprintln(os.Stderr, "cqcli: an option argument is out of range")
+		fmt.Fprintln(os.Stderr, "cqcli:", err)
+	case errors.Is(err, cqrep.ErrSnapshotVersion):
+		fmt.Fprintln(os.Stderr, "cqcli: the snapshot was written by an incompatible cqcli version; recompile it with `cqcli compile`")
+		fmt.Fprintln(os.Stderr, "cqcli:", err)
+	case errors.Is(err, cqrep.ErrBadSnapshot):
+		fmt.Fprintln(os.Stderr, "cqcli: the snapshot file is corrupt or not a cqrep snapshot; recompile it with `cqcli compile`")
 		fmt.Fprintln(os.Stderr, "cqcli:", err)
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "cqcli: interrupted")

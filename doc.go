@@ -31,8 +31,25 @@
 //
 // Failures wrap typed sentinel errors — ErrBadView, ErrInfeasibleBudget,
 // ErrBadBinding, ErrClosed, ErrStrategyMismatch, ErrUnknownStrategy,
-// ErrBadOption — so callers branch with errors.Is instead of matching
-// message strings.
+// ErrBadOption, ErrArity, ErrBadSnapshot, ErrSnapshotVersion — so callers
+// branch with errors.Is instead of matching message strings.
+//
+// # Compile once, serve many
+//
+// The preprocessing cost T_C is paid once and persisted: Save writes a
+// compiled representation to a versioned, checksummed binary snapshot and
+// Load reads it back without recompiling, enumerating byte-for-byte
+// identically to the representation that was saved (WriteTo and
+// ReadRepresentation are the io.Writer/io.Reader forms).
+//
+//	rep, _ := cqrep.Compile(ctx, view, db)
+//	_ = rep.Save("view.cqs")          // this process pays T_C
+//
+//	rep2, err := cqrep.Load("view.cqs") // later processes just load
+//	if errors.Is(err, cqrep.ErrBadSnapshot) { /* corrupt or foreign file */ }
+//
+// cmd/cqcli exposes the same split as `cqcli compile -o view.cqs` and
+// `cqcli serve view.cqs`; DESIGN.md §4 specifies the wire format.
 //
 // # Serving and maintenance
 //

@@ -32,4 +32,14 @@ var (
 	// ErrBadOption: an option argument outside its domain (server buffer
 	// < 1, negative budget, ...).
 	ErrBadOption = core.ErrBadOption
+	// ErrArity: a Maintained.Insert/Delete tuple whose length does not
+	// match the target relation's arity.
+	ErrArity = core.ErrArity
+	// ErrBadSnapshot: a snapshot stream that cannot be loaded — wrong
+	// magic bytes, checksum mismatch, truncation, or an inconsistent
+	// payload.
+	ErrBadSnapshot = core.ErrBadSnapshot
+	// ErrSnapshotVersion: a snapshot written with a format version this
+	// build does not understand.
+	ErrSnapshotVersion = core.ErrSnapshotVersion
 )

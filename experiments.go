@@ -41,7 +41,7 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 
 // Experiment identifies one reproduction experiment.
 type Experiment struct {
-	ID          string // "E1".."E16"
+	ID          string // "E1".."E17"
 	Description string
 }
 
@@ -99,6 +99,10 @@ var experimentRunners = []struct {
 	{"E16", "parallel compilation speedup and Server throughput scaling",
 		func(c ExperimentConfig) []*bench.Table {
 			return experiments.E16Parallel(c.Scale/8, c.Queries, c.Seed, c.Workers)
+		}},
+	{"E17", "snapshot startup: loading a saved representation vs recompiling (E1/E6)",
+		func(c ExperimentConfig) []*bench.Table {
+			return experiments.E17SnapshotStartup(c.Scale, c.Queries, c.Seed)
 		}},
 }
 

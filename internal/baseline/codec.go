@@ -1,0 +1,73 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cqrep/internal/join"
+	"cqrep/internal/relation"
+)
+
+// codec.go (de)serializes the MaterializedView baseline for the snapshot
+// subsystem: the bucketed output tuples are the expensive precomputed
+// state (worst-case |D|^{ρ*}), so they are stored verbatim; DirectEval and
+// AllBound carry no precomputed state and need no codec.
+
+// EncodeTo appends the materialized view to e: buckets sorted by bound
+// valuation key, each with its free tuples in lexicographic order, so
+// identical materializations always serialize to identical bytes.
+func (m *MaterializedView) EncodeTo(e *relation.Encoder) {
+	e.Int(int64(m.elapsed))
+	keys := make([]string, 0, len(m.buckets))
+	for k := range m.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Uint(uint64(len(keys)))
+	for _, k := range keys {
+		e.Raw([]byte(k))
+		tuples := m.buckets[k]
+		e.Uint(uint64(len(tuples)))
+		for _, t := range tuples {
+			e.TupleFixed(t)
+		}
+	}
+}
+
+// DecodeMaterialized reads a materialized view previously written by
+// EncodeTo, rebinding it to inst (freshly built from the same base
+// relations). Bucket keys and tuple arities are fixed by the view's bound
+// and free variable counts, so truncation and corruption fail decoding.
+func DecodeMaterialized(d *relation.Decoder, inst *join.Instance) (*MaterializedView, error) {
+	elapsed := time.Duration(d.Int())
+	keyLen := 8 * len(inst.NV.Bound)
+	nBuckets := d.Count(keyLen + 1)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	m := &MaterializedView{inst: inst, buckets: make(map[string][]relation.Tuple, nBuckets), elapsed: elapsed}
+	for i := 0; i < nBuckets; i++ {
+		key := string(d.Raw(keyLen))
+		n := d.Count(8 * inst.Mu)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("baseline: snapshot bucket %d is empty", i)
+		}
+		if _, dup := m.buckets[key]; dup {
+			return nil, fmt.Errorf("baseline: snapshot repeats bucket %d", i)
+		}
+		tuples := make([]relation.Tuple, n)
+		for j := range tuples {
+			tuples[j] = d.TupleFixed(inst.Mu)
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		m.buckets[key] = tuples
+		m.tuples += n
+	}
+	return m, nil
+}

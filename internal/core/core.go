@@ -153,6 +153,7 @@ type Representation struct {
 	view *cq.View // the compiled full view
 	nv   *cq.NormalizedView
 	inst *join.Instance
+	db   *relation.Database // the base database the view was compiled over
 
 	strategy Strategy
 	prim     *primitive.Structure
@@ -201,7 +202,7 @@ func BuildContext(ctx context.Context, view *cq.View, db *relation.Database, opt
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadView, err)
 	}
-	r := &Representation{orig: view, view: full, nv: nv, inst: inst}
+	r := &Representation{orig: view, view: full, nv: nv, inst: inst, db: db}
 	start := time.Now()
 
 	strategy := cfg.strategy

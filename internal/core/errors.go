@@ -36,4 +36,18 @@ var (
 	// ErrBadOption reports an option with an out-of-domain argument, such
 	// as a server buffer below 1 or a negative budget.
 	ErrBadOption = errors.New("cqrep: invalid option")
+
+	// ErrArity reports a tuple whose length does not match the target
+	// relation's arity, on either the insert or the delete path of a
+	// maintained view.
+	ErrArity = errors.New("cqrep: tuple arity mismatch")
+
+	// ErrBadSnapshot reports a snapshot that cannot be loaded: wrong magic
+	// bytes, a checksum mismatch, truncation, or a payload inconsistent
+	// with itself.
+	ErrBadSnapshot = errors.New("cqrep: bad snapshot")
+
+	// ErrSnapshotVersion reports a snapshot written with a format version
+	// this build does not understand.
+	ErrSnapshotVersion = errors.New("cqrep: unsupported snapshot version")
 )

@@ -48,6 +48,12 @@ type Maintained struct {
 
 	rebuilding atomic.Bool
 	wg         sync.WaitGroup
+
+	// testHookPreClear, when set (tests only, before any use), runs right
+	// before rebuildBatch clears the rebuilding flag — the window in which
+	// a concurrent triggerRebuild loses its CompareAndSwap and relies on
+	// the post-clear staleness re-check for liveness.
+	testHookPreClear func()
 }
 
 type change struct {
@@ -97,9 +103,16 @@ func (m *Maintained) buffer(rel string, t relation.Tuple, del bool) error {
 		m.mu.Unlock()
 		return err
 	}
-	if !del && r.Arity() != len(t) {
+	// Both paths must validate arity: a silently buffered wrong-arity
+	// delete would never match anything and poison the batch's semantics
+	// (historically only inserts were checked).
+	if r.Arity() != len(t) {
 		m.mu.Unlock()
-		return fmt.Errorf("core: inserting arity-%d tuple into %s/%d", len(t), rel, r.Arity())
+		op := "inserting"
+		if del {
+			op = "deleting"
+		}
+		return fmt.Errorf("%w: %s arity-%d tuple for %s/%d", ErrArity, op, len(t), rel, r.Arity())
 	}
 	m.pending = append(m.pending, change{rel: rel, tuple: t.Clone(), delete: del})
 	stale := m.staleLocked()
@@ -153,6 +166,7 @@ func (m *Maintained) rebuildBatch() {
 
 	if n == 0 {
 		m.rebuilding.Store(false)
+		m.retriggerIfStale()
 		return
 	}
 
@@ -188,10 +202,26 @@ func (m *Maintained) rebuildBatch() {
 		m.rebuilds++
 		m.rep.Store(rep)
 	}
-	stale := applyErr == nil && m.staleLocked()
 	m.mu.Unlock()
 
+	if m.testHookPreClear != nil {
+		m.testHookPreClear()
+	}
 	m.rebuilding.Store(false)
+	m.retriggerIfStale()
+}
+
+// retriggerIfStale re-examines staleness after the rebuilding flag has
+// been cleared and chains another rebuild if churn warrants one. The
+// staleness check MUST happen after Store(false): a triggerRebuild racing
+// between an earlier staleness snapshot and the flag clear loses its CAS,
+// and if that churn were only accounted before the clear the wakeup would
+// be lost — maintenance would stall until the next unrelated Insert or
+// Query.
+func (m *Maintained) retriggerIfStale() {
+	m.mu.RLock()
+	stale := m.err == nil && m.staleLocked()
+	m.mu.RUnlock()
 	if stale {
 		m.triggerRebuild()
 	}

@@ -183,25 +183,22 @@ func (s *Server) worker() {
 
 // serve drains one request into its channel, aborting on Close or on the
 // request's own context so that a consumer that stopped reading cannot
-// wedge the worker forever.
+// wedge the worker forever. Abort conditions are re-checked with priority
+// before every send: a blocking select alone would pick randomly between a
+// ready buffer slot and a closed done channel, letting a cancelled request
+// keep filling its buffer nondeterministically.
 func (s *Server) serve(req *serverReq) {
 	defer close(req.out)
-	select {
-	case <-s.quit:
+	if s.aborted(req) {
 		return
-	default:
-	}
-	if req.done != nil {
-		select {
-		case <-req.done:
-			return
-		default:
-		}
 	}
 	it := s.src.Query(req.vb)
 	for {
 		t, ok := it.Next()
 		if !ok {
+			return
+		}
+		if s.aborted(req) {
 			return
 		}
 		select {
@@ -213,6 +210,24 @@ func (s *Server) serve(req *serverReq) {
 			return
 		}
 	}
+}
+
+// aborted reports, without blocking, whether the server is closing or the
+// request's context is done.
+func (s *Server) aborted(req *serverReq) bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+	}
+	if req.done != nil {
+		select {
+		case <-req.done:
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 // Closed reports whether Close has begun. A false result is advisory
@@ -260,8 +275,19 @@ type chanIterator struct {
 
 // Next blocks until the serving worker produces the next tuple, returning
 // false when the request's enumeration is complete (or was aborted by
-// Close or context cancellation).
+// Close or context cancellation). Cancellation is checked with priority:
+// once the context is done, Next returns false even when tuples are still
+// buffered — a plain two-way select would pick between the ready channel
+// and the closed done channel at random, yielding a nondeterministic
+// number of post-cancellation tuples.
 func (it *chanIterator) Next() (relation.Tuple, bool) {
+	if it.done != nil {
+		select {
+		case <-it.done:
+			return nil, false
+		default:
+		}
+	}
 	select {
 	case t, ok := <-it.ch:
 		return t, ok

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"cqrep/internal/baseline"
+	"cqrep/internal/cq"
+	"cqrep/internal/decomp"
+	"cqrep/internal/join"
+	"cqrep/internal/primitive"
+	"cqrep/internal/relation"
+)
+
+// snapshot.go implements the compile-once / serve-many split: a compiled
+// Representation serializes to a self-describing binary snapshot that a
+// later process loads without paying the compression cost T_C again. The
+// wire format (specified in DESIGN.md, "Snapshot wire format") is
+//
+//	magic "CQREPS" | version uint16 BE | payload length uint64 BE |
+//	payload | CRC-32 (IEEE) of payload, uint32 BE
+//
+// The payload stores the adorned view, the base relations it references,
+// the strategy, and the strategy's expensive precomputed state (trees,
+// dictionaries, materialized buckets). Derived state — normalized views,
+// sorted base indexes, estimators, bag projections, traversal tables — is
+// reconstructed deterministically at load time, so a loaded representation
+// enumerates byte-for-byte identically to the freshly compiled one.
+
+const (
+	snapshotMagic   = "CQREPS"
+	snapshotVersion = 1
+	// snapshotHeaderLen is magic + version + payload length.
+	snapshotHeaderLen = len(snapshotMagic) + 2 + 8
+)
+
+// WriteTo serializes the representation as one snapshot frame. It
+// implements io.WriterTo; use the root package's Save for the file-path
+// convenience.
+func (r *Representation) WriteTo(w io.Writer) (int64, error) {
+	var payload bytes.Buffer
+	e := relation.NewEncoder(&payload)
+	encodeView(e, r.orig)
+	e.Database(r.referencedDB())
+	e.Uint(uint64(r.strategy))
+	e.Int(int64(r.stats.BuildTime))
+	switch r.strategy {
+	case PrimitiveStrategy:
+		r.prim.EncodeTo(e)
+	case DecompositionStrategy:
+		r.dcmp.EncodeTo(e)
+	case MaterializedStrategy:
+		r.mat.EncodeTo(e)
+	case DirectStrategy, AllBoundStrategy:
+		// No precomputed state beyond the base indexes.
+	}
+	if err := e.Err(); err != nil {
+		return 0, err
+	}
+
+	var hdr [snapshotHeaderLen]byte
+	copy(hdr[:], snapshotMagic)
+	binary.BigEndian.PutUint16(hdr[len(snapshotMagic):], snapshotVersion)
+	binary.BigEndian.PutUint64(hdr[len(snapshotMagic)+2:], uint64(payload.Len()))
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload.Bytes()))
+
+	var total int64
+	for _, chunk := range [][]byte{hdr[:], payload.Bytes(), sum[:]} {
+		n, err := w.Write(chunk)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// referencedDB returns the base relations the view's body references — the
+// part of the build database a snapshot must carry. Unreferenced relations
+// in the original database are deliberately not stored.
+func (r *Representation) referencedDB() *relation.Database {
+	out := relation.NewDatabase()
+	for _, a := range r.view.Body {
+		if rel, err := r.db.Relation(a.Relation); err == nil {
+			out.Add(rel)
+		}
+	}
+	return out
+}
+
+// ReadRepresentation loads a snapshot previously written by WriteTo.
+// A stream that does not start with the snapshot magic, fails its
+// checksum, is truncated, or carries an inconsistent payload fails with an
+// error wrapping ErrBadSnapshot; a version this build does not understand
+// fails with ErrSnapshotVersion. On success the loaded representation
+// answers queries byte-for-byte identically to the one that was saved;
+// Stats().BuildTime reports the original compression time T_C, not the
+// (much smaller) load time.
+func ReadRepresentation(rd io.Reader) (*Representation, error) {
+	var hdr [snapshotHeaderLen]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %w", ErrBadSnapshot, err)
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic bytes", ErrBadSnapshot)
+	}
+	version := binary.BigEndian.Uint16(hdr[len(snapshotMagic):])
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot has format version %d, this build reads version %d", ErrSnapshotVersion, version, snapshotVersion)
+	}
+	payloadLen := binary.BigEndian.Uint64(hdr[len(snapshotMagic)+2:])
+
+	// Copy rather than pre-allocate payloadLen so a corrupt length field
+	// fails with a truncation error instead of an OOM-sized allocation.
+	var payload bytes.Buffer
+	if n, err := io.CopyN(&payload, rd, int64(payloadLen)); err != nil || uint64(n) != payloadLen {
+		return nil, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrBadSnapshot, payload.Len(), payloadLen)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(rd, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %w", ErrBadSnapshot, err)
+	}
+	if got := crc32.ChecksumIEEE(payload.Bytes()); got != binary.BigEndian.Uint32(sum[:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+
+	r, err := decodeRepresentation(relation.NewDecoder(payload.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	return r, nil
+}
+
+// decodeRepresentation rebuilds a representation from a verified payload:
+// it re-runs the cheap deterministic front of Build (extend, normalize,
+// index) over the stored view and relations, then installs the decoded
+// expensive structures instead of recompiling them.
+func decodeRepresentation(d *relation.Decoder) (*Representation, error) {
+	view, err := decodeView(d)
+	if err != nil {
+		return nil, err
+	}
+	db, err := d.Database()
+	if err != nil {
+		return nil, err
+	}
+	strategy := Strategy(d.Uint())
+	buildTime := time.Duration(d.Int())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+
+	full := view.ExtendToFull()
+	nv, err := cq.Normalize(full, db)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := join.NewInstance(nv)
+	if err != nil {
+		return nil, err
+	}
+	r := &Representation{orig: view, view: full, nv: nv, inst: inst, db: db, strategy: strategy}
+	r.stats.Strategy = strategy
+	r.stats.BuildTime = buildTime
+
+	switch strategy {
+	case PrimitiveStrategy:
+		s, err := primitive.Decode(d, inst)
+		if err != nil {
+			return nil, err
+		}
+		r.prim = s
+		st := s.Stats()
+		r.stats.Entries = st.DictEntries + st.TreeNodes
+		r.stats.Bytes = st.Bytes
+		r.stats.Tau = s.Tau()
+		r.stats.Alpha = s.Estimator().Alpha
+	case DecompositionStrategy:
+		s, err := decomp.Decode(d, nv, inst)
+		if err != nil {
+			return nil, err
+		}
+		r.dcmp = s
+		st := s.Stats()
+		r.stats.Entries = st.DictEntries + st.TreeNodes
+		r.stats.Bytes = st.Bytes
+		r.stats.Width = st.Width
+		r.stats.Height = st.Height
+	case MaterializedStrategy:
+		m, err := baseline.DecodeMaterialized(d, inst)
+		if err != nil {
+			return nil, err
+		}
+		r.mat = m
+		st := m.Stats()
+		r.stats.Entries = st.Tuples
+		r.stats.Bytes = st.Bytes
+	case DirectStrategy:
+		r.direct = baseline.NewDirectEval(inst)
+	case AllBoundStrategy:
+		if inst.Mu != 0 {
+			return nil, fmt.Errorf("AllBound snapshot over a view with %d free variables", inst.Mu)
+		}
+		r.allBound = baseline.NewAllBound(inst)
+	default:
+		return nil, fmt.Errorf("unknown strategy %d", int(strategy))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after structure payload", d.Remaining())
+	}
+	return r, nil
+}
+
+// encodeView writes an adorned view: name, head, access pattern, and body
+// atoms with their variable/constant terms.
+func encodeView(e *relation.Encoder, v *cq.View) {
+	e.String(v.Name)
+	e.Uint(uint64(len(v.Head)))
+	for _, h := range v.Head {
+		e.String(h)
+	}
+	e.String(v.Pattern.String())
+	e.Uint(uint64(len(v.Body)))
+	for _, a := range v.Body {
+		e.String(a.Relation)
+		e.Uint(uint64(len(a.Terms)))
+		for _, t := range a.Terms {
+			e.Bool(t.IsConst)
+			if t.IsConst {
+				e.Value(t.Const)
+			} else {
+				e.String(t.Var)
+			}
+		}
+	}
+}
+
+// decodeView reads a view written by encodeView and re-validates it.
+func decodeView(d *relation.Decoder) (*cq.View, error) {
+	v := &cq.View{Name: d.String()}
+	nHead := d.Count(1)
+	for i := 0; i < nHead; i++ {
+		v.Head = append(v.Head, d.String())
+	}
+	pattern, err := cq.ParseAccessPattern(d.String())
+	if err != nil {
+		return nil, err
+	}
+	v.Pattern = pattern
+	nBody := d.Count(2)
+	for i := 0; i < nBody; i++ {
+		a := cq.Atom{Relation: d.String()}
+		nTerms := d.Count(1)
+		for j := 0; j < nTerms; j++ {
+			if d.Bool() {
+				a.Terms = append(a.Terms, cq.C(d.Value()))
+			} else {
+				a.Terms = append(a.Terms, cq.V(d.String()))
+			}
+		}
+		v.Body = append(v.Body, a)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,124 @@
+package decomp
+
+import (
+	"fmt"
+	"time"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/join"
+	"cqrep/internal/primitive"
+	"cqrep/internal/relation"
+)
+
+// codec.go (de)serializes the Theorem-2 structure for the snapshot
+// subsystem. Only the inputs that cannot be cheaply rederived are written:
+// the decomposition shape, the delay assignment, and each bag's Theorem-1
+// structure (already refined by Algorithm 4). Everything else — the
+// projected bag relations, bag instances, traversal tables, and the
+// eq. (3) widths — is deterministic derived state and is reconstructed at
+// decode time, so loading skips both the per-bag dictionary builds and the
+// bottom-up semijoin refinement.
+
+// EncodeTo appends the structure to e.
+func (s *Structure) EncodeTo(e *relation.Encoder) {
+	e.Int(int64(s.elapsed))
+	e.Uint(uint64(len(s.dec.Bags)))
+	for _, bagVars := range s.dec.Bags {
+		e.Uint(uint64(len(bagVars)))
+		for _, v := range bagVars {
+			e.Uint(uint64(v))
+		}
+	}
+	for _, p := range s.dec.Parent {
+		e.Int(int64(p))
+	}
+	e.Floats(s.delta)
+	for t := 1; t < len(s.bags); t++ {
+		b := s.bags[t]
+		e.Bool(b.prim != nil)
+		if b.prim != nil {
+			b.prim.EncodeTo(e)
+		}
+	}
+}
+
+// Decode reads a structure previously written by EncodeTo, rebinding it
+// to nv (freshly normalized from the same view and base relations) and
+// gInst (the caller's already-built instance over nv, so the load path
+// does not re-derive active domains). The decomposition is re-validated
+// against the view's hypergraph, so a payload inconsistent with the view
+// fails instead of producing a structure that violates the
+// running-intersection invariants.
+func Decode(d *relation.Decoder, nv *cq.NormalizedView, gInst *join.Instance) (*Structure, error) {
+	elapsed := time.Duration(d.Int())
+	nBags := d.Count(2)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	dec := &Decomposition{Bags: make([][]int, nBags), Parent: make([]int, nBags)}
+	for t := 0; t < nBags; t++ {
+		n := d.Count(1)
+		bagVars := make([]int, n)
+		for i := range bagVars {
+			bagVars[i] = int(d.Uint())
+		}
+		dec.Bags[t] = bagVars
+	}
+	for t := 0; t < nBags; t++ {
+		dec.Parent[t] = int(d.Int())
+	}
+	delta := d.Floats()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	h := nv.Hypergraph()
+	if err := dec.Validate(h, nv.Bound); err != nil {
+		return nil, fmt.Errorf("decomp: snapshot decomposition: %w", err)
+	}
+	if len(delta) != nBags {
+		return nil, fmt.Errorf("decomp: snapshot delay assignment has %d entries for %d bags", len(delta), nBags)
+	}
+	for t := 1; t < len(delta); t++ {
+		if delta[t] < 0 {
+			return nil, fmt.Errorf("decomp: snapshot has negative delay exponent %v at bag %d", delta[t], t)
+		}
+	}
+	widths, err := dec.Widths(h, delta)
+	if err != nil {
+		return nil, err
+	}
+	s := &Structure{
+		nv:      nv,
+		gInst:   gInst,
+		dec:     dec,
+		delta:   delta,
+		bags:    make([]*bag, nBags),
+		widths:  widths,
+		dbSize:  databaseSize(nv),
+		elapsed: elapsed,
+	}
+	for t := 1; t < nBags; t++ {
+		b, _, err := s.assembleBag(t, h)
+		if err != nil {
+			return nil, err
+		}
+		hasPrim := d.Bool()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if hasPrim != (len(b.freeVars) > 0) {
+			return nil, fmt.Errorf("decomp: snapshot bag %d structure presence disagrees with its free variables", t)
+		}
+		if hasPrim {
+			p, err := primitive.Decode(d, b.inst)
+			if err != nil {
+				return nil, fmt.Errorf("decomp: snapshot bag %d: %w", t, err)
+			}
+			b.prim = p
+			b.tau = p.Tau()
+		}
+		s.bags[t] = b
+	}
+	s.indexTraversal()
+	return s, nil
+}

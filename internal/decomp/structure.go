@@ -166,8 +166,19 @@ func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64, opts ...B
 			return nil, err
 		}
 	}
-	s.pre = dec.Preorder()
-	s.posOf = make([]int, len(dec.Bags))
+	s.indexTraversal()
+	if err := s.refineDictionaries(cfg.ctx); err != nil {
+		return nil, err
+	}
+	s.elapsed = time.Since(start)
+	return s, nil
+}
+
+// indexTraversal derives the Algorithm-5 traversal tables (pre-order,
+// position-of, parent-position) from the decomposition.
+func (s *Structure) indexTraversal() {
+	s.pre = s.dec.Preorder()
+	s.posOf = make([]int, len(s.dec.Bags))
 	for i := range s.posOf {
 		s.posOf[i] = -1
 	}
@@ -176,18 +187,13 @@ func Build(nv *cq.NormalizedView, dec *Decomposition, delta []float64, opts ...B
 	}
 	s.parentPos = make([]int, len(s.pre))
 	for i, t := range s.pre {
-		p := dec.Parent[t]
+		p := s.dec.Parent[t]
 		if p == 0 {
 			s.parentPos[i] = -1
 		} else {
 			s.parentPos[i] = s.posOf[p]
 		}
 	}
-	if err := s.refineDictionaries(cfg.ctx); err != nil {
-		return nil, err
-	}
-	s.elapsed = time.Since(start)
-	return s, nil
 }
 
 // databaseSize is |D|: total tuples over the distinct base relations.
@@ -207,6 +213,29 @@ func databaseSize(nv *cq.NormalizedView) int {
 // instance and (when free variables exist) its Theorem-1 structure with the
 // eq. (3)-optimal cover.
 func (s *Structure) buildBag(ctx context.Context, t int, h cq.Hypergraph, workers int) (*bag, error) {
+	b, localU, err := s.assembleBag(t, h)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.freeVars) == 0 {
+		return b, nil
+	}
+	// Rescale the LP cover so rounding never drops below exact coverage.
+	localU = normalizeCover(b.inst.NV.Hypergraph(), localU)
+	b.tau = math.Max(1, math.Pow(float64(s.dbSize), s.delta[t]))
+	b.prim, err = primitive.Build(b.inst, localU, b.tau, primitive.Workers(workers), primitive.Context(ctx))
+	if err != nil {
+		return nil, fmt.Errorf("decomp: bag %d structure: %w", t, err)
+	}
+	return b, nil
+}
+
+// assembleBag builds the derived (cheap, deterministic) bag state shared
+// by Build and snapshot Decode: the projected relations, the bag-local
+// view and instance, and the eq. (3) cover restricted to the bag's edges.
+// The expensive Theorem-1 structure is attached by the caller — compiled
+// by buildBag, decoded from a snapshot by Decode.
+func (s *Structure) assembleBag(t int, h cq.Hypergraph) (*bag, fractional.Cover, error) {
 	dec := s.dec
 	b := &bag{
 		id:        t,
@@ -253,23 +282,13 @@ func (s *Structure) buildBag(ctx context.Context, t int, h cq.Hypergraph, worker
 	}
 	nvBag, err := cq.Normalize(view, db)
 	if err != nil {
-		return nil, fmt.Errorf("decomp: bag %d view: %w", t, err)
+		return nil, nil, fmt.Errorf("decomp: bag %d view: %w", t, err)
 	}
 	b.inst, err = join.NewInstance(nvBag)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if len(b.freeVars) == 0 {
-		return b, nil
-	}
-	// Rescale the LP cover so rounding never drops below exact coverage.
-	localU = normalizeCover(nvBag.Hypergraph(), localU)
-	b.tau = math.Max(1, math.Pow(float64(s.dbSize), s.delta[t]))
-	b.prim, err = primitive.Build(b.inst, localU, b.tau, primitive.Workers(workers), primitive.Context(ctx))
-	if err != nil {
-		return nil, fmt.Errorf("decomp: bag %d structure: %w", t, err)
-	}
-	return b, nil
+	return b, localU, nil
 }
 
 // normalizeCover divides a near-cover by its minimum coverage so LP

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"cqrep/internal/bench"
+	"cqrep/internal/core"
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+// E17SnapshotStartup quantifies the compile-once / serve-many split: for
+// the E1 triangle and E6 path workloads it compiles a representation,
+// saves it to a snapshot file, loads it back, and compares startup cost —
+// the compression time T_C against the snapshot load time — after
+// verifying that the loaded structure enumerates byte-for-byte identically
+// to the freshly compiled one on a sample of access requests. The load
+// path only re-derives linear-space state (sorted base indexes), so the
+// gap widens exactly where preprocessing is superlinear.
+func E17SnapshotStartup(edges, queries int, seed int64) []*bench.Table {
+	t := bench.NewTable("E17 Snapshot startup: load vs compile (E1 triangle, E6 path)",
+		"case", "strategy", "snapshot bytes", "compile T_C", "load", "speedup")
+	t.Note = "loaded enumeration verified byte-identical to the compiled structure"
+
+	triView := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	triDB := workload.TriangleDB(seed, edges/12, edges/2)
+	pathView := workload.PathView(4)
+	pathDB := workload.PathDB(seed, 4, edges/8, intSqrt(edges/4))
+
+	cases := []struct {
+		name string
+		view *cq.View
+		db   *relation.Database
+		opts []core.Option
+	}{
+		{"E1 triangle", triView, triDB, []core.Option{core.WithStrategy(core.PrimitiveStrategy), core.WithSpaceBudget(float64(edges) * 8)}},
+		{"E1 triangle", triView, triDB, []core.Option{core.WithStrategy(core.DecompositionStrategy)}},
+		{"E6 path", pathView, pathDB, []core.Option{core.WithStrategy(core.PrimitiveStrategy), core.WithTau(float64(intSqrt(edges)))}},
+		{"E6 path", pathView, pathDB, []core.Option{core.WithStrategy(core.DecompositionStrategy)}},
+	}
+	for _, c := range cases {
+		rep, err := core.Build(c.view, c.db, c.opts...)
+		if err != nil {
+			panic(err)
+		}
+		loaded, size, loadTime := saveAndLoad(rep)
+		verifyIdentical(rep, loaded, queries, seed)
+		compile := rep.Stats().BuildTime
+		speedup := "-"
+		if loadTime > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(compile)/float64(loadTime))
+		}
+		t.Add(c.name, rep.Stats().Strategy.String(), size, compile, loadTime, speedup)
+	}
+	return []*bench.Table{t}
+}
+
+// saveAndLoad round-trips the representation through a snapshot file and
+// times the load (open, verify checksum, decode, rebuild base indexes).
+func saveAndLoad(rep *core.Representation) (*core.Representation, int, time.Duration) {
+	f, err := os.CreateTemp("", "cqrep-e17-*.cqs")
+	if err != nil {
+		panic(err)
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	if _, err := rep.WriteTo(f); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	g, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	defer g.Close()
+	loaded, err := core.ReadRepresentation(g)
+	if err != nil {
+		panic(err)
+	}
+	return loaded, int(info.Size()), time.Since(start)
+}
+
+// verifyIdentical drains a sample of access requests from both
+// representations and insists on byte-identical enumerations — order
+// included.
+func verifyIdentical(a, b *core.Representation, queries int, seed int64) {
+	vbs := sampleVbs(rand.New(rand.NewSource(seed+17)), a.Instance(), queries)
+	for _, vb := range vbs {
+		var wantBuf, gotBuf bytes.Buffer
+		for _, t := range core.Drain(a.Query(vb)) {
+			wantBuf.Write(t.AppendEncode(nil))
+		}
+		for _, t := range core.Drain(b.Query(vb)) {
+			gotBuf.Write(t.AppendEncode(nil))
+		}
+		if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+			panic(fmt.Sprintf("E17: loaded snapshot enumerates differently for request %v", vb))
+		}
+	}
+}

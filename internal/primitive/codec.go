@@ -1,0 +1,149 @@
+package primitive
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cqrep/internal/interval"
+	"cqrep/internal/join"
+	"cqrep/internal/relation"
+)
+
+// codec.go (de)serializes the Theorem-1 structure for the snapshot
+// subsystem. Only the expensive precomputed state is written — the
+// delay-balanced tree, the heavy-pair dictionary, and the parameters
+// (τ, cover) that reproduce the estimator — while derived state (the
+// estimator itself, the base indexes held by the join.Instance) is
+// reconstructed at decode time from the base relations.
+
+// EncodeTo appends the structure to e: τ, the exhaustive flag, the build
+// time, the fractional edge cover, the tree in id (pre-)order, and the
+// dictionary with keys sorted so identical structures always serialize to
+// identical bytes.
+func (s *Structure) EncodeTo(e *relation.Encoder) {
+	e.Float(s.tau)
+	e.Bool(s.exhaustive)
+	e.Int(int64(s.elapsed))
+	e.Floats(s.est.U)
+
+	e.Uint(uint64(len(s.nodes)))
+	for _, n := range s.nodes {
+		e.Uint(uint64(n.level))
+		e.Tuple(n.iv.Lo)
+		e.Tuple(n.iv.Hi)
+		e.Bool(n.iv.LoInc)
+		e.Bool(n.iv.HiInc)
+		e.Tuple(n.beta)
+		e.Int(linkID(n.left))
+		e.Int(linkID(n.right))
+	}
+
+	keys := make([]string, 0, len(s.dict))
+	for k := range s.dict {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Uint(uint64(len(keys)))
+	for _, k := range keys {
+		e.Raw([]byte(k))
+		e.Byte(s.dict[k])
+	}
+}
+
+// linkID returns a child pointer as an id, -1 when absent.
+func linkID(n *node) int64 {
+	if n == nil {
+		return -1
+	}
+	return int64(n.id)
+}
+
+// Decode reads a structure previously written by EncodeTo, rebinding it to
+// inst (freshly built from the same base relations). The estimator is
+// reconstructed from the stored cover; tree links, intervals, and
+// dictionary keys are validated so a corrupt payload fails instead of
+// producing a structure that panics at query time.
+func Decode(d *relation.Decoder, inst *join.Instance) (*Structure, error) {
+	tau := d.Float()
+	exhaustive := d.Bool()
+	elapsed := time.Duration(d.Int())
+	u := d.Floats()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("primitive: snapshot threshold τ = %v below 1", tau)
+	}
+	est, err := join.NewEstimator(inst, u)
+	if err != nil {
+		return nil, fmt.Errorf("primitive: snapshot cover: %w", err)
+	}
+	s := &Structure{inst: inst, est: est, tau: tau, exhaustive: exhaustive, elapsed: elapsed}
+
+	mu := inst.Mu
+	nNodes := d.Count(4)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s.nodes = make([]*node, nNodes)
+	links := make([][2]int64, nNodes)
+	for i := 0; i < nNodes; i++ {
+		n := &node{id: int32(i), level: int(d.Uint())}
+		n.iv = interval.Interval{Lo: d.Tuple(), Hi: d.Tuple(), LoInc: d.Bool(), HiInc: d.Bool()}
+		n.beta = d.Tuple()
+		links[i] = [2]int64{d.Int(), d.Int()}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(n.iv.Lo) != mu || len(n.iv.Hi) != mu {
+			return nil, fmt.Errorf("primitive: snapshot node %d interval has arity %d/%d, want %d", i, len(n.iv.Lo), len(n.iv.Hi), mu)
+		}
+		if n.beta != nil && len(n.beta) != mu {
+			return nil, fmt.Errorf("primitive: snapshot node %d split point has arity %d, want %d", i, len(n.beta), mu)
+		}
+		if n.level > s.maxLevel {
+			s.maxLevel = n.level
+		}
+		s.nodes[i] = n
+	}
+	for i, l := range links {
+		for side, id := range l {
+			if id == -1 {
+				continue
+			}
+			// Children always follow their parent in pre-order, so a link
+			// must point strictly forward; anything else is corruption.
+			if id <= int64(i) || id >= int64(nNodes) {
+				return nil, fmt.Errorf("primitive: snapshot node %d has invalid child link %d", i, id)
+			}
+			if side == 0 {
+				s.nodes[i].left = s.nodes[id]
+			} else {
+				s.nodes[i].right = s.nodes[id]
+			}
+		}
+	}
+	if nNodes > 0 {
+		s.root = s.nodes[0]
+	}
+
+	keyLen := 4 + 8*len(inst.NV.Bound)
+	nDict := d.Count(keyLen + 1)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s.dict = make(map[string]byte, nDict)
+	for i := 0; i < nDict; i++ {
+		key := d.Raw(keyLen)
+		bit := d.Byte()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if bit > 1 {
+			return nil, fmt.Errorf("primitive: snapshot dictionary bit %#x at entry %d", bit, i)
+		}
+		s.dict[string(key)] = bit
+	}
+	return s, nil
+}

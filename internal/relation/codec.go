@@ -1,0 +1,379 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// codec.go is the binary wire vocabulary shared by every snapshot
+// encoder/decoder in the tree (primitive, decomp, baseline, core). The
+// format is deliberately simple and self-consistent:
+//
+//   - unsigned integers and counts: LEB128 uvarint
+//   - signed integers (node links, parent pointers): zigzag uvarint
+//   - floats: IEEE-754 bits, 8 bytes big-endian
+//   - Values: 8 bytes big-endian (matching Tuple.AppendEncode)
+//   - strings and length-prefixed tuples: uvarint length + payload
+//   - fixed-arity tuples (relation rows): raw values, arity known
+//
+// Encoders swallow errors into a sticky Err so call sites stay linear;
+// Decoders additionally validate every count against the bytes remaining,
+// so a corrupt or truncated payload fails fast instead of allocating
+// unbounded memory.
+
+// Encoder writes the snapshot wire format to an io.Writer with a sticky
+// error.
+type Encoder struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+// NewEncoder returns an encoder over w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Err returns the first write error, if any.
+func (e *Encoder) Err() error { return e.err }
+
+// Len returns the number of bytes written so far.
+func (e *Encoder) Len() int64 { return e.n }
+
+func (e *Encoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	n, err := e.w.Write(p)
+	e.n += int64(n)
+	e.err = err
+}
+
+// Byte writes one raw byte.
+func (e *Encoder) Byte(b byte) { e.write([]byte{b}) }
+
+// Raw writes p verbatim (the caller's decoder must know the length).
+func (e *Encoder) Raw(p []byte) { e.write(p) }
+
+// Uint writes v as a LEB128 uvarint.
+func (e *Encoder) Uint(v uint64) {
+	var buf [10]byte
+	i := 0
+	for v >= 0x80 {
+		buf[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	buf[i] = byte(v)
+	e.write(buf[:i+1])
+}
+
+// Int writes v zigzag-encoded as a uvarint.
+func (e *Encoder) Int(v int64) { e.Uint(uint64(v<<1) ^ uint64(v>>63)) }
+
+// Bool writes b as one byte (0 or 1).
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Float writes the IEEE-754 bits of f, 8 bytes big-endian.
+func (e *Encoder) Float(f float64) { e.be64(math.Float64bits(f)) }
+
+func (e *Encoder) be64(u uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], u)
+	e.write(buf[:])
+}
+
+// Floats writes a uvarint count followed by each float.
+func (e *Encoder) Floats(fs []float64) {
+	e.Uint(uint64(len(fs)))
+	for _, f := range fs {
+		e.Float(f)
+	}
+}
+
+// Value writes one Value, 8 bytes big-endian (the Tuple.AppendEncode
+// layout).
+func (e *Encoder) Value(v Value) { e.be64(uint64(v)) }
+
+// String writes a uvarint length followed by the bytes.
+func (e *Encoder) String(s string) {
+	e.Uint(uint64(len(s)))
+	e.write([]byte(s))
+}
+
+// Tuple writes a nil-aware, length-prefixed tuple: 0 encodes nil,
+// len(t)+1 encodes t itself.
+func (e *Encoder) Tuple(t Tuple) {
+	if t == nil {
+		e.Uint(0)
+		return
+	}
+	e.Uint(uint64(len(t)) + 1)
+	for _, v := range t {
+		e.Value(v)
+	}
+}
+
+// TupleFixed writes the values of t with no length prefix; the decoder
+// supplies the arity.
+func (e *Encoder) TupleFixed(t Tuple) {
+	for _, v := range t {
+		e.Value(v)
+	}
+}
+
+// Relation writes the relation's name, arity, cardinality, and rows in
+// lexicographic order. Rows are streamed straight off the deduplicated
+// store (Len sorts, Row reads in place), not cloned — base relations
+// dominate a snapshot's size and must not be copied just to serialize.
+func (e *Encoder) Relation(r *Relation) {
+	e.String(r.Name())
+	e.Uint(uint64(r.Arity()))
+	n := r.Len()
+	e.Uint(uint64(n))
+	for i := 0; i < n; i++ {
+		e.TupleFixed(r.Row(i))
+	}
+}
+
+// Database writes the database's relations sorted by name, so identical
+// databases always serialize to identical bytes.
+func (e *Encoder) Database(db *Database) {
+	names := db.Names()
+	e.Uint(uint64(len(names)))
+	for _, n := range names {
+		r, _ := db.Relation(n)
+		e.Relation(r)
+	}
+}
+
+// Decoder reads the snapshot wire format from an in-memory payload with a
+// sticky error. Every length and count is validated against the bytes
+// remaining, so corrupt input fails with an error instead of a huge
+// allocation or a panic.
+type Decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewDecoder returns a decoder over payload.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("relation: snapshot decode: "+format, args...)
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.fail("truncated payload: need %d bytes, have %d", n, d.Remaining())
+		return nil
+	}
+	p := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return p
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// Raw reads n raw bytes.
+func (d *Decoder) Raw(n int) []byte { return d.take(n) }
+
+// Uint reads a LEB128 uvarint.
+func (d *Decoder) Uint() uint64 {
+	var v uint64
+	var shift uint
+	for i := 0; i < 10; i++ {
+		if d.err != nil {
+			return 0
+		}
+		b := d.Byte()
+		if shift == 63 && b > 1 {
+			d.fail("uvarint overflows 64 bits")
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+	}
+	d.fail("uvarint longer than 10 bytes")
+	return 0
+}
+
+// Int reads a zigzag-encoded signed integer.
+func (d *Decoder) Int() int64 {
+	u := d.Uint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Bool reads one byte, rejecting anything but 0 and 1.
+func (d *Decoder) Bool() bool {
+	b := d.Byte()
+	if d.err == nil && b > 1 {
+		d.fail("invalid boolean byte %#x", b)
+	}
+	return b == 1
+}
+
+// Float reads 8 big-endian bytes as IEEE-754 bits.
+func (d *Decoder) Float() float64 { return math.Float64frombits(d.be64()) }
+
+func (d *Decoder) be64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+// Count reads a uvarint count of elements each at least elemBytes wide and
+// validates it against the bytes remaining.
+func (d *Decoder) Count(elemBytes int) int {
+	v := d.Uint()
+	if d.err != nil {
+		return 0
+	}
+	if elemBytes < 1 {
+		elemBytes = 1
+	}
+	if v > uint64(d.Remaining()/elemBytes) {
+		d.fail("count %d exceeds remaining payload (%d bytes)", v, d.Remaining())
+		return 0
+	}
+	return int(v)
+}
+
+// Floats reads a counted float slice.
+func (d *Decoder) Floats() []float64 {
+	n := d.Count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Float()
+	}
+	return out
+}
+
+// Value reads one 8-byte big-endian Value.
+func (d *Decoder) Value() Value { return Value(d.be64()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Count(1)
+	p := d.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// Tuple reads a nil-aware, length-prefixed tuple (see Encoder.Tuple).
+func (d *Decoder) Tuple() Tuple {
+	n := d.Count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	return d.TupleFixed(n - 1)
+}
+
+// TupleFixed reads arity values as one tuple. Arity zero yields the empty
+// (non-nil) tuple.
+func (d *Decoder) TupleFixed(arity int) Tuple {
+	if d.err != nil {
+		return nil
+	}
+	if arity < 0 || d.Remaining() < 8*arity {
+		d.fail("truncated tuple: arity %d, %d bytes remaining", arity, d.Remaining())
+		return nil
+	}
+	t := make(Tuple, arity)
+	for i := range t {
+		t[i] = d.Value()
+	}
+	return t
+}
+
+// Relation reads one relation (see Encoder.Relation), rebuilding the
+// deduplicated sorted row set. Rows containing the reserved sentinel
+// values are rejected, mirroring Insert.
+func (d *Decoder) Relation() (*Relation, error) {
+	name := d.String()
+	arity := int(d.Uint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if arity < 0 || arity > 1<<20 {
+		d.fail("relation %s: implausible arity %d", name, arity)
+		return nil, d.err
+	}
+	n := d.Count(8 * arity)
+	if d.err != nil {
+		return nil, d.err
+	}
+	r := NewRelation(name, arity)
+	r.rows = make([]Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		t := d.TupleFixed(arity)
+		if d.err != nil {
+			return nil, d.err
+		}
+		for _, v := range t {
+			if v == NegInf || v == PosInf {
+				d.fail("relation %s: row %v contains reserved sentinel value", name, t)
+				return nil, d.err
+			}
+		}
+		r.rows = append(r.rows, t)
+	}
+	r.dedupe()
+	return r, nil
+}
+
+// Database reads one database (see Encoder.Database).
+func (d *Decoder) Database() (*Database, error) {
+	n := d.Count(2)
+	if d.err != nil {
+		return nil, d.err
+	}
+	db := NewDatabase()
+	for i := 0; i < n; i++ {
+		r, err := d.Relation()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.Relation(r.Name()); err == nil {
+			d.fail("duplicate relation %s", r.Name())
+			return nil, d.err
+		}
+		db.Add(r)
+	}
+	return db, nil
+}

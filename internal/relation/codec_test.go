@@ -1,0 +1,213 @@
+package relation
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestCodecScalars(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Uint(0)
+	e.Uint(127)
+	e.Uint(128)
+	e.Uint(math.MaxUint64)
+	e.Int(0)
+	e.Int(-1)
+	e.Int(math.MinInt64)
+	e.Int(math.MaxInt64)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float(math.Pi)
+	e.Float(math.Inf(-1))
+	e.Value(NegInf)
+	e.Value(42)
+	e.String("")
+	e.String("héllo")
+	e.Byte(0xab)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != int64(buf.Len()) {
+		t.Fatalf("Len() = %d, wrote %d", e.Len(), buf.Len())
+	}
+
+	d := NewDecoder(buf.Bytes())
+	for _, want := range []uint64{0, 127, 128, math.MaxUint64} {
+		if got := d.Uint(); got != want {
+			t.Fatalf("Uint = %d, want %d", got, want)
+		}
+	}
+	for _, want := range []int64{0, -1, math.MinInt64, math.MaxInt64} {
+		if got := d.Int(); got != want {
+			t.Fatalf("Int = %d, want %d", got, want)
+		}
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bools round-tripped wrong")
+	}
+	if got := d.Float(); got != math.Pi {
+		t.Fatalf("Float = %v", got)
+	}
+	if got := d.Float(); !math.IsInf(got, -1) {
+		t.Fatalf("Float = %v, want -Inf", got)
+	}
+	if got := d.Value(); got != NegInf {
+		t.Fatalf("Value = %v, want NegInf", got)
+	}
+	if got := d.Value(); got != 42 {
+		t.Fatalf("Value = %v, want 42", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.String(); got != "héllo" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.Byte(); got != 0xab {
+		t.Fatalf("Byte = %#x", got)
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err = %v, remaining = %d", d.Err(), d.Remaining())
+	}
+}
+
+func TestCodecTuples(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Tuple(nil)
+	e.Tuple(Tuple{})
+	e.Tuple(Tuple{1, -5, 7})
+	e.TupleFixed(Tuple{9, 10})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(buf.Bytes())
+	if got := d.Tuple(); got != nil {
+		t.Fatalf("nil tuple decoded as %v", got)
+	}
+	if got := d.Tuple(); got == nil || len(got) != 0 {
+		t.Fatalf("empty tuple decoded as %v", got)
+	}
+	if got := d.Tuple(); !got.Equal(Tuple{1, -5, 7}) {
+		t.Fatalf("tuple decoded as %v", got)
+	}
+	if got := d.TupleFixed(2); !got.Equal(Tuple{9, 10}) {
+		t.Fatalf("fixed tuple decoded as %v", got)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestCodecDatabaseRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	r := NewRelation("R", 2)
+	r.MustInsert(3, 4)
+	r.MustInsert(1, 2)
+	r.MustInsert(3, 4) // duplicate: set semantics must survive the trip
+	s := NewRelation("S", 1)
+	s.MustInsert(9)
+	db.Add(r)
+	db.Add(s)
+
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Database(db)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(buf.Bytes()).Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != db.Size() {
+		t.Fatalf("Size = %d, want %d", got.Size(), db.Size())
+	}
+	gr, err := got.Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Len() != 2 || !gr.Contains(Tuple{1, 2}) || !gr.Contains(Tuple{3, 4}) {
+		t.Fatalf("R decoded as %v", gr.Tuples())
+	}
+
+	// Identical databases encode to identical bytes (sorted relations,
+	// sorted rows).
+	var again bytes.Buffer
+	e2 := NewEncoder(&again)
+	e2.Database(got)
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding a decoded database changed the bytes")
+	}
+}
+
+func TestDecoderHardening(t *testing.T) {
+	t.Run("uvarint overflow", func(t *testing.T) {
+		d := NewDecoder(bytes.Repeat([]byte{0xff}, 11))
+		d.Uint()
+		if d.Err() == nil {
+			t.Fatal("11-byte uvarint must fail")
+		}
+	})
+	t.Run("count exceeds payload", func(t *testing.T) {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.Uint(1 << 40) // a count far larger than the payload
+		d := NewDecoder(buf.Bytes())
+		if d.Count(8); d.Err() == nil {
+			t.Fatal("oversized count must fail instead of allocating")
+		}
+	})
+	t.Run("truncated value", func(t *testing.T) {
+		d := NewDecoder([]byte{1, 2, 3})
+		d.Value()
+		if d.Err() == nil {
+			t.Fatal("3-byte value must fail")
+		}
+	})
+	t.Run("invalid bool", func(t *testing.T) {
+		d := NewDecoder([]byte{7})
+		d.Bool()
+		if d.Err() == nil {
+			t.Fatal("bool byte 7 must fail")
+		}
+	})
+	t.Run("sticky error", func(t *testing.T) {
+		d := NewDecoder(nil)
+		d.Byte()
+		first := d.Err()
+		if first == nil {
+			t.Fatal("read past end must fail")
+		}
+		d.Uint()
+		if d.Err() != first {
+			t.Fatal("first error must stick")
+		}
+	})
+	t.Run("relation with sentinel row", func(t *testing.T) {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.String("R")
+		e.Uint(1)
+		e.Uint(1)
+		e.Value(PosInf)
+		if _, err := NewDecoder(buf.Bytes()).Relation(); err == nil {
+			t.Fatal("sentinel row must be rejected")
+		}
+	})
+	t.Run("duplicate relation name", func(t *testing.T) {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.Uint(2)
+		for i := 0; i < 2; i++ {
+			e.String("R")
+			e.Uint(1)
+			e.Uint(0)
+		}
+		if _, err := NewDecoder(buf.Bytes()).Database(); err == nil {
+			t.Fatal("duplicate relation must be rejected")
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package cqrep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"cqrep/internal/core"
+)
+
+// snapshot.go is the public face of the compile-once / serve-many split:
+// a compiled Representation serializes to a versioned, checksummed binary
+// snapshot (DESIGN.md, "Snapshot wire format") that a later process loads
+// in a fraction of the compression time T_C. A loaded representation
+// enumerates byte-for-byte identically to the one that was saved.
+
+// WriteTo serializes the representation as one snapshot frame to w,
+// implementing io.WriterTo. The frame is self-describing — magic bytes,
+// format version, payload length, and a CRC-32 payload checksum — so a
+// reader can reject foreign, corrupt, or version-skewed files before
+// touching the payload.
+func (r *Representation) WriteTo(w io.Writer) (int64, error) { return r.rep.WriteTo(w) }
+
+// ReadRepresentation loads a snapshot previously written by WriteTo.
+// Failures are typed: a stream that does not carry the snapshot magic, is
+// truncated, fails its checksum, or is self-inconsistent wraps
+// ErrBadSnapshot; a format version this build does not understand wraps
+// ErrSnapshotVersion. Stats().BuildTime of the loaded representation
+// reports the original compression time T_C.
+func ReadRepresentation(rd io.Reader) (*Representation, error) {
+	rep, err := core.ReadRepresentation(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Representation{rep: rep}, nil
+}
+
+// Save writes the representation's snapshot to path via a temporary file
+// in the same directory plus an atomic rename, so readers never observe a
+// half-written snapshot and a failed Save leaves no partial file behind.
+// The file ends up with plain os.Create permissions (0666 before umask) —
+// readable for the compile-once/serve-many handoff under the default
+// umask, private under a restrictive one.
+func (r *Representation) Save(path string) error {
+	f, tmp, err := createSibling(path)
+	if err != nil {
+		return err
+	}
+	if _, err := r.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cqrep: saving snapshot %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// createSibling opens a fresh temporary file next to path with the mode a
+// plain os.Create would give the destination (0666 restricted by the
+// process umask — os.CreateTemp would pin 0600 and chmod would override
+// the umask, both wrong for an artifact meant to replace path).
+func createSibling(path string) (*os.File, string, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	for i := 0; i < 10000; i++ {
+		tmp := filepath.Join(dir, fmt.Sprintf(".%s.tmp%d", base, rand.Uint64()))
+		f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		return f, tmp, err
+	}
+	return nil, "", fmt.Errorf("cqrep: saving snapshot %s: cannot create a temporary sibling", path)
+}
+
+// Load reads a snapshot file previously written by Save, with the same
+// error contract as ReadRepresentation.
+func Load(path string) (*Representation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := ReadRepresentation(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
