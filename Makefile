@@ -22,8 +22,10 @@ fmt-check:
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
+# -shuffle=on randomizes test order so inter-test state dependencies fail
+# in CI instead of in production debugging sessions.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -38,6 +40,7 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/cqbench -run E1 -n 2000
 	$(GO) run ./cmd/cqbench -parallel -n 1000 -queries 10
+	$(GO) run ./cmd/cqbench -shards 1,2 -n 800 -queries 5
 
 smoke: bench-smoke
 
@@ -55,6 +58,7 @@ examples:
 # format regression fails the build. Mirrors the CI snapshot job.
 snapshot-check:
 	$(GO) test -run 'TestSnapshot' ./...
+	$(GO) test -v -run 'TestSnapshotBackCompatV1' ./internal/core
 	$(GO) run ./cmd/cqbench -startup -n 1500 -queries 20
 
 ci: build vet fmt-check test race bench-smoke examples snapshot-check

@@ -308,8 +308,8 @@ func TestMaintainedFacade(t *testing.T) {
 // TestExperimentFacade smoke-runs the public experiment runner that
 // cmd/cqbench stands on.
 func TestExperimentFacade(t *testing.T) {
-	if len(cqrep.Experiments()) != 17 {
-		t.Fatalf("Experiments() lists %d entries, want 17", len(cqrep.Experiments()))
+	if len(cqrep.Experiments()) != 18 {
+		t.Fatalf("Experiments() lists %d entries, want 18", len(cqrep.Experiments()))
 	}
 	tables, err := cqrep.RunExperiment("e8", cqrep.ExperimentConfig{})
 	if err != nil {

@@ -6,6 +6,7 @@
 //	cqbench -run E1,E5 -n 20000 # selected experiments, custom scale
 //	cqbench -parallel           # parallel build / concurrent serving scaling
 //	cqbench -startup            # snapshot load vs recompile startup cost (E17)
+//	cqbench -shards 1,2,4,8     # sharded compile/rebuild scaling (E18)
 //
 // Scales are edge/tuple counts; all generators are seeded and
 // deterministic. cqbench drives the suite through the public cqrep
@@ -23,38 +24,90 @@ import (
 	"cqrep"
 )
 
+// benchFlags carries the parsed command line; separated from main so the
+// selection logic is testable.
+type benchFlags struct {
+	run      string
+	parallel bool
+	startup  bool
+	shards   string // non-empty selects only E18 with these counts
+	workers  string
+}
+
+// selectExperiments resolves the flag combination to the experiment id
+// set. The mode flags are exclusive shortcuts, checked in fixed priority
+// order (parallel, startup, shards) exactly as the historical switch did;
+// otherwise -run decides, with "all" meaning the whole suite.
+func selectExperiments(f benchFlags, all []cqrep.Experiment) map[string]bool {
+	selected := map[string]bool{}
+	switch {
+	case f.parallel:
+		selected["E16"] = true
+	case f.startup:
+		selected["E17"] = true
+	case f.shards != "":
+		selected["E18"] = true
+	case f.run == "all":
+		for _, e := range all {
+			selected[e.ID] = true
+		}
+	default:
+		for _, id := range strings.Split(f.run, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	return selected
+}
+
+// parseCounts parses a comma-separated list of positive ints (the -workers
+// and -shards lists). An empty string yields the fallback untouched.
+func parseCounts(flagName, s string, fallback []int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return fallback, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("cqbench: invalid count %q in -%s", part, flagName)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cqbench: -%s needs at least one count", flagName)
+	}
+	return out, nil
+}
+
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E17) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E18) or 'all'")
 	n := flag.Int("n", 8000, "base data scale (edges / tuples per relation)")
 	queries := flag.Int("queries", 50, "access requests per measurement")
 	seed := flag.Int64("seed", 42, "generator seed")
 	parallel := flag.Bool("parallel", false, "run only the parallel-scaling experiment (E16): build speedup and server throughput across worker counts")
 	startup := flag.Bool("startup", false, "run only the snapshot startup experiment (E17): compile, save, load, verify byte-identical enumeration, and compare load time against the compression time T_C")
+	shardsFlag := flag.String("shards", "", "run only the sharding experiment (E18) with these comma-separated shard counts: compile-time and rebuild-time scaling on the E1/E6 workloads, verified byte-identical")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel / E16 (run sorted ascending; the smallest is the speedup baseline)")
 	flag.Parse()
 
-	workers, err := parseWorkers(*workersFlag)
+	workers, err := parseCounts("workers", *workersFlag, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := cqrep.ExperimentConfig{Scale: *n, Queries: *queries, Seed: *seed, Workers: workers}
-
-	selected := map[string]bool{}
-	switch {
-	case *parallel:
-		selected["E16"] = true
-	case *startup:
-		selected["E17"] = true
-	case *run == "all":
-		for _, e := range cqrep.Experiments() {
-			selected[e.ID] = true
-		}
-	default:
-		for _, id := range strings.Split(*run, ",") {
-			selected[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
+	shardCounts, err := parseCounts("shards", *shardsFlag, []int{1, 2, 4, 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	cfg := cqrep.ExperimentConfig{Scale: *n, Queries: *queries, Seed: *seed, Workers: workers, Shards: shardCounts}
+
+	flags := benchFlags{run: *run, parallel: *parallel, startup: *startup, shards: *shardsFlag, workers: *workersFlag}
+	selected := selectExperiments(flags, cqrep.Experiments())
 
 	ran := 0
 	for _, e := range cqrep.Experiments() {
@@ -73,27 +126,7 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E17, all, -parallel, or -startup")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E18, all, -parallel, -startup, or -shards")
 		os.Exit(2)
 	}
-}
-
-// parseWorkers parses the -workers list into positive ints.
-func parseWorkers(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		w, err := strconv.Atoi(part)
-		if err != nil || w < 1 {
-			return nil, fmt.Errorf("cqbench: invalid worker count %q in -workers", part)
-		}
-		out = append(out, w)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("cqbench: -workers needs at least one count")
-	}
-	return out, nil
 }

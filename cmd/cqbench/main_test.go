@@ -1,0 +1,139 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cqrep"
+)
+
+// TestParseCounts covers the shared -workers / -shards list parser.
+func TestParseCounts(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"1,2,4,8", []int{1, 2, 4, 8}, false},
+		{" 3 , 5 ", []int{3, 5}, false},
+		{"7", []int{7}, false},
+		{"1,,2", []int{1, 2}, false},
+		{"0", nil, true},
+		{"-2", nil, true},
+		{"two", nil, true},
+		{"1,x", nil, true},
+		{",,", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseCounts("shards", c.in, nil)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseCounts(%q) = %v, want error", c.in, got)
+			} else if !strings.Contains(err.Error(), "-shards") {
+				t.Errorf("parseCounts(%q) error %q does not name the flag", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCounts(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseCounts(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseCounts(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestParseCountsFallback pins the empty-string behavior: the caller's
+// fallback list passes through untouched.
+func TestParseCountsFallback(t *testing.T) {
+	got, err := parseCounts("shards", "", []int{1, 2})
+	if err != nil || len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("parseCounts fallback = %v, %v", got, err)
+	}
+	got, err = parseCounts("workers", "  ", nil)
+	if err != nil || got != nil {
+		t.Fatalf("blank list = %v, %v; want nil fallback", got, err)
+	}
+}
+
+// TestSelectExperiments covers every selection mode and the mode-flag
+// priority order.
+func TestSelectExperiments(t *testing.T) {
+	all := cqrep.Experiments()
+	ids := map[string]bool{}
+	for _, e := range all {
+		ids[e.ID] = true
+	}
+	if !ids["E18"] {
+		t.Fatal("experiment suite does not list E18")
+	}
+
+	cases := []struct {
+		name  string
+		flags benchFlags
+		want  []string
+	}{
+		{"run all", benchFlags{run: "all"}, nil}, // nil = the whole suite
+		{"explicit ids", benchFlags{run: "E1,E6"}, []string{"E1", "E6"}},
+		{"case and space insensitive", benchFlags{run: " e2 , E18 "}, []string{"E2", "E18"}},
+		{"parallel shortcut", benchFlags{run: "all", parallel: true}, []string{"E16"}},
+		{"startup shortcut", benchFlags{run: "all", startup: true}, []string{"E17"}},
+		{"shards shortcut", benchFlags{run: "all", shards: "1,2,4"}, []string{"E18"}},
+		{"parallel wins over shards", benchFlags{run: "all", parallel: true, shards: "2"}, []string{"E16"}},
+		{"startup wins over shards", benchFlags{run: "all", startup: true, shards: "2"}, []string{"E17"}},
+		{"run E18 directly", benchFlags{run: "E18"}, []string{"E18"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := selectExperiments(c.flags, all)
+			if c.want == nil {
+				if len(got) != len(all) {
+					t.Fatalf("selected %d experiments, want the whole suite (%d)", len(got), len(all))
+				}
+				for _, e := range all {
+					if !got[e.ID] {
+						t.Fatalf("run=all missed %s", e.ID)
+					}
+				}
+				return
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("selected %v, want %v", got, c.want)
+			}
+			for _, id := range c.want {
+				if !got[id] {
+					t.Fatalf("selected %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectedExperimentsRunnable checks that every id the selection can
+// produce from the documented flag surface resolves in RunExperiment's
+// registry (an id drifting out of the suite must fail here, not at 2 a.m.
+// in a benchmark run).
+func TestSelectedExperimentsRunnable(t *testing.T) {
+	for _, flags := range []benchFlags{{parallel: true}, {startup: true}, {shards: "2"}} {
+		for id := range selectExperiments(flags, cqrep.Experiments()) {
+			found := false
+			for _, e := range cqrep.Experiments() {
+				if e.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("mode flag selects %s, which the suite does not list", id)
+			}
+		}
+	}
+}

@@ -16,8 +16,12 @@
 //
 //	cqcli -view 'V[bf](x, y) :- R(x, p), R2(y, p)' -rel R=r.csv -rel R2=r.csv
 //
-// Options mirror the library's planner: -tau, -space, -delay, -strategy.
-// Ctrl-C cancels an in-flight compilation or enumeration cleanly.
+// Options mirror the library's planner: -tau, -space, -delay, -strategy,
+// -workers, -shards. `-shards n` hash-partitions the database and compiles
+// one sub-representation per shard (requests route to the owning shard);
+// the shard count is baked into the snapshot, so `serve` reports it on
+// load and answers through the same routing. Ctrl-C cancels an in-flight
+// compilation or enumeration cleanly.
 //
 // cqcli is written entirely against the public cqrep package — it is the
 // reference out-of-tree consumer of the API.
@@ -54,6 +58,7 @@ type compileFlags struct {
 	delay    *float64
 	strategy *string
 	workers  *int
+	shards   *int
 }
 
 func addCompileFlags(fs *flag.FlagSet) *compileFlags {
@@ -67,6 +72,7 @@ func addCompileFlags(fs *flag.FlagSet) *compileFlags {
 		delay:    fs.Float64("delay", 0, "delay budget τ (planner minimizes space)"),
 		strategy: fs.String("strategy", "auto", "auto|primitive|decomposition|materialized|direct|allbound"),
 		workers:  fs.Int("workers", 0, "compilation worker goroutines (0 = GOMAXPROCS)"),
+		shards:   fs.Int("shards", 1, "hash-shard the database and compile one sub-representation per shard (1 = unsharded)"),
 	}
 }
 
@@ -94,7 +100,15 @@ func (cf *compileFlags) compile(ctx context.Context, usage string) *cqrep.Repres
 		fmt.Fprintf(os.Stderr, "loaded %s: %d tuples\n", name, rel.Len())
 	}
 
-	opts := []cqrep.Option{cqrep.WithWorkers(*cf.workers)}
+	var opts []cqrep.Option
+	if *cf.workers > 0 {
+		opts = append(opts, cqrep.WithWorkers(*cf.workers))
+	}
+	if *cf.shards != 1 {
+		// Out-of-range counts (0, negatives) flow through so Compile rejects
+		// them with ErrBadOption instead of being silently corrected here.
+		opts = append(opts, cqrep.WithShards(*cf.shards))
+	}
 	switch *cf.strategy {
 	case "auto":
 	case "primitive":
@@ -198,8 +212,12 @@ func legacyMain(ctx context.Context) {
 // printStats reports the representation's shape on stderr.
 func printStats(rep *cqrep.Representation, verb string) {
 	st := rep.Stats()
-	fmt.Fprintf(os.Stderr, "%s %v representation: %d entries, %d bytes, compile time %v\n",
-		verb, st.Strategy, st.Entries, st.Bytes, st.BuildTime)
+	sharding := ""
+	if st.Shards > 1 {
+		sharding = fmt.Sprintf(" across %d shards", st.Shards)
+	}
+	fmt.Fprintf(os.Stderr, "%s %v representation: %d entries, %d bytes%s, compile time %v\n",
+		verb, st.Strategy, st.Entries, st.Bytes, sharding, st.BuildTime)
 	fmt.Fprintf(os.Stderr, "bound order: %v; output columns: %v\n", rep.BoundNames(), rep.FreeNames())
 }
 

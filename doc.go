@@ -51,13 +51,20 @@
 // cmd/cqcli exposes the same split as `cqcli compile -o view.cqs` and
 // `cqcli serve view.cqs`; DESIGN.md §4 specifies the wire format.
 //
-// # Serving and maintenance
+// # Serving, maintenance, and sharding
 //
 // NewServer puts a bounded worker pool in front of a compiled
 // representation for many concurrent clients; every submission is tied to
 // a context, so an abandoned client frees its worker. NewMaintained wraps
 // a representation with buffered updates and amortized build-aside
 // rebuilds: queries never stall on compilation.
+//
+// WithShards(n) hash-partitions the database by the view's shard variable
+// and compiles one sub-representation per shard: requests route to the
+// owning shard (or merge-enumerate when the shard variable is free),
+// answers stay byte-for-byte identical to the unsharded representation,
+// snapshots nest one frame per shard, and a Maintained rebuild recompiles
+// only the shards the buffered churn touched.
 //
 // # Paper structure map
 //

@@ -12,18 +12,19 @@ import (
 // paper table or figure regenerated on the caller's machine).
 type ExperimentTable = bench.Table
 
-// ExperimentConfig scales an experiment run. Scale, Queries, and Workers
-// fall back to the EXPERIMENTS.md defaults (8000, 50, 1·2·4·8) when left
-// zero; Seed is used exactly as given — 0 is a valid PRNG seed, not a
-// request for the default (cmd/cqbench's -seed flag defaults to 42).
-// Per-experiment scale adjustments (e.g. E5 and E6 divide the scale
-// because their preprocessing is super-linear) are applied inside
-// RunExperiment, exactly as cmd/cqbench always did.
+// ExperimentConfig scales an experiment run. Scale, Queries, Workers, and
+// Shards fall back to the EXPERIMENTS.md defaults (8000, 50, 1·2·4·8,
+// 1·2·4·8) when left zero; Seed is used exactly as given — 0 is a valid
+// PRNG seed, not a request for the default (cmd/cqbench's -seed flag
+// defaults to 42). Per-experiment scale adjustments (e.g. E5 and E6
+// divide the scale because their preprocessing is super-linear) are
+// applied inside RunExperiment, exactly as cmd/cqbench always did.
 type ExperimentConfig struct {
 	Scale   int   // base data scale: edges / tuples per relation
 	Queries int   // access requests per measurement
 	Seed    int64 // generator seed; every generator is deterministic
 	Workers []int // worker counts for the parallel-scaling experiment E16
+	Shards  []int // shard counts for the sharding experiment E18
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
@@ -36,12 +37,15 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 	if len(c.Workers) == 0 {
 		c.Workers = []int{1, 2, 4, 8}
 	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4, 8}
+	}
 	return c
 }
 
 // Experiment identifies one reproduction experiment.
 type Experiment struct {
-	ID          string // "E1".."E17"
+	ID          string // "E1".."E18"
 	Description string
 }
 
@@ -103,6 +107,10 @@ var experimentRunners = []struct {
 	{"E17", "snapshot startup: loading a saved representation vs recompiling (E1/E6)",
 		func(c ExperimentConfig) []*bench.Table {
 			return experiments.E17SnapshotStartup(c.Scale, c.Queries, c.Seed)
+		}},
+	{"E18", "sharded compilation and maintenance scaling vs shard count (E1/E6); scale n/2 — each count compiles the view twice",
+		func(c ExperimentConfig) []*bench.Table {
+			return experiments.E18Sharding(c.Scale/2, c.Queries, c.Seed, c.Shards)
 		}},
 }
 

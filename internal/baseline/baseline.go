@@ -70,6 +70,13 @@ func (m *MaterializedView) Query(vb relation.Tuple) *SliceIter {
 	return &SliceIter{tuples: m.buckets[string(vb.AppendEncode(nil))]}
 }
 
+// Contains reports whether the bound valuation has any answer — a native
+// bucket probe for membership (Exists) requests, with no iterator
+// allocation.
+func (m *MaterializedView) Contains(vb relation.Tuple) bool {
+	return len(m.buckets[string(vb.AppendEncode(nil))]) > 0
+}
+
 // Stats reports the materialization footprint.
 type Stats struct {
 	Tuples    int
@@ -207,8 +214,14 @@ func NewAllBound(inst *join.Instance) *AllBound { return &AllBound{inst: inst} }
 // Query returns a one-tuple iterator holding the empty tuple when the
 // valuation is in the view, an empty iterator otherwise.
 func (a *AllBound) Query(vb relation.Tuple) *SliceIter {
-	if len(vb) == len(a.inst.NV.Bound) && a.inst.CheckAllBoundAtoms(vb) {
+	if a.Contains(vb) {
 		return &SliceIter{tuples: []relation.Tuple{{}}}
 	}
 	return &SliceIter{}
+}
+
+// Contains reports whether the valuation is in the view — Proposition 1's
+// constant number of index probes, with no iterator allocation.
+func (a *AllBound) Contains(vb relation.Tuple) bool {
+	return len(vb) == len(a.inst.NV.Bound) && a.inst.CheckAllBoundAtoms(vb)
 }

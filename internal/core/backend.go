@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"cqrep/internal/baseline"
+	"cqrep/internal/decomp"
+	"cqrep/internal/primitive"
+	"cqrep/internal/relation"
+)
+
+// backend is the uniform strategy surface behind a Representation: every
+// compressed representation — the Theorem-1 primitive, the Theorem-2
+// decomposed structure, the three baselines, and the sharded composite —
+// answers access requests, membership probes, and snapshot serialization
+// through this one interface. Adding a representation kind means writing a
+// backend and registering its backendSpec; no call site switches on the
+// strategy anymore.
+//
+// Backends are immutable after construction and safe for any number of
+// concurrent Query/Exists callers; iterators carry their own state.
+type backend interface {
+	// Query answers an access request given the bound-variable valuation
+	// in head order.
+	Query(vb relation.Tuple) Iterator
+	// Exists reports whether the access request has any answer. Backends
+	// with a native membership check (index probe, bucket lookup) answer
+	// without constructing an enumeration.
+	Exists(vb relation.Tuple) bool
+	// EncodeTo appends the backend's expensive precomputed state to a
+	// snapshot payload; the matching backendSpec.decode reverses it.
+	EncodeTo(e *relation.Encoder)
+	// EnumOrder returns the backend's enumeration order as output tuple
+	// positions, most significant first; nil means lexicographic head
+	// order. Composite backends compare heads through it when merging
+	// independent enumerations.
+	EnumOrder() []int
+}
+
+// backendSpec is one strategy's entry in the backend registry: how to
+// compile the backend from a configured build, and how to decode its
+// snapshot payload against a reconstructed representation shell (view,
+// normalized view, and base indexes already in place). Both hooks fill in
+// the representation's strategy-specific stats.
+type backendSpec struct {
+	build  func(r *Representation, cfg *config) (backend, error)
+	decode func(d *relation.Decoder, r *Representation) (backend, error)
+}
+
+// backendSpecs is the registry keyed by strategy tag. The snapshot codec
+// and Build both dispatch through it, so a new strategy plugs in here once
+// and is immediately compilable, servable, and persistable.
+var backendSpecs = map[Strategy]backendSpec{
+	PrimitiveStrategy: {
+		build: func(r *Representation, cfg *config) (backend, error) { return r.buildPrimitive(cfg) },
+		decode: func(d *relation.Decoder, r *Representation) (backend, error) {
+			s, err := primitive.Decode(d, r.inst)
+			if err != nil {
+				return nil, err
+			}
+			st := s.Stats()
+			r.stats.Entries = st.DictEntries + st.TreeNodes
+			r.stats.Bytes = st.Bytes
+			r.stats.Tau = s.Tau()
+			r.stats.Alpha = s.Estimator().Alpha
+			return primitiveBackend{s: s}, nil
+		},
+	},
+	DecompositionStrategy: {
+		build: func(r *Representation, cfg *config) (backend, error) { return r.buildDecomposition(cfg) },
+		decode: func(d *relation.Decoder, r *Representation) (backend, error) {
+			s, err := decomp.Decode(d, r.nv, r.inst)
+			if err != nil {
+				return nil, err
+			}
+			st := s.Stats()
+			r.stats.Entries = st.DictEntries + st.TreeNodes
+			r.stats.Bytes = st.Bytes
+			r.stats.Width = st.Width
+			r.stats.Height = st.Height
+			return decompBackend{s: s}, nil
+		},
+	},
+	MaterializedStrategy: {
+		build: func(r *Representation, cfg *config) (backend, error) {
+			m, err := baseline.Materialize(r.inst)
+			if err != nil {
+				return nil, err
+			}
+			st := m.Stats()
+			r.stats.Entries = st.Tuples
+			r.stats.Bytes = st.Bytes
+			return materializedBackend{m: m}, nil
+		},
+		decode: func(d *relation.Decoder, r *Representation) (backend, error) {
+			m, err := baseline.DecodeMaterialized(d, r.inst)
+			if err != nil {
+				return nil, err
+			}
+			st := m.Stats()
+			r.stats.Entries = st.Tuples
+			r.stats.Bytes = st.Bytes
+			return materializedBackend{m: m}, nil
+		},
+	},
+	DirectStrategy: {
+		build: func(r *Representation, cfg *config) (backend, error) {
+			return directBackend{d: baseline.NewDirectEval(r.inst)}, nil
+		},
+		decode: func(d *relation.Decoder, r *Representation) (backend, error) {
+			return directBackend{d: baseline.NewDirectEval(r.inst)}, nil
+		},
+	},
+	AllBoundStrategy: {
+		build: func(r *Representation, cfg *config) (backend, error) {
+			if r.inst.Mu != 0 {
+				return nil, fmt.Errorf("%w: AllBound requires every variable bound, view has %d free", ErrStrategyMismatch, r.inst.Mu)
+			}
+			return allBoundBackend{a: baseline.NewAllBound(r.inst)}, nil
+		},
+		decode: func(d *relation.Decoder, r *Representation) (backend, error) {
+			if r.inst.Mu != 0 {
+				return nil, fmt.Errorf("AllBound snapshot over a view with %d free variables", r.inst.Mu)
+			}
+			return allBoundBackend{a: baseline.NewAllBound(r.inst)}, nil
+		},
+	},
+}
+
+// existsByQuery is the generic membership fallback for backends without a
+// native probe: open an enumeration and ask for the first tuple.
+func existsByQuery(b backend, vb relation.Tuple) bool {
+	_, ok := b.Query(vb).Next()
+	return ok
+}
+
+// primitiveBackend serves the Theorem-1 delay-balanced structure.
+type primitiveBackend struct{ s *primitive.Structure }
+
+func (b primitiveBackend) Query(vb relation.Tuple) Iterator { return b.s.Query(vb) }
+func (b primitiveBackend) Exists(vb relation.Tuple) bool    { return existsByQuery(b, vb) }
+func (b primitiveBackend) EncodeTo(e *relation.Encoder)     { b.s.EncodeTo(e) }
+func (b primitiveBackend) EnumOrder() []int                 { return nil }
+
+// decompBackend serves the Theorem-2 per-bag structure.
+type decompBackend struct{ s *decomp.Structure }
+
+func (b decompBackend) Query(vb relation.Tuple) Iterator { return b.s.Query(vb) }
+func (b decompBackend) Exists(vb relation.Tuple) bool    { return existsByQuery(b, vb) }
+func (b decompBackend) EncodeTo(e *relation.Encoder)     { b.s.EncodeTo(e) }
+
+// EnumOrder is the decomposition-induced order of Algorithm 5 — the one
+// enumeration in the menu that is not lexicographic in head order.
+func (b decompBackend) EnumOrder() []int { return b.s.EnumOrder() }
+
+// materializedBackend serves the materialize-and-index baseline. Exists is
+// a native bucket lookup — no iterator is constructed.
+type materializedBackend struct{ m *baseline.MaterializedView }
+
+func (b materializedBackend) Query(vb relation.Tuple) Iterator { return b.m.Query(vb) }
+func (b materializedBackend) Exists(vb relation.Tuple) bool    { return b.m.Contains(vb) }
+func (b materializedBackend) EncodeTo(e *relation.Encoder)     { b.m.EncodeTo(e) }
+func (b materializedBackend) EnumOrder() []int                 { return nil }
+
+// directBackend evaluates every request from scratch; it stores no
+// precomputed state, so its snapshot payload is empty.
+type directBackend struct{ d *baseline.DirectEval }
+
+func (b directBackend) Query(vb relation.Tuple) Iterator { return b.d.Query(vb) }
+func (b directBackend) Exists(vb relation.Tuple) bool    { return existsByQuery(b, vb) }
+func (b directBackend) EncodeTo(e *relation.Encoder)     {}
+func (b directBackend) EnumOrder() []int                 { return nil }
+
+// allBoundBackend answers boolean views. Exists is a native constant-probe
+// membership check (Proposition 1) — no iterator is constructed.
+type allBoundBackend struct{ a *baseline.AllBound }
+
+func (b allBoundBackend) Query(vb relation.Tuple) Iterator { return b.a.Query(vb) }
+func (b allBoundBackend) Exists(vb relation.Tuple) bool    { return b.a.Contains(vb) }
+func (b allBoundBackend) EncodeTo(e *relation.Encoder)     {}
+func (b allBoundBackend) EnumOrder() []int                 { return nil }

@@ -17,7 +17,6 @@ import (
 	"runtime"
 	"time"
 
-	"cqrep/internal/baseline"
 	"cqrep/internal/cq"
 	"cqrep/internal/decomp"
 	"cqrep/internal/fractional"
@@ -83,6 +82,7 @@ type config struct {
 	spaceBudget float64 // entries; 0 = unset
 	delayBudget float64 // τ bound; 0 = unset
 	workers     int     // build parallelism; 0 = GOMAXPROCS
+	shards      int     // hash shards; <= 1 = single backend
 	ctx         context.Context
 }
 
@@ -118,11 +118,23 @@ func WithSpaceBudget(entries float64) Option { return func(cfg *config) { cfg.sp
 func WithDelayBudget(tau float64) Option { return func(cfg *config) { cfg.delayBudget = tau } }
 
 // WithWorkers bounds the goroutines used during compilation: decomposition
-// bags and heavy-pair dictionary nodes are built by a pool of at most n
-// workers. n <= 0 (the default) means runtime.GOMAXPROCS(0). The compiled
-// representation is identical for every worker count — parallelism changes
-// only the build wall-clock.
+// bags, heavy-pair dictionary nodes, and shard sub-representations are
+// built by a pool of at most n workers. n <= 0 (the default) means
+// runtime.GOMAXPROCS(0). The compiled representation is identical for every
+// worker count — parallelism changes only the build wall-clock.
 func WithWorkers(n int) Option { return func(cfg *config) { cfg.workers = n } }
+
+// WithShards hash-partitions the database by the values of the view's
+// shard variable (the first bound head variable, or the first free one for
+// views with no bound variables) and compiles one sub-representation per
+// shard. Shards compile in parallel under the WithWorkers pool; access
+// requests route directly to the owning shard when the shard variable is
+// bound and merge-enumerate across shards in global lexicographic order
+// when it is free, so the sharded representation enumerates byte-for-byte
+// identically to the unsharded one. Planner budgets (WithSpaceBudget,
+// WithDelayBudget) apply per shard. n <= 1 (the default) compiles a single
+// backend.
+func WithShards(n int) Option { return func(cfg *config) { cfg.shards = n } }
 
 // Stats describes a built representation.
 type Stats struct {
@@ -139,6 +151,9 @@ type Stats struct {
 	// Width and Height are the δ-width and δ-height for decompositions.
 	Width  float64
 	Height float64
+	// Shards counts the hash shards of the compiled representation; 1 means
+	// a single (unsharded) backend.
+	Shards int
 }
 
 // Representation is a compiled adorned view ready to serve access requests.
@@ -156,11 +171,7 @@ type Representation struct {
 	db   *relation.Database // the base database the view was compiled over
 
 	strategy Strategy
-	prim     *primitive.Structure
-	dcmp     *decomp.Structure
-	mat      *baseline.MaterializedView
-	direct   *baseline.DirectEval
-	allBound *baseline.AllBound
+	be       backend // the uniform strategy surface (see backend.go)
 
 	stats Stats
 }
@@ -177,6 +188,22 @@ func Build(view *cq.View, db *relation.Database, opts ...Option) (*Representatio
 // abandon the build promptly, returning ctx.Err(). A nil ctx means
 // context.Background().
 func BuildContext(ctx context.Context, view *cq.View, db *relation.Database, opts ...Option) (*Representation, error) {
+	cfg, err := newBuildConfig(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.shards > 1 {
+		return buildSharded(view, db, cfg)
+	}
+	return buildSingle(view, db, cfg)
+}
+
+// newBuildConfig resolves the option slice into a validated config. A nil
+// ctx means context.Background().
+func newBuildConfig(ctx context.Context, opts []Option) (*config, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -190,9 +217,14 @@ func BuildContext(ctx context.Context, view *cq.View, db *relation.Database, opt
 	if err := validateBudgets(cfg); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+	return cfg, nil
+}
+
+// newShell runs the cheap, deterministic front of every build and load:
+// extend the view to full, normalize it against db, and construct the
+// linear-space base indexes. The returned representation has no backend
+// yet.
+func newShell(view *cq.View, db *relation.Database) (*Representation, error) {
 	full := view.ExtendToFull()
 	nv, err := cq.Normalize(full, db)
 	if err != nil {
@@ -202,51 +234,48 @@ func BuildContext(ctx context.Context, view *cq.View, db *relation.Database, opt
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadView, err)
 	}
-	r := &Representation{orig: view, view: full, nv: nv, inst: inst, db: db}
-	start := time.Now()
+	return &Representation{orig: view, view: full, nv: nv, inst: inst, db: db}, nil
+}
 
-	strategy := cfg.strategy
-	if strategy == Auto {
-		switch {
-		case inst.Mu == 0:
-			strategy = AllBoundStrategy
-		case cfg.tau > 0 || cfg.spaceBudget > 0 || cfg.delayBudget > 0 || cfg.cover != nil:
-			strategy = PrimitiveStrategy
-		default:
-			strategy = DecompositionStrategy
-		}
+// resolveStrategy applies the Auto policy: AllBound for boolean views, the
+// Theorem-1 primitive when explicit budgets steer the planner, and the
+// constant-delay Theorem-2 structure otherwise. The choice depends only on
+// the view shape and the options, so every shard of a partitioned build
+// resolves to the same strategy.
+func resolveStrategy(cfg *config, inst *join.Instance) Strategy {
+	if cfg.strategy != Auto {
+		return cfg.strategy
 	}
+	switch {
+	case inst.Mu == 0:
+		return AllBoundStrategy
+	case cfg.tau > 0 || cfg.spaceBudget > 0 || cfg.delayBudget > 0 || cfg.cover != nil:
+		return PrimitiveStrategy
+	default:
+		return DecompositionStrategy
+	}
+}
+
+// buildSingle compiles one (unsharded) backend through the registry.
+func buildSingle(view *cq.View, db *relation.Database, cfg *config) (*Representation, error) {
+	r, err := newShell(view, db)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	strategy := resolveStrategy(cfg, r.inst)
 	r.strategy = strategy
 	r.stats.Strategy = strategy
-
-	switch strategy {
-	case PrimitiveStrategy:
-		if err := r.buildPrimitive(cfg); err != nil {
-			return nil, err
-		}
-	case DecompositionStrategy:
-		if err := r.buildDecomposition(cfg); err != nil {
-			return nil, err
-		}
-	case MaterializedStrategy:
-		m, err := baseline.Materialize(inst)
-		if err != nil {
-			return nil, err
-		}
-		r.mat = m
-		st := m.Stats()
-		r.stats.Entries = st.Tuples
-		r.stats.Bytes = st.Bytes
-	case DirectStrategy:
-		r.direct = baseline.NewDirectEval(inst)
-	case AllBoundStrategy:
-		if inst.Mu != 0 {
-			return nil, fmt.Errorf("%w: AllBound requires every variable bound, view has %d free", ErrStrategyMismatch, inst.Mu)
-		}
-		r.allBound = baseline.NewAllBound(inst)
-	default:
+	r.stats.Shards = 1
+	spec, ok := backendSpecs[strategy]
+	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownStrategy, strategy)
 	}
+	be, err := spec.build(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.be = be
 	if err := cfg.ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -280,9 +309,9 @@ func relationSizes(inst *join.Instance) []int {
 
 // buildPrimitive resolves (u, τ) from the options and Section-6 planner and
 // builds the Theorem-1 structure.
-func (r *Representation) buildPrimitive(cfg *config) error {
+func (r *Representation) buildPrimitive(cfg *config) (backend, error) {
 	if r.inst.Mu == 0 {
-		return fmt.Errorf("%w: primitive strategy requires at least one free variable", ErrStrategyMismatch)
+		return nil, fmt.Errorf("%w: primitive strategy requires at least one free variable", ErrStrategyMismatch)
 	}
 	h := r.nv.Hypergraph()
 	u := cfg.cover
@@ -291,7 +320,7 @@ func (r *Representation) buildPrimitive(cfg *config) error {
 	case cfg.spaceBudget > 0:
 		pt, err := fractional.MinDelayCover(h, r.nv.Free, relationSizes(r.inst), math.Log(cfg.spaceBudget))
 		if err != nil {
-			return fmt.Errorf("%w: space budget %g: %w", ErrInfeasibleBudget, cfg.spaceBudget, err)
+			return nil, fmt.Errorf("%w: space budget %g: %w", ErrInfeasibleBudget, cfg.spaceBudget, err)
 		}
 		if u == nil {
 			u = pt.U
@@ -302,7 +331,7 @@ func (r *Representation) buildPrimitive(cfg *config) error {
 	case cfg.delayBudget > 0:
 		pt, err := fractional.MinSpaceCover(h, r.nv.Free, relationSizes(r.inst), math.Log(cfg.delayBudget))
 		if err != nil {
-			return fmt.Errorf("%w: delay budget %g: %w", ErrInfeasibleBudget, cfg.delayBudget, err)
+			return nil, fmt.Errorf("%w: delay budget %g: %w", ErrInfeasibleBudget, cfg.delayBudget, err)
 		}
 		if u == nil {
 			u = pt.U
@@ -323,26 +352,25 @@ func (r *Representation) buildPrimitive(cfg *config) error {
 	}
 	s, err := primitive.Build(r.inst, u, tau, primitive.Workers(cfg.workers), primitive.Context(cfg.ctx))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	r.prim = s
 	st := s.Stats()
 	r.stats.Entries = st.DictEntries + st.TreeNodes
 	r.stats.Bytes = st.Bytes
 	r.stats.Tau = tau
 	r.stats.Alpha = s.Estimator().Alpha
-	return nil
+	return primitiveBackend{s: s}, nil
 }
 
 // buildDecomposition resolves the decomposition and delay assignment and
 // builds the Theorem-2 structure.
-func (r *Representation) buildDecomposition(cfg *config) error {
+func (r *Representation) buildDecomposition(cfg *config) (backend, error) {
 	h := r.nv.Hypergraph()
 	d := cfg.dec
 	if d == nil {
 		res, err := decomp.SearchConnex(h, r.nv.Bound)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		d = res.Dec
 	}
@@ -358,7 +386,7 @@ func (r *Representation) buildDecomposition(cfg *config) error {
 			var err error
 			delta, err = decomp.OptimizeDelta(r.nv, d, math.Log(cfg.spaceBudget))
 			if err != nil {
-				return fmt.Errorf("%w: space budget %g: %w", ErrInfeasibleBudget, cfg.spaceBudget, err)
+				return nil, fmt.Errorf("%w: space budget %g: %w", ErrInfeasibleBudget, cfg.spaceBudget, err)
 			}
 		case cfg.delayBudget > 1:
 			// Delay budget |D|^h: scale a uniform assignment to height h.
@@ -373,15 +401,14 @@ func (r *Representation) buildDecomposition(cfg *config) error {
 	}
 	s, err := decomp.Build(r.nv, d, delta, decomp.Workers(cfg.workers), decomp.Context(cfg.ctx))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	r.dcmp = s
 	st := s.Stats()
 	r.stats.Entries = st.DictEntries + st.TreeNodes
 	r.stats.Bytes = st.Bytes
 	r.stats.Width = st.Width
 	r.stats.Height = st.Height
-	return nil
+	return decompBackend{s: s}, nil
 }
 
 // sanitizeCover rescales LP output so numeric fuzz cannot invalidate the
@@ -422,20 +449,7 @@ func sanitizeCover(h cq.Hypergraph, u fractional.Cover) fractional.Cover {
 // Query answers an access request given the bound-variable valuation in
 // head order. It is safe to call from any number of goroutines; the
 // returned Iterator is not itself safe for sharing between goroutines.
-func (r *Representation) Query(vb relation.Tuple) Iterator {
-	switch r.strategy {
-	case PrimitiveStrategy:
-		return r.prim.Query(vb)
-	case DecompositionStrategy:
-		return r.dcmp.Query(vb)
-	case MaterializedStrategy:
-		return r.mat.Query(vb)
-	case DirectStrategy:
-		return r.direct.Query(vb)
-	default:
-		return r.allBound.Query(vb)
-	}
-}
+func (r *Representation) Query(vb relation.Tuple) Iterator { return r.be.Query(vb) }
 
 // QueryArgs answers an access request given bound values by variable name.
 // A valuation that does not match the view's bound variables fails with an
@@ -460,11 +474,10 @@ func (r *Representation) Bind(args map[string]relation.Value) (relation.Tuple, e
 
 // Exists reports whether the access request has any answer — the boolean
 // semantics of non-full adorned views (Section 3.3). Like Query, it is safe
-// for concurrent use.
-func (r *Representation) Exists(vb relation.Tuple) bool {
-	_, ok := r.Query(vb).Next()
-	return ok
-}
+// for concurrent use. Backends with a native membership probe (the
+// all-bound index check, the materialized bucket lookup) answer without
+// constructing an enumeration.
+func (r *Representation) Exists(vb relation.Tuple) bool { return r.be.Exists(vb) }
 
 // Stats returns the build statistics.
 func (r *Representation) Stats() Stats { return r.stats }

@@ -24,6 +24,10 @@ import (
 //     Queries keep draining the old snapshot throughout — its relations are
 //     never mutated — giving amortized update cost O(T_C / (fraction·|D|))
 //     with zero read stalls.
+//   - For sharded representations (WithShards) the batch maps back through
+//     the partitioner and only the dirty shards recompile, reusing every
+//     clean shard's structure — the amortized cost above divides by the
+//     shard count when churn is shard-local (see Representation.rebuildFor).
 //
 // This is the baseline any dynamic structure must beat; the recent
 // dichotomy of Berkholz et al. [8] cited by the paper shows constant-time
@@ -185,9 +189,12 @@ func (m *Maintained) rebuildBatch() {
 			break
 		}
 	}
+	// Sharded representations recompile only the shards whose partition the
+	// batch touched (see Representation.rebuildFor); everything else is a
+	// full recompile, exactly as before.
 	var rep *Representation
 	if applyErr == nil {
-		rep, applyErr = Build(m.view, clone, m.opts...)
+		rep, applyErr = m.rep.Load().rebuildFor(clone, batch, m.opts)
 	}
 
 	m.mu.Lock()

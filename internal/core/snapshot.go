@@ -8,11 +8,7 @@ import (
 	"io"
 	"time"
 
-	"cqrep/internal/baseline"
 	"cqrep/internal/cq"
-	"cqrep/internal/decomp"
-	"cqrep/internal/join"
-	"cqrep/internal/primitive"
 	"cqrep/internal/relation"
 )
 
@@ -25,15 +21,23 @@ import (
 //	payload | CRC-32 (IEEE) of payload, uint32 BE
 //
 // The payload stores the adorned view, the base relations it references,
-// the strategy, and the strategy's expensive precomputed state (trees,
-// dictionaries, materialized buckets). Derived state — normalized views,
-// sorted base indexes, estimators, bag projections, traversal tables — is
-// reconstructed deterministically at load time, so a loaded representation
-// enumerates byte-for-byte identically to the freshly compiled one.
+// the strategy, the shard count, and the backend's expensive precomputed
+// state (trees, dictionaries, materialized buckets — or, for a sharded
+// representation, one complete nested frame per shard). Derived state —
+// normalized views, sorted base indexes, estimators, bag projections,
+// traversal tables, the shard partitioner — is reconstructed
+// deterministically at load time, so a loaded representation enumerates
+// byte-for-byte identically to the freshly compiled one.
+//
+// Version history: version 1 (PR 3) carried a single backend and no shard
+// count; version 2 adds the shard-count field and the sharded composite
+// payload. Version-1 snapshots still load.
 
 const (
 	snapshotMagic   = "CQREPS"
-	snapshotVersion = 1
+	snapshotVersion = 2
+	// snapshotMinVersion is the oldest format this build still reads.
+	snapshotMinVersion = 1
 	// snapshotHeaderLen is magic + version + payload length.
 	snapshotHeaderLen = len(snapshotMagic) + 2 + 8
 )
@@ -48,16 +52,8 @@ func (r *Representation) WriteTo(w io.Writer) (int64, error) {
 	e.Database(r.referencedDB())
 	e.Uint(uint64(r.strategy))
 	e.Int(int64(r.stats.BuildTime))
-	switch r.strategy {
-	case PrimitiveStrategy:
-		r.prim.EncodeTo(e)
-	case DecompositionStrategy:
-		r.dcmp.EncodeTo(e)
-	case MaterializedStrategy:
-		r.mat.EncodeTo(e)
-	case DirectStrategy, AllBoundStrategy:
-		// No precomputed state beyond the base indexes.
-	}
+	e.Uint(uint64(r.stats.Shards))
+	r.be.EncodeTo(e)
 	if err := e.Err(); err != nil {
 		return 0, err
 	}
@@ -110,8 +106,8 @@ func ReadRepresentation(rd io.Reader) (*Representation, error) {
 		return nil, fmt.Errorf("%w: bad magic bytes", ErrBadSnapshot)
 	}
 	version := binary.BigEndian.Uint16(hdr[len(snapshotMagic):])
-	if version != snapshotVersion {
-		return nil, fmt.Errorf("%w: snapshot has format version %d, this build reads version %d", ErrSnapshotVersion, version, snapshotVersion)
+	if version < snapshotMinVersion || version > snapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot has format version %d, this build reads versions %d..%d", ErrSnapshotVersion, version, snapshotMinVersion, snapshotVersion)
 	}
 	payloadLen := binary.BigEndian.Uint64(hdr[len(snapshotMagic)+2:])
 
@@ -129,7 +125,7 @@ func ReadRepresentation(rd io.Reader) (*Representation, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
 	}
 
-	r, err := decodeRepresentation(relation.NewDecoder(payload.Bytes()))
+	r, err := decodeRepresentation(relation.NewDecoder(payload.Bytes()), version)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
@@ -139,8 +135,9 @@ func ReadRepresentation(rd io.Reader) (*Representation, error) {
 // decodeRepresentation rebuilds a representation from a verified payload:
 // it re-runs the cheap deterministic front of Build (extend, normalize,
 // index) over the stored view and relations, then installs the decoded
-// expensive structures instead of recompiling them.
-func decodeRepresentation(d *relation.Decoder) (*Representation, error) {
+// expensive structures — dispatched through the backend registry — instead
+// of recompiling them.
+func decodeRepresentation(d *relation.Decoder, version uint16) (*Representation, error) {
 	view, err := decodeView(d)
 	if err != nil {
 		return nil, err
@@ -151,64 +148,47 @@ func decodeRepresentation(d *relation.Decoder) (*Representation, error) {
 	}
 	strategy := Strategy(d.Uint())
 	buildTime := time.Duration(d.Int())
+	shards := 1
+	if version >= 2 {
+		n := d.Uint()
+		// Bounded like every other count in the codec: a sharded payload
+		// carries one length-prefixed nested frame (at least a header and
+		// checksum) per shard, so a larger count is corruption and must
+		// fail before it can size an allocation.
+		if n > 1 {
+			if n > uint64(d.Remaining()/(snapshotHeaderLen+5)) {
+				return nil, fmt.Errorf("shard count %d exceeds remaining payload (%d bytes)", n, d.Remaining())
+			}
+			shards = int(n)
+		}
+	}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
 
-	full := view.ExtendToFull()
-	nv, err := cq.Normalize(full, db)
+	r, err := newShell(view, db)
 	if err != nil {
 		return nil, err
 	}
-	inst, err := join.NewInstance(nv)
-	if err != nil {
-		return nil, err
-	}
-	r := &Representation{orig: view, view: full, nv: nv, inst: inst, db: db, strategy: strategy}
+	r.strategy = strategy
 	r.stats.Strategy = strategy
 	r.stats.BuildTime = buildTime
+	r.stats.Shards = 1
 
-	switch strategy {
-	case PrimitiveStrategy:
-		s, err := primitive.Decode(d, inst)
+	if shards > 1 {
+		if err := decodeShardedBackend(d, r, strategy, shards); err != nil {
+			return nil, err
+		}
+	} else {
+		spec, ok := backendSpecs[strategy]
+		if !ok {
+			return nil, fmt.Errorf("unknown strategy %d", int(strategy))
+		}
+		be, err := spec.decode(d, r)
 		if err != nil {
 			return nil, err
 		}
-		r.prim = s
-		st := s.Stats()
-		r.stats.Entries = st.DictEntries + st.TreeNodes
-		r.stats.Bytes = st.Bytes
-		r.stats.Tau = s.Tau()
-		r.stats.Alpha = s.Estimator().Alpha
-	case DecompositionStrategy:
-		s, err := decomp.Decode(d, nv, inst)
-		if err != nil {
-			return nil, err
-		}
-		r.dcmp = s
-		st := s.Stats()
-		r.stats.Entries = st.DictEntries + st.TreeNodes
-		r.stats.Bytes = st.Bytes
-		r.stats.Width = st.Width
-		r.stats.Height = st.Height
-	case MaterializedStrategy:
-		m, err := baseline.DecodeMaterialized(d, inst)
-		if err != nil {
-			return nil, err
-		}
-		r.mat = m
-		st := m.Stats()
-		r.stats.Entries = st.Tuples
-		r.stats.Bytes = st.Bytes
-	case DirectStrategy:
-		r.direct = baseline.NewDirectEval(inst)
-	case AllBoundStrategy:
-		if inst.Mu != 0 {
-			return nil, fmt.Errorf("AllBound snapshot over a view with %d free variables", inst.Mu)
-		}
-		r.allBound = baseline.NewAllBound(inst)
-	default:
-		return nil, fmt.Errorf("unknown strategy %d", int(strategy))
+		r.be = be
 	}
 	if err := d.Err(); err != nil {
 		return nil, err
@@ -217,6 +197,41 @@ func decodeRepresentation(d *relation.Decoder) (*Representation, error) {
 		return nil, fmt.Errorf("%d trailing bytes after structure payload", d.Remaining())
 	}
 	return r, nil
+}
+
+// decodeShardedBackend reads the sharded composite payload written by
+// shardedBackend.EncodeTo: the shard-key variable followed by one complete
+// nested snapshot frame per shard. The partitioner is rederived from the
+// view and shard count; the stored key variable cross-checks it.
+func decodeShardedBackend(d *relation.Decoder, r *Representation, strategy Strategy, shards int) error {
+	p := newPartitioner(r.view, shards)
+	keyVar := d.String()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if keyVar != p.keyVar {
+		return fmt.Errorf("sharded snapshot keyed by %q, view shards by %q", keyVar, p.keyVar)
+	}
+	subs := make([]*Representation, shards)
+	for i := range subs {
+		n := d.Count(1)
+		blob := d.Raw(n)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		sub, err := ReadRepresentation(bytes.NewReader(blob))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if sub.strategy != strategy {
+			return fmt.Errorf("shard %d has strategy %v, composite claims %v", i, sub.strategy, strategy)
+		}
+		subs[i] = sub
+	}
+	buildTime := r.stats.BuildTime
+	finishSharded(r, p, subs)
+	r.stats.BuildTime = buildTime
+	return nil
 }
 
 // encodeView writes an adorned view: name, head, access pattern, and body

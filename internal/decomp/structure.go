@@ -505,6 +505,25 @@ func (s *Structure) Stats() Stats {
 	return st
 }
 
+// EnumOrder returns the decomposition-induced enumeration order as output
+// tuple positions, most significant first: bags in pre-order, each
+// contributing the free variables it introduces in ascending id order —
+// Algorithm 5's nested-loop order. Composite backends (sharding) use it to
+// merge independent enumerations without breaking the global order.
+func (s *Structure) EnumOrder() []int {
+	pos := make(map[int]int, len(s.nv.Free))
+	for i, id := range s.nv.Free {
+		pos[id] = i
+	}
+	out := make([]int, 0, len(s.nv.Free))
+	for _, t := range s.pre {
+		for _, v := range s.bags[t].freeVars {
+			out = append(out, pos[v])
+		}
+	}
+	return out
+}
+
 // Decomposition returns the underlying connex decomposition.
 func (s *Structure) Decomposition() *Decomposition { return s.dec }
 

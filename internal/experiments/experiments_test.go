@@ -40,6 +40,7 @@ func TestAllExperimentsSmoke(t *testing.T) {
 		"E13": func() int { return countRows(E13DictionaryAblation(400, 5, 1)) },
 		"E14": func() int { return countRows(E14BuildScaling([]int{200, 400}, 1)) },
 		"E15": func() int { return countRows(E15DeltaShapes(120, 5, 1)) },
+		"E18": func() int { return countRows(E18Sharding(400, 5, 1, []int{1, 2})) },
 	}
 	for name, run := range runs {
 		rows := run()

@@ -37,6 +37,15 @@ func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 // Err returns the first write error, if any.
 func (e *Encoder) Err() error { return e.err }
 
+// Fail records err as the encoder's sticky error. Composite encoders use
+// it to surface failures from nested serialization steps that do not write
+// through this encoder directly.
+func (e *Encoder) Fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
 // Len returns the number of bytes written so far.
 func (e *Encoder) Len() int64 { return e.n }
 

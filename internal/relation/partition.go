@@ -1,0 +1,93 @@
+package relation
+
+// partition.go is the hash-partitioning vocabulary behind the core
+// package's sharded representations: a deterministic value→shard hash plus
+// helpers that split or alias relations without copying tuple payloads.
+// All of them produce read-only derived relations — mutating a partition
+// or an alias never disturbs the source rows.
+
+// ShardOf deterministically maps a value to one of n shards. The hash is a
+// fixed 64-bit mix (the splitmix64 finalizer), so partitions are stable
+// across processes and runs — a requirement for routing access requests
+// against representations loaded from snapshots.
+func ShardOf(v Value, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(v)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// TupleShard returns the shard owning tuple t under the column set cols:
+// the shard that every listed column's value hashes to, or -1 when the
+// columns disagree (such a tuple cannot match a repeated shard variable
+// and belongs to no shard) or cols is empty.
+func TupleShard(t Tuple, cols []int, n int) int {
+	if len(cols) == 0 {
+		return -1
+	}
+	s := ShardOf(t[cols[0]], n)
+	for _, c := range cols[1:] {
+		if ShardOf(t[c], n) != s {
+			return -1
+		}
+	}
+	return s
+}
+
+// PartitionByColumns splits r into n relations named name in one pass:
+// tuple t lands in shard s iff every column in cols hashes to s (see
+// TupleShard). Tuple payloads are shared with r; each partition owns its
+// row slice and is already deduplicated (a subsequence of a sorted
+// deduplicated row set stays sorted and duplicate-free).
+func (r *Relation) PartitionByColumns(name string, cols []int, n int) []*Relation {
+	r.dedupe()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Relation, n)
+	for i := range out {
+		out[i] = NewRelation(name, r.arity)
+		out[i].deduped.Store(true)
+	}
+	for _, t := range r.rows {
+		if s := TupleShard(t, cols, n); s >= 0 {
+			out[s].rows = append(out[s].rows, t)
+		}
+	}
+	return out
+}
+
+// FilterShard returns the single shard-s partition of r under cols (the
+// s-th relation PartitionByColumns would produce), for rebuilds that only
+// need the shards a change touched.
+func (r *Relation) FilterShard(name string, cols []int, s, n int) *Relation {
+	r.dedupe()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := NewRelation(name, r.arity)
+	out.deduped.Store(true)
+	for _, t := range r.rows {
+		if TupleShard(t, cols, n) == s {
+			out.rows = append(out.rows, t)
+		}
+	}
+	return out
+}
+
+// Renamed returns a copy of r under a new name, sharing the (immutable)
+// tuple payloads like Clone. Sharded builds use it to register one base
+// relation under per-atom aliases.
+func (r *Relation) Renamed(name string) *Relation {
+	r.dedupe()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := NewRelation(name, r.arity)
+	c.rows = append(make([]Tuple, 0, len(r.rows)), r.rows...)
+	c.deduped.Store(true)
+	return c
+}

@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"testing"
+)
+
+func mkRel(t *testing.T, name string, rows [][2]Value) *Relation {
+	t.Helper()
+	r := NewRelation(name, 2)
+	for _, row := range rows {
+		r.MustInsert(row[0], row[1])
+	}
+	return r
+}
+
+// TestPartitionByColumns checks the partition law: every tuple whose
+// listed columns agree lands in exactly the shard its value hashes to,
+// disagreeing tuples land nowhere, and the union of partitions equals the
+// filterable subset of the relation.
+func TestPartitionByColumns(t *testing.T) {
+	rows := make([][2]Value, 0, 200)
+	for i := 0; i < 200; i++ {
+		rows = append(rows, [2]Value{Value(i % 37), Value(i)})
+	}
+	r := mkRel(t, "R", rows)
+	const n = 5
+	parts := r.PartitionByColumns("R", []int{0}, n)
+	if len(parts) != n {
+		t.Fatalf("got %d partitions, want %d", len(parts), n)
+	}
+	total := 0
+	for s, p := range parts {
+		if p.Name() != "R" || p.Arity() != 2 {
+			t.Fatalf("partition %d has name %q arity %d", s, p.Name(), p.Arity())
+		}
+		total += p.Len()
+		for _, tu := range p.Tuples() {
+			if ShardOf(tu[0], n) != s {
+				t.Fatalf("tuple %v in shard %d, hash says %d", tu, s, ShardOf(tu[0], n))
+			}
+			if !r.Contains(tu) {
+				t.Fatalf("partition invented tuple %v", tu)
+			}
+		}
+	}
+	if total != r.Len() {
+		t.Fatalf("partitions hold %d tuples, source holds %d", total, r.Len())
+	}
+
+	// FilterShard must agree with the bulk partition, shard by shard.
+	for s := 0; s < n; s++ {
+		single := r.FilterShard("R", []int{0}, s, n)
+		if single.Len() != parts[s].Len() {
+			t.Fatalf("FilterShard(%d) holds %d tuples, PartitionByColumns %d", s, single.Len(), parts[s].Len())
+		}
+		for _, tu := range single.Tuples() {
+			if !parts[s].Contains(tu) {
+				t.Fatalf("FilterShard(%d) and PartitionByColumns disagree on %v", s, tu)
+			}
+		}
+	}
+}
+
+// TestPartitionMultiColumn covers the repeated-variable rule: a tuple
+// belongs to a shard only when every listed column hashes there, so
+// tuples with disagreeing columns vanish from all partitions.
+func TestPartitionMultiColumn(t *testing.T) {
+	r := mkRel(t, "R", [][2]Value{{1, 1}, {2, 2}, {3, 3}, {1, 2}, {2, 9}})
+	const n = 4
+	parts := r.PartitionByColumns("R", []int{0, 1}, n)
+	total := 0
+	for s, p := range parts {
+		for _, tu := range p.Tuples() {
+			if tu[0] != tu[1] && ShardOf(tu[0], n) != ShardOf(tu[1], n) {
+				t.Fatalf("shard %d kept disagreeing tuple %v", s, tu)
+			}
+		}
+		total += p.Len()
+	}
+	// The three diagonal tuples always survive; (1,2) and (2,9) survive
+	// only if their columns happen to hash together.
+	if total < 3 {
+		t.Fatalf("partitions dropped diagonal tuples: total %d", total)
+	}
+	for _, diag := range []Tuple{{1, 1}, {2, 2}, {3, 3}} {
+		s := ShardOf(diag[0], n)
+		if !parts[s].Contains(diag) {
+			t.Fatalf("diagonal tuple %v missing from its shard %d", diag, s)
+		}
+	}
+}
+
+// TestRenamed checks the alias shares content under a new name and is
+// independent of later mutation of either side.
+func TestRenamed(t *testing.T) {
+	r := mkRel(t, "R", [][2]Value{{1, 2}, {3, 4}})
+	a := r.Renamed("R@2")
+	if a.Name() != "R@2" || a.Len() != 2 || !a.Contains(Tuple{1, 2}) {
+		t.Fatalf("alias = %v", a)
+	}
+	if err := r.Insert(Tuple{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 {
+		t.Fatal("alias observed a mutation of the source")
+	}
+	if err := a.Insert(Tuple{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains(Tuple{7, 8}) {
+		t.Fatal("source observed a mutation of the alias")
+	}
+}
+
+// TestTupleShardEmptyCols pins the contract that an empty column set owns
+// no shard (replicated relations are handled by the caller).
+func TestTupleShardEmptyCols(t *testing.T) {
+	if s := TupleShard(Tuple{1, 2}, nil, 4); s != -1 {
+		t.Fatalf("TupleShard with no columns = %d, want -1", s)
+	}
+}

@@ -82,14 +82,43 @@ func WithDelayBudget(tau float64) Option {
 	return func(c *config) { c.build = append(c.build, core.WithDelayBudget(tau)) }
 }
 
-// WithWorkers bounds the goroutines used during compilation and, for
-// NewServer, the serving worker pool. n <= 0 (the default) means
-// runtime.GOMAXPROCS(0). The compiled representation is identical for
-// every worker count — parallelism changes only the wall-clock.
+// WithWorkers bounds the goroutines used during compilation — including
+// parallel shard sub-builds — and, for NewServer, the serving worker pool.
+// n must be at least 1; violating that fails the consuming constructor
+// with ErrBadOption. Omit the option for the runtime.GOMAXPROCS(0)
+// default. The compiled representation is identical for every worker
+// count — parallelism changes only the wall-clock.
 func WithWorkers(n int) Option {
 	return func(c *config) {
+		if n < 1 {
+			c.fail(fmt.Errorf("%w: worker count %d, need at least 1", ErrBadOption, n))
+			return
+		}
 		c.workers = n
 		c.build = append(c.build, core.WithWorkers(n))
+	}
+}
+
+// WithShards hash-partitions the database by the values of the view's
+// shard variable — the first bound head variable, or the first free one
+// for views with no bound variables — and compiles one sub-representation
+// per shard, in parallel under the WithWorkers pool. Access requests route
+// directly to the owning shard when the shard variable is bound and
+// merge-enumerate across shards in global lexicographic order when it is
+// free, so a sharded representation enumerates byte-for-byte identically
+// to the unsharded one. Under Maintained, buffered churn is routed to its
+// shard and a rebuild recompiles only the dirty shards. Planner budgets
+// (WithSpaceBudget, WithDelayBudget) apply per shard.
+//
+// n must be at least 1; violating that fails the consuming constructor
+// with ErrBadOption. n = 1 (the default) compiles a single backend.
+func WithShards(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.fail(fmt.Errorf("%w: shard count %d, need at least 1", ErrBadOption, n))
+			return
+		}
+		c.build = append(c.build, core.WithShards(n))
 	}
 }
 
