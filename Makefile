@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke examples snapshot-check ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke examples snapshot-check difftest fuzz-smoke serve-smoke ci
 
 all: build
 
@@ -61,4 +61,26 @@ snapshot-check:
 	$(GO) test -v -run 'TestSnapshotBackCompatV1' ./internal/core
 	$(GO) run ./cmd/cqbench -startup -n 1500 -queries 20
 
-ci: build vet fmt-check test race bench-smoke examples snapshot-check
+# Differential gate: every strategy (and the sharded composites) must
+# enumerate byte-for-byte what the independent naive join produces, over
+# 120 seeded random acyclic CQ/database instances. -shuffle=on so the
+# harness cannot come to depend on test order.
+difftest:
+	$(GO) test -shuffle=on -v -run 'TestDifferential|TestNaiveJoin|TestGenerator' ./internal/difftest
+
+# Fuzz smoke: a short budget per native fuzz target — the snapshot
+# decoder (corrupt input must fail typed, never panic or over-allocate)
+# and the HTTP binding parser. Mirrors the CI fuzz job; run with a longer
+# -fuzztime locally when touching either codec.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadRepresentation -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
+	$(GO) test -fuzz=FuzzBindingsJSON -fuzztime=$(FUZZTIME) -run '^$$' ./internal/httpserve
+
+# cqserve end-to-end gate: compile → snapshot → cqserve → curl, diffed
+# against cqcli serve output for the same snapshot. Mirrors the CI serve
+# job.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+ci: build vet fmt-check test race bench-smoke examples snapshot-check difftest fuzz-smoke serve-smoke

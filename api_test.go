@@ -252,6 +252,38 @@ func TestServerFacade(t *testing.T) {
 	if want, got := cqrep.Drain(rep.Query(bindings[0])), slices.Collect(seq); !bytes.Equal(encodeAll(want), encodeAll(got)) {
 		t.Fatalf("All served %v, want %v", got, want)
 	}
+
+	// SubmitArgs resolves name→value bindings (the network front's path)
+	// and the stream ends with a nil terminal error.
+	it, err := srv.SubmitArgs(ctx, map[string]cqrep.Value{"x": bindings[0][0], "z": bindings[0][1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, got := cqrep.Drain(rep.Query(bindings[0])), cqrep.Drain(it); !bytes.Equal(encodeAll(want), encodeAll(got)) {
+		t.Fatalf("SubmitArgs served %v, want %v", got, want)
+	}
+	if terr := cqrep.IterErr(it); terr != nil {
+		t.Fatalf("IterErr after a complete stream = %v, want nil", terr)
+	}
+	if _, err := srv.SubmitArgs(ctx, map[string]cqrep.Value{"nope": 1}); !errors.Is(err, cqrep.ErrBadBinding) {
+		t.Fatalf("SubmitArgs with a bad name = %v, want ErrBadBinding", err)
+	}
+
+	// A cancelled request's stream reports why it ended.
+	cctx, cancel := context.WithCancel(ctx)
+	it2, err := srv.Submit(cctx, bindings[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for {
+		if _, ok := it2.Next(); !ok {
+			break
+		}
+	}
+	if terr := cqrep.IterErr(it2); !errors.Is(terr, context.Canceled) {
+		t.Fatalf("IterErr after cancel = %v, want context.Canceled", terr)
+	}
 }
 
 // TestMaintainedFacade drives the update path end to end through the
@@ -308,8 +340,8 @@ func TestMaintainedFacade(t *testing.T) {
 // TestExperimentFacade smoke-runs the public experiment runner that
 // cmd/cqbench stands on.
 func TestExperimentFacade(t *testing.T) {
-	if len(cqrep.Experiments()) != 18 {
-		t.Fatalf("Experiments() lists %d entries, want 18", len(cqrep.Experiments()))
+	if len(cqrep.Experiments()) != 19 {
+		t.Fatalf("Experiments() lists %d entries, want 19", len(cqrep.Experiments()))
 	}
 	tables, err := cqrep.RunExperiment("e8", cqrep.ExperimentConfig{})
 	if err != nil {

@@ -7,6 +7,7 @@
 //	cqbench -parallel           # parallel build / concurrent serving scaling
 //	cqbench -startup            # snapshot load vs recompile startup cost (E17)
 //	cqbench -shards 1,2,4,8     # sharded compile/rebuild scaling (E18)
+//	cqbench -serve              # network serving delay/throughput (E19)
 //
 // Scales are edge/tuple counts; all generators are seeded and
 // deterministic. cqbench drives the suite through the public cqrep
@@ -31,13 +32,14 @@ type benchFlags struct {
 	parallel bool
 	startup  bool
 	shards   string // non-empty selects only E18 with these counts
+	serve    bool
 	workers  string
 }
 
 // selectExperiments resolves the flag combination to the experiment id
 // set. The mode flags are exclusive shortcuts, checked in fixed priority
-// order (parallel, startup, shards) exactly as the historical switch did;
-// otherwise -run decides, with "all" meaning the whole suite.
+// order (parallel, startup, shards, serve) exactly as the historical
+// switch did; otherwise -run decides, with "all" meaning the whole suite.
 func selectExperiments(f benchFlags, all []cqrep.Experiment) map[string]bool {
 	selected := map[string]bool{}
 	switch {
@@ -47,6 +49,8 @@ func selectExperiments(f benchFlags, all []cqrep.Experiment) map[string]bool {
 		selected["E17"] = true
 	case f.shards != "":
 		selected["E18"] = true
+	case f.serve:
+		selected["E19"] = true
 	case f.run == "all":
 		for _, e := range all {
 			selected[e.ID] = true
@@ -84,14 +88,15 @@ func parseCounts(flagName, s string, fallback []int) ([]int, error) {
 }
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E18) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E19) or 'all'")
 	n := flag.Int("n", 8000, "base data scale (edges / tuples per relation)")
 	queries := flag.Int("queries", 50, "access requests per measurement")
 	seed := flag.Int64("seed", 42, "generator seed")
 	parallel := flag.Bool("parallel", false, "run only the parallel-scaling experiment (E16): build speedup and server throughput across worker counts")
 	startup := flag.Bool("startup", false, "run only the snapshot startup experiment (E17): compile, save, load, verify byte-identical enumeration, and compare load time against the compression time T_C")
 	shardsFlag := flag.String("shards", "", "run only the sharding experiment (E18) with these comma-separated shard counts: compile-time and rebuild-time scaling on the E1/E6 workloads, verified byte-identical")
-	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel / E16 (run sorted ascending; the smallest is the speedup baseline)")
+	serve := flag.Bool("serve", false, "run only the network serving experiment (E19): in-process cqserve HTTP front driven by -workers concurrent clients, streams verified byte-identical, p50/p99 first-tuple delay and throughput")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel / E16 (run sorted ascending; the smallest is the speedup baseline); doubles as the concurrent-client sweep of -serve / E19")
 	flag.Parse()
 
 	workers, err := parseCounts("workers", *workersFlag, nil)
@@ -106,7 +111,7 @@ func main() {
 	}
 	cfg := cqrep.ExperimentConfig{Scale: *n, Queries: *queries, Seed: *seed, Workers: workers, Shards: shardCounts}
 
-	flags := benchFlags{run: *run, parallel: *parallel, startup: *startup, shards: *shardsFlag, workers: *workersFlag}
+	flags := benchFlags{run: *run, parallel: *parallel, startup: *startup, shards: *shardsFlag, serve: *serve, workers: *workersFlag}
 	selected := selectExperiments(flags, cqrep.Experiments())
 
 	ran := 0
@@ -126,7 +131,7 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E18, all, -parallel, -startup, or -shards")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E19, all, -parallel, -startup, -shards, or -serve")
 		os.Exit(2)
 	}
 }

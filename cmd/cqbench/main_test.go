@@ -72,8 +72,8 @@ func TestSelectExperiments(t *testing.T) {
 	for _, e := range all {
 		ids[e.ID] = true
 	}
-	if !ids["E18"] {
-		t.Fatal("experiment suite does not list E18")
+	if !ids["E18"] || !ids["E19"] {
+		t.Fatal("experiment suite does not list E18/E19")
 	}
 
 	cases := []struct {
@@ -87,9 +87,12 @@ func TestSelectExperiments(t *testing.T) {
 		{"parallel shortcut", benchFlags{run: "all", parallel: true}, []string{"E16"}},
 		{"startup shortcut", benchFlags{run: "all", startup: true}, []string{"E17"}},
 		{"shards shortcut", benchFlags{run: "all", shards: "1,2,4"}, []string{"E18"}},
+		{"serve shortcut", benchFlags{run: "all", serve: true}, []string{"E19"}},
+		{"shards wins over serve", benchFlags{run: "all", shards: "2", serve: true}, []string{"E18"}},
 		{"parallel wins over shards", benchFlags{run: "all", parallel: true, shards: "2"}, []string{"E16"}},
 		{"startup wins over shards", benchFlags{run: "all", startup: true, shards: "2"}, []string{"E17"}},
 		{"run E18 directly", benchFlags{run: "E18"}, []string{"E18"}},
+		{"run E19 directly", benchFlags{run: "E19"}, []string{"E19"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -122,7 +125,7 @@ func TestSelectExperiments(t *testing.T) {
 // registry (an id drifting out of the suite must fail here, not at 2 a.m.
 // in a benchmark run).
 func TestSelectedExperimentsRunnable(t *testing.T) {
-	for _, flags := range []benchFlags{{parallel: true}, {startup: true}, {shards: "2"}} {
+	for _, flags := range []benchFlags{{parallel: true}, {startup: true}, {shards: "2"}, {serve: true}} {
 		for id := range selectExperiments(flags, cqrep.Experiments()) {
 			found := false
 			for _, e := range cqrep.Experiments() {

@@ -1,0 +1,217 @@
+// Command cqload drives a running cqserve instance with concurrent
+// clients and reports delay percentiles — the load generator behind the
+// E19 serving experiment:
+//
+//	cqserve -snapshot v.cqs -addr :8080 &
+//	cqload -url http://127.0.0.1:8080 -view V -bindings req.txt -c 8 -n 2000
+//
+// The bindings file carries one access request per line: bound values
+// separated by spaces, in the view's bound-variable order (the same
+// format `cqcli serve` reads from stdin); cqload fetches /v1/views to map
+// the positions onto names. Requests are fired round-robin by -c
+// concurrent clients until -n requests complete, then p50/p95/p99 of the
+// time-to-first-tuple delay and of the total request time are printed
+// with the achieved request and tuple throughput.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqrep/internal/bench"
+	"cqrep/internal/httpserve"
+	"cqrep/internal/relation"
+)
+
+type sample struct {
+	first, total time.Duration
+	tuples       int
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "cqserve base URL")
+	view := flag.String("view", "", "view name to query (default: the only served view)")
+	bindingsFile := flag.String("bindings", "", "file with one space-separated bound valuation per line ('-' = stdin); empty = one unbound request shape")
+	clients := flag.Int("c", 4, "concurrent clients")
+	total := flag.Int("n", 200, "total requests")
+	limit := flag.Int("limit", 0, "per-request tuple limit (0 = drain fully)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *clients < 1 || *total < 1 {
+		fatal(fmt.Errorf("-c and -n must be at least 1"))
+	}
+	c := &httpserve.Client{Base: *url}
+	views, err := c.Views(ctx)
+	if err != nil {
+		fatal(fmt.Errorf("fetching /v1/views: %w", err))
+	}
+	info, err := pickView(views, *view)
+	if err != nil {
+		fatal(err)
+	}
+	reqs, err := loadBindings(*bindingsFile, info.Bound)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cqload: %s view %s (bound %v, free %v, %s, %d shards): %d requests, %d clients\n",
+		*url, info.Name, info.Bound, info.Free, info.Strategy, info.Shards, *total, *clients)
+
+	samples, errs := fire(ctx, c, info.Name, reqs, *clients, *total, *limit)
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no requests completed (%d errors)", errs))
+	}
+	report(os.Stdout, samples, errs)
+}
+
+// pickView resolves the requested view name against the registry; with no
+// -view it accepts an unambiguous single-view registry.
+func pickView(views []httpserve.ViewInfo, name string) (httpserve.ViewInfo, error) {
+	if name == "" {
+		if len(views) == 1 {
+			return views[0], nil
+		}
+		names := make([]string, len(views))
+		for i, v := range views {
+			names[i] = v.Name
+		}
+		return httpserve.ViewInfo{}, fmt.Errorf("server hosts %d views %v, pick one with -view", len(views), names)
+	}
+	for _, v := range views {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return httpserve.ViewInfo{}, fmt.Errorf("view %q is not served (GET /v1/views)", name)
+}
+
+// loadBindings reads the request file into name→value maps using the
+// view's bound order. An empty path yields one empty request, which is
+// only valid for views with no bound variables.
+func loadBindings(path string, bound []string) ([]map[string]relation.Value, error) {
+	if path == "" {
+		if len(bound) > 0 {
+			return nil, fmt.Errorf("view binds %v: provide request valuations with -bindings FILE", bound)
+		}
+		return []map[string]relation.Value{nil}, nil
+	}
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	var out []map[string]relation.Value
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != len(bound) {
+			return nil, fmt.Errorf("binding line %q has %d values, view binds %d (%v)", line, len(fields), len(bound), bound)
+		}
+		m := make(map[string]relation.Value, len(fields))
+		for i, fval := range fields {
+			v, err := strconv.ParseInt(fval, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("binding line %q: bad value %q", line, fval)
+			}
+			m[bound[i]] = relation.Value(v)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no binding lines", path)
+	}
+	return out, nil
+}
+
+// fire runs the load: clients goroutines pull request indexes off a
+// shared counter (round-robin over the binding set) until total requests
+// have been issued or ctx is cancelled.
+func fire(ctx context.Context, c *httpserve.Client, view string, reqs []map[string]relation.Value, clients, total, limit int) ([]sample, int) {
+	var next, errs atomic.Int64
+	samples := make([]sample, total)
+	var taken atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= total || ctx.Err() != nil {
+					return
+				}
+				res, err := c.Query(ctx, view, reqs[i%len(reqs)], limit)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				samples[taken.Add(1)-1] = sample{first: res.FirstTuple, total: res.Total, tuples: len(res.Tuples)}
+			}
+		}()
+	}
+	wg.Wait()
+	return samples[:taken.Load()], int(errs.Load())
+}
+
+// report prints the percentile table.
+func report(w *os.File, samples []sample, errs int) {
+	firsts := make([]time.Duration, 0, len(samples))
+	totals := make([]time.Duration, len(samples))
+	var wall time.Duration
+	tuples := 0
+	for i, s := range samples {
+		if s.tuples > 0 {
+			firsts = append(firsts, s.first)
+		}
+		totals[i] = s.total
+		wall += s.total
+		tuples += s.tuples
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+
+	// The two percentile lines cover different populations when some
+	// requests return no tuples (a miss has a total but no first-tuple
+	// delay), so each line names the requests it describes — otherwise a
+	// bindings file with many misses prints an impossible-looking
+	// "total p50 < first-tuple p50".
+	fmt.Fprintf(w, "requests   %d ok, %d errors, %d tuples\n", len(samples), errs, tuples)
+	if len(firsts) > 0 {
+		fmt.Fprintf(w, "first-tuple delay  p50 %v  p95 %v  p99 %v  (%d/%d answered requests)\n",
+			bench.Percentile(firsts, 0.50), bench.Percentile(firsts, 0.95), bench.Percentile(firsts, 0.99),
+			len(firsts), len(samples))
+	}
+	fmt.Fprintf(w, "total latency      p50 %v  p95 %v  p99 %v  (all %d requests)\n",
+		bench.Percentile(totals, 0.50), bench.Percentile(totals, 0.95), bench.Percentile(totals, 0.99), len(samples))
+	if mean := wall / time.Duration(len(samples)); mean > 0 {
+		fmt.Fprintf(w, "throughput         %.0f req/s per client (mean latency %v)\n", float64(time.Second)/float64(mean), mean.Round(time.Microsecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cqrep/internal/bench"
+	"cqrep/internal/httpserve"
+)
+
+func TestPickView(t *testing.T) {
+	views := []httpserve.ViewInfo{{Name: "V"}, {Name: "W"}}
+	if v, err := pickView(views, "W"); err != nil || v.Name != "W" {
+		t.Fatalf("pickView W = %+v, %v", v, err)
+	}
+	if _, err := pickView(views, "X"); err == nil || !strings.Contains(err.Error(), "not served") {
+		t.Fatalf("unknown view err = %v", err)
+	}
+	if _, err := pickView(views, ""); err == nil || !strings.Contains(err.Error(), "pick one") {
+		t.Fatalf("ambiguous err = %v", err)
+	}
+	if v, err := pickView(views[:1], ""); err != nil || v.Name != "V" {
+		t.Fatalf("single-view default = %+v, %v", v, err)
+	}
+}
+
+func TestLoadBindings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "req.txt")
+	if err := os.WriteFile(path, []byte("# comment\n1 2\n\n 3  4 \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := loadBindings(path, []string{"x", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[0]["x"] != 1 || reqs[0]["z"] != 2 || reqs[1]["x"] != 3 || reqs[1]["z"] != 4 {
+		t.Fatalf("reqs = %v", reqs)
+	}
+
+	if _, err := loadBindings(path, []string{"x"}); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if err := os.WriteFile(path, []byte("1 two\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBindings(path, []string{"x", "z"}); err == nil {
+		t.Fatal("non-integer value should fail")
+	}
+	if err := os.WriteFile(path, []byte("# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBindings(path, []string{"x", "z"}); err == nil {
+		t.Fatal("empty binding file should fail")
+	}
+
+	// No file: only valid for views with no bound variables.
+	reqs, err = loadBindings("", nil)
+	if err != nil || len(reqs) != 1 || reqs[0] != nil {
+		t.Fatalf("unbound default = %v, %v", reqs, err)
+	}
+	if _, err := loadBindings("", []string{"x"}); err == nil {
+		t.Fatal("missing -bindings for a bound view should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	us := time.Microsecond
+	ds := []time.Duration{1 * us, 2 * us, 3 * us, 4 * us, 5 * us, 6 * us, 7 * us, 8 * us, 9 * us, 10 * us}
+	if p := bench.Percentile(ds, 0.50); p != 5*us {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := bench.Percentile(ds, 0.99); p != 10*us {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := bench.Percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty = %v", p)
+	}
+}

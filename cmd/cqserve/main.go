@@ -1,0 +1,122 @@
+// Command cqserve is the network front of the compile-once / serve-many
+// split: it loads one or more compiled-representation snapshots (written
+// by `cqcli compile -o`) and serves them to remote clients over HTTP.
+//
+//	cqcli compile -view 'V[bf](x, y) :- R(x, p), R(y, p)' -rel R=r.csv -o v.cqs
+//	cqserve -snapshot v.cqs -addr :8080
+//	curl -s localhost:8080/v1/query/V -d '{"bindings":{"x":1}}'
+//
+// The wire API (DESIGN.md §5): POST /v1/query/{view} takes JSON bindings
+// and streams result tuples as NDJSON in enumeration order; GET /v1/views
+// lists the registry; GET /v1/stats reports tuple/shard counts and
+// request/latency counters; POST /v1/reload re-reads the snapshot files
+// and swaps them in atomically while in-flight requests finish on the
+// representation they started with.
+//
+// SIGINT/SIGTERM shuts down gracefully: the listener stops, in-flight
+// streams are cancelled through their request contexts, and the serving
+// pools drain before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cqrep/internal/httpserve"
+)
+
+// config is the parsed command line, separated from main for testability.
+type config struct {
+	addr      string
+	snapshots []string
+	workers   int
+	buffer    int
+	drain     time.Duration
+}
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
+
+// parseFlags resolves args into a config. Positional arguments are also
+// accepted as snapshot paths, so `cqserve a.cqs b.cqs` works.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("cqserve", flag.ContinueOnError)
+	var snaps listFlag
+	fs.Var(&snaps, "snapshot", "snapshot file to serve (repeatable; positional args work too)")
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "serving workers per view (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.buffer, "buffer", 0, "per-request result buffer in tuples (0 = default 256)")
+	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	cfg.snapshots = append([]string(nil), snaps...)
+	cfg.snapshots = append(cfg.snapshots, fs.Args()...)
+	if len(cfg.snapshots) == 0 {
+		return cfg, errors.New("usage: cqserve [-addr :8080] -snapshot FILE.cqs [-snapshot ...]")
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqserve:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cqserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains gracefully.
+func run(ctx context.Context, cfg config, logw *os.File) error {
+	h, err := httpserve.New(cfg.snapshots, httpserve.Options{Workers: cfg.workers, Buffer: cfg.buffer})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:    cfg.addr,
+		Handler: h,
+		// Request contexts derive from ctx, so cancelling it propagates
+		// into every in-flight enumeration via Server.SubmitContext.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	fmt.Fprintf(logw, "cqserve: serving %d snapshot(s) on %s\n", len(cfg.snapshots), cfg.addr)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		h.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(logw, "cqserve: shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	// Shutdown stops the listener and waits for handlers; the cancelled
+	// base context has already cut the streams loose, so this returns as
+	// soon as the handlers notice.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+	}
+	h.Close()
+	return nil
+}

@@ -111,3 +111,12 @@ func AllOnesCover(n int) Cover {
 
 // Drain collects a legacy iterator fully.
 func Drain(it Iterator) []Tuple { return core.Drain(it) }
+
+// IterErr returns the terminal error of a result stream, or nil when the
+// iterator does not report one. For iterators returned by Server.Submit /
+// SubmitArgs it is meaningful once Next has returned false: nil means the
+// enumeration completed, ErrClosed means the server closed mid-stream, the
+// submitting context's error means it was cancelled, and anything else is
+// the underlying source's mid-enumeration failure. Iterators obtained
+// directly from a Representation never fail and report nil.
+func IterErr(it Iterator) error { return core.IterErr(it) }

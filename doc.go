@@ -49,15 +49,22 @@
 //	if errors.Is(err, cqrep.ErrBadSnapshot) { /* corrupt or foreign file */ }
 //
 // cmd/cqcli exposes the same split as `cqcli compile -o view.cqs` and
-// `cqcli serve view.cqs`; DESIGN.md §4 specifies the wire format.
+// `cqcli serve view.cqs`; DESIGN.md §4 specifies the wire format. For
+// remote clients, cmd/cqserve serves snapshots over HTTP — NDJSON query
+// streaming, a per-view registry, hot reload, graceful shutdown — with
+// cmd/cqload as its load generator; DESIGN.md §5 specifies the wire API.
 //
 // # Serving, maintenance, and sharding
 //
 // NewServer puts a bounded worker pool in front of a compiled
 // representation for many concurrent clients; every submission is tied to
-// a context, so an abandoned client frees its worker. NewMaintained wraps
-// a representation with buffered updates and amortized build-aside
-// rebuilds: queries never stall on compilation.
+// a context, so an abandoned client frees its worker (SubmitArgs accepts
+// name→value bindings, the submission path of network fronts). Result
+// streams carry a terminal error readable with IterErr, so a stream that
+// was truncated — server closed, context cancelled, source failed
+// mid-enumeration — is distinguishable from one that completed.
+// NewMaintained wraps a representation with buffered updates and
+// amortized build-aside rebuilds: queries never stall on compilation.
 //
 // WithShards(n) hash-partitions the database by the view's shard variable
 // and compiles one sub-representation per shard: requests route to the

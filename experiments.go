@@ -14,7 +14,8 @@ type ExperimentTable = bench.Table
 
 // ExperimentConfig scales an experiment run. Scale, Queries, Workers, and
 // Shards fall back to the EXPERIMENTS.md defaults (8000, 50, 1·2·4·8,
-// 1·2·4·8) when left zero; Seed is used exactly as given — 0 is a valid
+// 1·2·4·8) when left zero; Workers doubles as the concurrent-client sweep
+// of the serving experiment E19. Seed is used exactly as given — 0 is a valid
 // PRNG seed, not a request for the default (cmd/cqbench's -seed flag
 // defaults to 42). Per-experiment scale adjustments (e.g. E5 and E6
 // divide the scale because their preprocessing is super-linear) are
@@ -45,7 +46,7 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 
 // Experiment identifies one reproduction experiment.
 type Experiment struct {
-	ID          string // "E1".."E18"
+	ID          string // "E1".."E19"
 	Description string
 }
 
@@ -111,6 +112,10 @@ var experimentRunners = []struct {
 	{"E18", "sharded compilation and maintenance scaling vs shard count (E1/E6); scale n/2 — each count compiles the view twice",
 		func(c ExperimentConfig) []*bench.Table {
 			return experiments.E18Sharding(c.Scale/2, c.Queries, c.Seed, c.Shards)
+		}},
+	{"E19", "network serving (cqserve HTTP front): throughput and p50/p99 first-tuple delay vs concurrent clients, streams verified byte-identical; scale n/2",
+		func(c ExperimentConfig) []*bench.Table {
+			return experiments.E19Serve(c.Scale/2, c.Queries, c.Seed, c.Workers)
 		}},
 }
 

@@ -100,6 +100,24 @@ func (a *Aggregate) Add(st DelayStats) {
 	a.TotalOps += st.TotalOps
 }
 
+// Percentile returns the q-quantile of ascending-sorted durations by
+// nearest rank, rounded to the microsecond (the delay reports' unit).
+// An empty slice yields 0. Shared by the E19 serving experiment and the
+// cqload load generator so their percentile math cannot drift apart.
+func Percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
+}
+
 // Table is a fixed-width report table.
 type Table struct {
 	Title   string

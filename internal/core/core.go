@@ -491,6 +491,13 @@ func (r *Representation) Normalized() *cq.NormalizedView { return r.nv }
 // Instance returns the bound join instance (base indexes).
 func (r *Representation) Instance() *join.Instance { return r.inst }
 
+// EnumOrder reports the representation's enumeration order as output
+// tuple positions, most significant first; nil means lexicographic head
+// order. Only the Theorem-2 decomposition enumerates in a non-head order
+// (Algorithm 5's traversal); differential checkers use this to reorder a
+// trusted baseline before demanding byte-identical streams.
+func (r *Representation) EnumOrder() []int { return r.be.EnumOrder() }
+
 // FreeNames returns the output column names of Query tuples.
 func (r *Representation) FreeNames() []string { return r.nv.FreeNames() }
 

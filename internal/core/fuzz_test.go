@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+// FuzzReadRepresentation hardens the snapshot decoder against corrupt,
+// truncated, and adversarial inputs: whatever bytes arrive,
+// ReadRepresentation must return a typed error or a representation that
+// actually serves queries — never panic, and never size an allocation
+// from an attacker-controlled count (the Decoder validates every count
+// against the bytes remaining; this target proves it end to end).
+//
+// The corpus seeds with the checked-in v1 fixtures and freshly encoded
+// v2 frames (single-backend and sharded), so mutations explore the
+// interesting neighborhoods of both supported format versions.
+func FuzzReadRepresentation(f *testing.F) {
+	// v1 fixtures (pre-sharding format) from testdata.
+	for _, name := range []string{"v1-primitive.cqs", "v1-decomposition.cqs", "v1-materialized.cqs"} {
+		if data, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
+			f.Add(data)
+		}
+	}
+	// v2 frames across the persistable strategy menu, sharded included.
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	db := workload.TriangleDB(5, 12, 40)
+	for _, opts := range [][]Option{
+		{WithStrategy(PrimitiveStrategy), WithTau(2)},
+		{WithStrategy(DecompositionStrategy)},
+		{WithStrategy(MaterializedStrategy)},
+		{WithStrategy(DirectStrategy)},
+		{WithStrategy(PrimitiveStrategy), WithTau(2), WithShards(2)},
+	} {
+		rep, err := Build(view, db, opts...)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := rep.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Degenerate non-snapshots.
+	f.Add([]byte{})
+	f.Add([]byte("CQREPS"))
+	f.Add([]byte("not a snapshot at all........."))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The format frames its payload with a length field; cap the input
+		// so the fuzzer spends its budget on structure, not on I/O volume.
+		if len(data) > 1<<20 {
+			return
+		}
+		// Three decoding angles per input: the bytes as a whole frame, and
+		// the bytes as a *payload* wrapped in a correctly-checksummed v1
+		// and v2 frame. The wrapped paths matter most: without them the
+		// CRC-32 gate rejects nearly every mutation before the payload
+		// decoders (view, database, per-strategy structures) see a byte.
+		tryDecode(t, data)
+		tryDecode(t, framePayload(1, stripFrame(data)))
+		tryDecode(t, framePayload(2, stripFrame(data)))
+	})
+}
+
+// stripFrame unwraps a whole snapshot frame back to its payload so seeds
+// (which are valid frames) explore payload space; non-frames pass through
+// as raw payload bytes.
+func stripFrame(data []byte) []byte {
+	const hdr = len(snapshotMagic) + 2 + 8
+	if len(data) >= hdr+4 && string(data[:len(snapshotMagic)]) == snapshotMagic {
+		return data[hdr : len(data)-4]
+	}
+	return data
+}
+
+// framePayload wraps payload bytes in a syntactically valid snapshot
+// frame: right magic, the given version, true length, matching CRC.
+func framePayload(version uint16, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	buf.WriteByte(byte(version >> 8))
+	buf.WriteByte(byte(version))
+	var lenb [8]byte
+	binary.BigEndian.PutUint64(lenb[:], uint64(len(payload)))
+	buf.Write(lenb[:])
+	buf.Write(payload)
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// tryDecode runs one decode attempt and, on claimed success, proves the
+// representation is actually servable and re-encodable.
+func tryDecode(t *testing.T, data []byte) {
+	rep, err := ReadRepresentation(bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	vb := make(relation.Tuple, len(rep.BoundNames()))
+	it := rep.Query(vb)
+	for i := 0; i < 64; i++ {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	rep.Exists(vb)
+	// WriteTo over a decoded representation is the reload path of a
+	// serving process; it must survive too.
+	if _, err := rep.WriteTo(&bytes.Buffer{}); err != nil {
+		t.Fatalf("decoded representation does not re-encode: %v", err)
+	}
+}

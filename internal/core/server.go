@@ -78,9 +78,49 @@ type Server struct {
 }
 
 type serverReq struct {
-	vb   relation.Tuple
-	out  chan relation.Tuple
-	done <-chan struct{} // the submitting context's Done channel; may be nil
+	vb  relation.Tuple
+	out chan relation.Tuple
+	// ctx is the submitting context; its Done channel (nil for
+	// context.Background) gates the serve loop's aborts.
+	ctx context.Context
+	st  *streamErr // terminal-error slot shared with the iterator
+}
+
+// streamErr carries a result stream's terminal error from the serving
+// worker to the consumer's iterator. The first error wins; later causes
+// (e.g. a close racing a cancellation) are dropped, matching the contract
+// that a stream ends for exactly one reason.
+type streamErr struct{ p atomic.Pointer[error] }
+
+func (s *streamErr) set(err error) {
+	if err != nil {
+		s.p.CompareAndSwap(nil, &err)
+	}
+}
+
+func (s *streamErr) get() error {
+	if p := s.p.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// errReporter is the optional terminal-error surface of an iterator: a
+// source whose enumeration can fail mid-stream (e.g. a paged or remote
+// snapshot backend) exposes the failure here after Next returns false.
+type errReporter interface{ Err() error }
+
+// IterErr returns the terminal error of a result stream, or nil when the
+// iterator does not report one. For iterators returned by Server.Submit /
+// SubmitContext it is meaningful once Next has returned false: nil means
+// the enumeration completed; ErrClosed means the server was closed
+// mid-stream; the submitting context's error means it was cancelled; any
+// other error was surfaced by the underlying source mid-enumeration.
+func IterErr(it Iterator) error {
+	if r, ok := it.(errReporter); ok {
+		return r.Err()
+	}
+	return nil
 }
 
 // NewServer starts a server over src with the given number of worker
@@ -114,7 +154,11 @@ func (s *Server) Submit(vb relation.Tuple) Iterator {
 	if err != nil { // closed: preserve the legacy exhausted-iterator contract
 		out := make(chan relation.Tuple)
 		close(out)
-		return &chanIterator{ch: out}
+		// The fabricated stream was never served; its terminal error says
+		// so instead of posing as a complete empty enumeration.
+		st := &streamErr{}
+		st.set(err)
+		return &chanIterator{ch: out, st: st}
 	}
 	return it
 }
@@ -133,16 +177,41 @@ func (s *Server) SubmitContext(ctx context.Context, vb relation.Tuple) (Iterator
 		return nil, err
 	}
 	out := make(chan relation.Tuple, s.buffer)
+	st := &streamErr{}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	s.queue = append(s.queue, &serverReq{vb: vb.Clone(), out: out, done: ctx.Done()})
+	s.queue = append(s.queue, &serverReq{vb: vb.Clone(), out: out, ctx: ctx, st: st})
 	s.requests.Add(1)
 	s.mu.Unlock()
 	s.cond.Signal()
-	return &chanIterator{ch: out, done: ctx.Done()}, nil
+	return &chanIterator{ch: out, ctx: ctx, st: st}, nil
+}
+
+// Binder is the optional named-binding surface of a QuerySource: sources
+// that know their view's bound-variable order (Representation does) resolve
+// name→value maps into positional valuations for SubmitArgs.
+type Binder interface {
+	Bind(args map[string]relation.Value) (relation.Tuple, error)
+}
+
+// SubmitArgs is SubmitContext with the binding given by bound-variable
+// name instead of position — the submission path of network fronts, whose
+// clients send name→value maps rather than positional tuples. A source
+// that cannot resolve names, or a valuation that does not match the view's
+// bound variables, fails with an error wrapping ErrBadBinding.
+func (s *Server) SubmitArgs(ctx context.Context, args map[string]relation.Value) (Iterator, error) {
+	b, ok := s.src.(Binder)
+	if !ok {
+		return nil, fmt.Errorf("%w: query source cannot resolve named bindings", ErrBadBinding)
+	}
+	vb, err := b.Bind(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.SubmitContext(ctx, vb)
 }
 
 // QueryBatch submits every valuation and returns the per-request iterators
@@ -190,26 +259,46 @@ func (s *Server) worker() {
 func (s *Server) serve(req *serverReq) {
 	defer close(req.out)
 	if s.aborted(req) {
+		req.st.set(s.abortErr(req))
 		return
 	}
 	it := s.src.Query(req.vb)
 	for {
 		t, ok := it.Next()
 		if !ok {
+			// A stream that ends because the source failed mid-enumeration
+			// must say so: silently truncated results are indistinguishable
+			// from complete ones. Sources surface the failure through the
+			// optional Err method (see IterErr).
+			req.st.set(IterErr(it))
 			return
 		}
 		if s.aborted(req) {
+			req.st.set(s.abortErr(req))
 			return
 		}
 		select {
 		case req.out <- t:
 			s.tuples.Add(1)
 		case <-s.quit:
+			req.st.set(ErrClosed)
 			return
-		case <-req.done: // nil when the request has no context: never ready
+		case <-req.ctx.Done(): // nil for Background: never ready
+			req.st.set(req.ctx.Err())
 			return
 		}
 	}
+}
+
+// abortErr names the reason aborted fired: the request's own context error
+// when it is done, ErrClosed otherwise (the server is quitting).
+func (s *Server) abortErr(req *serverReq) error {
+	if req.ctx != nil {
+		if err := req.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return ErrClosed
 }
 
 // aborted reports, without blocking, whether the server is closing or the
@@ -220,9 +309,9 @@ func (s *Server) aborted(req *serverReq) bool {
 		return true
 	default:
 	}
-	if req.done != nil {
+	if done := req.ctx.Done(); done != nil {
 		select {
-		case <-req.done:
+		case <-done:
 			return true
 		default:
 		}
@@ -269,8 +358,39 @@ func (s *Server) Stats() ServerStats {
 // submitting context is cancelled (done closes), Next stops early instead
 // of draining whatever was already buffered.
 type chanIterator struct {
-	ch   <-chan relation.Tuple
-	done <-chan struct{} // nil = no context: the select degenerates to a receive
+	ch    <-chan relation.Tuple
+	done  <-chan struct{} // nil = no context: the select degenerates to a receive
+	ctx   context.Context // nil for the legacy contextless path
+	st    *streamErr      // terminal error set by the serving worker; may be nil
+	ended bool            // the result channel closed (worker finished or aborted)
+}
+
+// Err returns the stream's terminal error (see IterErr). It is meaningful
+// once Next has returned false; while the stream is live it returns
+// whatever cause has already been recorded (usually nil).
+func (it *chanIterator) Err() error {
+	// Once the channel has closed, the worker's verdict (recorded before
+	// the close, so visible here) is authoritative: a cleanly completed
+	// stream stays error-free even if the caller cancels its context
+	// afterwards.
+	if it.ended {
+		if it.st == nil {
+			return nil
+		}
+		return it.st.get()
+	}
+	// A consumer-side cancellation can observe Next() == false before the
+	// serving worker notices the done channel, so the context error is
+	// consulted directly rather than waiting for the worker to record it.
+	if it.st != nil {
+		if err := it.st.get(); err != nil {
+			return err
+		}
+	}
+	if it.ctx != nil {
+		return it.ctx.Err()
+	}
+	return nil
 }
 
 // Next blocks until the serving worker produces the next tuple, returning
@@ -281,17 +401,24 @@ type chanIterator struct {
 // and the closed done channel at random, yielding a nondeterministic
 // number of post-cancellation tuples.
 func (it *chanIterator) Next() (relation.Tuple, bool) {
-	if it.done != nil {
+	var done <-chan struct{}
+	if it.ctx != nil {
+		done = it.ctx.Done() // nil for Background: the selects degenerate to receives
+	}
+	if done != nil {
 		select {
-		case <-it.done:
+		case <-done:
 			return nil, false
 		default:
 		}
 	}
 	select {
 	case t, ok := <-it.ch:
+		if !ok {
+			it.ended = true
+		}
 		return t, ok
-	case <-it.done:
+	case <-done:
 		return nil, false
 	}
 }

@@ -1,0 +1,187 @@
+package httpserve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cqrep/internal/relation"
+)
+
+// client.go is the reference consumer of the wire API: cmd/cqload and the
+// E19 experiment drive a cqserve instance through it, and the end-to-end
+// tests use it to check byte-identical enumeration against the in-process
+// representation.
+
+// Client talks to one cqserve base URL.
+type Client struct {
+	Base string       // e.g. "http://127.0.0.1:8080"
+	HTTP *http.Client // nil means http.DefaultClient
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// RemoteError is a server-reported failure: an error JSON body on a
+// non-streaming endpoint, or the terminal error object of an NDJSON
+// stream whose enumeration broke mid-way.
+type RemoteError struct {
+	Status  int // HTTP status; 200 for a mid-stream terminal error
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Status == http.StatusOK {
+		return fmt.Sprintf("httpserve: stream ended with error: %s", e.Message)
+	}
+	return fmt.Sprintf("httpserve: %d: %s", e.Status, e.Message)
+}
+
+// Views fetches the /v1/views registry.
+func (c *Client) Views(ctx context.Context) ([]ViewInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(c.Base, "/")+"/v1/views", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	var body viewsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("httpserve: decoding /v1/views: %w", err)
+	}
+	return body.Views, nil
+}
+
+// Reload triggers POST /v1/reload and returns the new registry generation.
+func (c *Client) Reload(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(c.Base, "/")+"/v1/reload", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, remoteError(resp)
+	}
+	var body struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	return body.Generation, nil
+}
+
+// QueryResult is one drained NDJSON stream.
+type QueryResult struct {
+	Tuples []relation.Tuple
+	// FirstTuple is the delay from sending the request to decoding the
+	// first result line; zero when the result is empty.
+	FirstTuple time.Duration
+	// Total is the full request wall-clock including drain.
+	Total time.Duration
+}
+
+// Query runs one access request and drains its NDJSON stream. A terminal
+// error object in the stream, or a non-200 response, returns a
+// *RemoteError (tuples decoded before a mid-stream failure are returned
+// alongside it).
+func (c *Client) Query(ctx context.Context, view string, bindings map[string]relation.Value, limit int) (*QueryResult, error) {
+	payload := map[string]any{}
+	if len(bindings) > 0 {
+		payload["bindings"] = bindings
+	}
+	if limit > 0 {
+		payload["limit"] = limit
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimRight(c.Base, "/") + "/v1/query/" + view
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+
+	res := &QueryResult{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '{' { // terminal error object
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(line, &e); err != nil {
+				return res, fmt.Errorf("httpserve: undecodable terminal object %q: %w", line, err)
+			}
+			res.Total = time.Since(start)
+			return res, &RemoteError{Status: http.StatusOK, Message: e.Error}
+		}
+		var vals []int64
+		if err := json.Unmarshal(line, &vals); err != nil {
+			return res, fmt.Errorf("httpserve: undecodable tuple line %q: %w", line, err)
+		}
+		t := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			t[i] = relation.Value(v)
+		}
+		if len(res.Tuples) == 0 {
+			res.FirstTuple = time.Since(start)
+		}
+		res.Tuples = append(res.Tuples, t)
+	}
+	if err := sc.Err(); err != nil {
+		return res, err
+	}
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// remoteError decodes an error JSON body into a *RemoteError.
+func remoteError(resp *http.Response) error {
+	msg := resp.Status
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 64*1024)); err == nil {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+	}
+	return &RemoteError{Status: resp.StatusCode, Message: msg}
+}

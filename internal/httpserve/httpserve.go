@@ -1,0 +1,623 @@
+// Package httpserve is the network front of the compile-once /
+// enumerate-many model: it serves one or more snapshot-loaded compiled
+// representations over HTTP, so a single compilation pays off across any
+// number of remote clients (the ROADMAP's "heavy traffic from millions of
+// users" north star). The wire API is specified in DESIGN.md §5:
+//
+//	POST /v1/query/{view}  JSON bindings in, NDJSON tuples out (streamed
+//	                       in enumeration order, bounded per-request
+//	                       buffers, terminal error object on failure)
+//	GET  /v1/views         the registry: names, adornments, strategies
+//	GET  /v1/stats         tuple/shard counts, request/latency counters
+//	POST /v1/reload        re-read the snapshot files and atomically swap
+//
+// Reload is hot: the per-view registry is swapped atomically, requests
+// in flight keep streaming from the representation they started on, and
+// the old serving pools close only after their last stream finishes.
+// Shutdown propagates context cancellation into every in-flight
+// enumeration through Server.SubmitContext.
+package httpserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqrep/internal/core"
+	"cqrep/internal/relation"
+)
+
+// Options configures a Handler.
+type Options struct {
+	// Workers bounds each view's serving pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Buffer is the per-request result channel capacity; <= 0 means the
+	// core default (256). Together with line-by-line flushing it bounds
+	// the tuples buffered for a slow client.
+	Buffer int
+	// MaxBodyBytes caps a query request body; <= 0 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+// Handler serves a registry of snapshot-loaded representations over HTTP.
+// It implements http.Handler; create one with New and Close it when done.
+type Handler struct {
+	opts  Options
+	paths []string
+	mux   *http.ServeMux
+	start time.Time
+
+	// reg is the current registry; queries load it once and hold a
+	// reference on their entry for their whole stream, so a concurrent
+	// reload can swap the registry without tearing anyone's view.
+	reg       atomic.Pointer[registry]
+	reloadMu  sync.Mutex // serializes Reload/Close swaps
+	reloads   atomic.Uint64
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeDone chan struct{}  // closed once every pool has drained
+	retired   sync.WaitGroup // background retire goroutines
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	tuples   atomic.Uint64
+	delay    latHist // time to first streamed tuple
+	total    latHist // full request wall-clock
+}
+
+// registry is one immutable generation of the view table; Reload builds a
+// fresh one and swaps the pointer.
+type registry struct {
+	gen   uint64
+	views map[string]*viewEntry
+	names []string // sorted view names, for /v1/views determinism
+}
+
+// viewEntry is one served view: its representation, serving pool, and the
+// in-flight reference gate that keeps the pool alive until the last
+// stream started on it finishes.
+type viewEntry struct {
+	name     string
+	path     string
+	rep      *core.Representation
+	srv      *core.Server
+	loadedAt time.Time
+
+	mu      sync.Mutex
+	refs    int
+	retired bool
+	idle    chan struct{} // closed when retired with no refs left
+
+	requests atomic.Uint64
+	baseTup  int
+}
+
+// acquire takes a reference on the entry; it fails once the entry has
+// been retired by a reload or shutdown (the caller then retries on the
+// fresh registry).
+func (e *viewEntry) acquire() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.retired {
+		return false
+	}
+	e.refs++
+	return true
+}
+
+// release drops a reference; the last release after retirement unblocks
+// the retirer.
+func (e *viewEntry) release() {
+	e.mu.Lock()
+	e.refs--
+	last := e.retired && e.refs == 0
+	e.mu.Unlock()
+	if last {
+		close(e.idle)
+	}
+}
+
+// retire marks the entry dead, waits for in-flight streams to finish, and
+// closes its serving pool. Requests in flight keep streaming from the old
+// representation; new requests fail acquire and route to the replacement.
+func (e *viewEntry) retire() {
+	e.mu.Lock()
+	e.retired = true
+	idleNow := e.refs == 0
+	e.mu.Unlock()
+	if idleNow {
+		close(e.idle)
+	}
+	<-e.idle
+	e.srv.Close()
+}
+
+// New loads every snapshot path into a per-view registry and returns the
+// handler. Each snapshot contributes one view, keyed by its view name;
+// duplicate names across files are an error. The paths are remembered:
+// POST /v1/reload (and Reload) re-reads them.
+func New(paths []string, opts Options) (*Handler, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("httpserve: no snapshot paths")
+	}
+	h := &Handler{opts: opts, paths: append([]string(nil), paths...), start: time.Now(), closeDone: make(chan struct{})}
+	reg, err := h.loadRegistry(1)
+	if err != nil {
+		return nil, err
+	}
+	h.reg.Store(reg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query/{view}", h.handleQuery)
+	mux.HandleFunc("GET /v1/views", h.handleViews)
+	mux.HandleFunc("GET /v1/stats", h.handleStats)
+	mux.HandleFunc("POST /v1/reload", h.handleReload)
+	h.mux = mux
+	return h, nil
+}
+
+// loadRegistry reads every snapshot path into a fresh registry generation.
+func (h *Handler) loadRegistry(gen uint64) (*registry, error) {
+	reg := &registry{gen: gen, views: make(map[string]*viewEntry, len(h.paths))}
+	ok := false
+	defer func() {
+		if !ok { // abandon the half-built generation's serving pools
+			for _, e := range reg.views {
+				e.srv.Close()
+			}
+		}
+	}()
+	for _, path := range h.paths {
+		rep, err := loadSnapshot(path)
+		if err != nil {
+			return nil, fmt.Errorf("httpserve: %s: %w", path, err)
+		}
+		name := rep.View().Name
+		if _, dup := reg.views[name]; dup {
+			return nil, fmt.Errorf("httpserve: duplicate view %q (snapshot %s)", name, path)
+		}
+		var srvOpts []core.ServerOption
+		if h.opts.Buffer > 0 {
+			srvOpts = append(srvOpts, core.WithServerBuffer(h.opts.Buffer))
+		}
+		srv, err := core.NewServer(rep, h.opts.Workers, srvOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("httpserve: %s: %w", path, err)
+		}
+		reg.views[name] = &viewEntry{
+			name:     name,
+			path:     path,
+			rep:      rep,
+			srv:      srv,
+			loadedAt: time.Now(),
+			idle:     make(chan struct{}),
+			baseTup:  baseTuples(rep),
+		}
+		reg.names = append(reg.names, name)
+	}
+	sort.Strings(reg.names)
+	ok = true
+	return reg, nil
+}
+
+// baseTuples counts the base-relation tuples behind a representation,
+// deduplicating self-join aliases of the same relation.
+func baseTuples(rep *core.Representation) int {
+	seen := map[string]bool{}
+	n := 0
+	for _, a := range rep.Instance().Atoms {
+		if name := a.Rel.Name(); !seen[name] {
+			seen[name] = true
+			n += a.Rel.Len()
+		}
+	}
+	return n
+}
+
+// Reload re-reads every snapshot path and atomically swaps the registry.
+// On any load failure the old registry stays in place untouched. Requests
+// in flight finish on the representation they started with; the old
+// serving pools close in the background once their last stream ends.
+func (h *Handler) Reload() (uint64, error) {
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	if h.closed.Load() {
+		return 0, core.ErrClosed
+	}
+	old := h.reg.Load()
+	reg, err := h.loadRegistry(old.gen + 1)
+	if err != nil {
+		return 0, err
+	}
+	h.reg.Store(reg)
+	h.reloads.Add(1)
+	h.retired.Add(1)
+	go func() {
+		defer h.retired.Done()
+		for _, e := range old.views {
+			e.retire()
+		}
+	}()
+	return reg.gen, nil
+}
+
+// Close retires the handler: new requests fail with 503, in-flight
+// streams finish (or are cut by their own request contexts), and every
+// serving pool is closed. Close blocks until all pools have drained and
+// is idempotent — concurrent and repeated calls all wait for the full
+// drain, not just the first one.
+func (h *Handler) Close() {
+	h.closeOnce.Do(func() {
+		defer close(h.closeDone)
+		h.reloadMu.Lock()
+		h.closed.Store(true)
+		old := h.reg.Swap(nil)
+		h.reloadMu.Unlock()
+		if old != nil {
+			for _, e := range old.views {
+				e.retire()
+			}
+		}
+		h.retired.Wait()
+	})
+	<-h.closeDone
+}
+
+// ServeHTTP dispatches the wire API.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// errorJSON writes a one-object JSON error body with the given status.
+func (h *Handler) errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	h.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleQuery streams one access request as NDJSON: each result tuple is
+// one JSON array line in enumeration order; a stream that dies mid-way
+// ends with one JSON object line {"error": ...} so clients can tell a
+// truncated enumeration from a complete one (see core.IterErr).
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	h.requests.Add(1)
+	start := time.Now()
+	name := r.PathValue("view")
+
+	maxBody := h.opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		// Only an actual size overflow is 413; any other read failure
+		// (malformed chunking, client disconnect mid-body) is the
+		// client's bad request, not an oversized one.
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		h.errorJSON(w, status, "request body: %v", err)
+		return
+	}
+	req, err := ParseBindings(body)
+	if err != nil {
+		h.errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// A retired entry (reload/close raced our registry load) fails fast
+	// with ErrClosed before streaming anything; retry on the fresh
+	// registry so the request lands wholly on one generation.
+	for attempt := 0; attempt < 8; attempt++ {
+		reg := h.reg.Load()
+		if reg == nil {
+			h.errorJSON(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		entry, ok := reg.views[name]
+		if !ok {
+			h.errorJSON(w, http.StatusNotFound, "unknown view %q (GET /v1/views lists the registry)", name)
+			return
+		}
+		if !entry.acquire() {
+			continue
+		}
+		served := h.streamQuery(w, r, entry, req, start)
+		entry.release()
+		if served {
+			return
+		}
+	}
+	h.errorJSON(w, http.StatusServiceUnavailable, "view %q is reloading, retry", name)
+}
+
+// streamQuery runs one acquired request to completion. It reports false
+// when the entry's pool was already closed before anything was streamed
+// (the caller retries on the fresh registry).
+func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *viewEntry, req queryRequest, start time.Time) bool {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	it, err := entry.srv.SubmitArgs(ctx, req.Bindings)
+	switch {
+	case errors.Is(err, core.ErrClosed):
+		return false
+	case errors.Is(err, core.ErrBadBinding):
+		h.errorJSON(w, http.StatusBadRequest, "%v", err)
+		return true
+	case err != nil:
+		h.errorJSON(w, http.StatusInternalServerError, "%v", err)
+		return true
+	}
+	entry.requests.Add(1)
+	defer func() { h.total.add(time.Since(start)) }()
+
+	// Headers are staged but the status line is only committed by the
+	// first body write, so a request whose enumeration fails before
+	// producing anything can still answer with a real error status.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cqrep-View", entry.name)
+	w.Header().Set("X-Cqrep-Free", strconv.Itoa(len(entry.rep.FreeNames())))
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriterSize(w, 4096)
+
+	var line []byte
+	n := 0
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		if n == 0 {
+			h.delay.add(time.Since(start))
+		}
+		line = appendTupleJSON(line[:0], t)
+		if _, err := bw.Write(line); err != nil {
+			cancel() // client went away: abandon the enumeration
+			return true
+		}
+		// Flush per line: the stream is the product, and constant-delay
+		// enumeration means the client should see tuples as they are
+		// produced, not when a buffer happens to fill.
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+		h.tuples.Add(1)
+		n++
+		if req.Limit > 0 && n >= req.Limit {
+			cancel() // stop the serving worker; the stream is done
+			break
+		}
+	}
+	if terr := core.IterErr(it); terr != nil && ctx.Err() == nil {
+		if n == 0 {
+			// Nothing was streamed yet, so the status line is still ours:
+			// fail properly instead of a 200 with an error trailer.
+			h.errorJSON(w, http.StatusInternalServerError, "%v", terr)
+			return true
+		}
+		// Mid-stream the status line is long gone; the error travels as
+		// the NDJSON terminal object.
+		h.errors.Add(1)
+		obj, _ := json.Marshal(map[string]string{"error": terr.Error()})
+		bw.Write(obj)
+		bw.WriteByte('\n')
+	}
+	bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return true
+}
+
+// appendTupleJSON renders one tuple as a compact JSON array of integers.
+func appendTupleJSON(dst []byte, t relation.Tuple) []byte {
+	dst = append(dst, '[')
+	for i, v := range t {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return append(dst, ']', '\n')
+}
+
+// ViewInfo is one /v1/views registry row.
+type ViewInfo struct {
+	Name       string   `json:"name"`
+	Bound      []string `json:"bound"`
+	Free       []string `json:"free"`
+	Strategy   string   `json:"strategy"`
+	Shards     int      `json:"shards"`
+	Entries    int      `json:"entries"`
+	BaseTuples int      `json:"base_tuples"`
+	Snapshot   string   `json:"snapshot"`
+	LoadedAt   string   `json:"loaded_at"`
+}
+
+// viewsResponse is the /v1/views body.
+type viewsResponse struct {
+	Generation uint64     `json:"generation"`
+	Views      []ViewInfo `json:"views"`
+}
+
+func (h *Handler) handleViews(w http.ResponseWriter, r *http.Request) {
+	reg := h.reg.Load()
+	if reg == nil {
+		h.errorJSON(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	resp := viewsResponse{Generation: reg.gen}
+	for _, name := range reg.names {
+		e := reg.views[name]
+		st := e.rep.Stats()
+		resp.Views = append(resp.Views, ViewInfo{
+			Name:       e.name,
+			Bound:      e.rep.BoundNames(),
+			Free:       e.rep.FreeNames(),
+			Strategy:   st.Strategy.String(),
+			Shards:     st.Shards,
+			Entries:    st.Entries,
+			BaseTuples: e.baseTup,
+			Snapshot:   e.path,
+			LoadedAt:   e.loadedAt.UTC().Format(time.RFC3339),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// LatencySummary reports an approximate latency distribution (power-of-two
+// microsecond buckets; quantiles are bucket upper bounds).
+type LatencySummary struct {
+	Count uint64 `json:"count"`
+	P50us int64  `json:"p50_us"`
+	P99us int64  `json:"p99_us"`
+}
+
+// ViewStats is one per-view /v1/stats row.
+type ViewStats struct {
+	Name       string `json:"name"`
+	Requests   uint64 `json:"requests"`
+	Tuples     uint64 `json:"tuples"`
+	Entries    int    `json:"entries"`
+	Shards     int    `json:"shards"`
+	BaseTuples int    `json:"base_tuples"`
+	Workers    int    `json:"workers"`
+}
+
+// statsResponse is the /v1/stats body.
+type statsResponse struct {
+	UptimeMs   int64          `json:"uptime_ms"`
+	Generation uint64         `json:"generation"`
+	Reloads    uint64         `json:"reloads"`
+	Requests   uint64         `json:"requests"`
+	Errors     uint64         `json:"errors"`
+	Tuples     uint64         `json:"tuples"`
+	FirstTuple LatencySummary `json:"first_tuple"`
+	Total      LatencySummary `json:"total"`
+	Views      []ViewStats    `json:"views"`
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	reg := h.reg.Load()
+	if reg == nil {
+		h.errorJSON(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	resp := statsResponse{
+		UptimeMs:   time.Since(h.start).Milliseconds(),
+		Generation: reg.gen,
+		Reloads:    h.reloads.Load(),
+		Requests:   h.requests.Load(),
+		Errors:     h.errors.Load(),
+		Tuples:     h.tuples.Load(),
+		FirstTuple: h.delay.summary(),
+		Total:      h.total.summary(),
+	}
+	for _, name := range reg.names {
+		e := reg.views[name]
+		st := e.rep.Stats()
+		ss := e.srv.Stats()
+		resp.Views = append(resp.Views, ViewStats{
+			Name:       e.name,
+			Requests:   e.requests.Load(),
+			Tuples:     ss.Tuples,
+			Entries:    st.Entries,
+			Shards:     st.Shards,
+			BaseTuples: e.baseTup,
+			Workers:    ss.Workers,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (h *Handler) handleReload(w http.ResponseWriter, r *http.Request) {
+	gen, err := h.Reload()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		h.errorJSON(w, status, "reload failed, previous registry still serving: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"generation": gen})
+}
+
+// loadSnapshot reads one snapshot file through the core decoder.
+func loadSnapshot(path string) (*core.Representation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadRepresentation(f)
+}
+
+// latHist is a lock-free latency histogram over power-of-two microsecond
+// buckets — coarse, but constant-time on the request path and good enough
+// for the p50/p99 health signal of /v1/stats.
+type latHist struct {
+	buckets [48]atomic.Uint64
+}
+
+func (h *latHist) add(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	idx := bits.Len64(uint64(us)) // bucket k holds [2^(k-1), 2^k) µs
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx].Add(1)
+}
+
+// summary renders count and approximate p50/p99 (bucket upper bounds).
+func (h *latHist) summary() LatencySummary {
+	var counts [48]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	out := LatencySummary{Count: total}
+	if total == 0 {
+		return out
+	}
+	out.P50us = h.quantile(counts[:], total, 0.50)
+	out.P99us = h.quantile(counts[:], total, 0.99)
+	return out
+}
+
+func (h *latHist) quantile(counts []uint64, total uint64, q float64) int64 {
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return int64(1) << i // upper bound of bucket i
+		}
+	}
+	return int64(1) << (len(counts) - 1)
+}

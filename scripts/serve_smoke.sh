@@ -1,0 +1,91 @@
+#!/bin/sh
+# serve_smoke.sh — the cqserve end-to-end gate: compile a view to a
+# snapshot with cqcli, serve it over HTTP with cqserve, query it with
+# curl, and diff the streamed NDJSON answers against the in-process
+# enumeration printed by `cqcli serve`. Any divergence — ordering,
+# content, count — fails the build. Mirrors the CI "serve" job; run
+# locally via `make serve-smoke`.
+set -eu
+
+ADDR="${CQSERVE_ADDR:-127.0.0.1:18977}"
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "$SRV_PID" ] && wait "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+# A small co-author-shaped relation: author,paper.
+cat > "$TMP/r.csv" <<'EOF'
+1,10
+1,11
+2,10
+2,12
+3,11
+3,12
+4,13
+1,12
+EOF
+
+echo "== building cqcli and cqserve"
+go build -o "$TMP/cqcli" ./cmd/cqcli
+go build -o "$TMP/cqserve" ./cmd/cqserve
+go build -o "$TMP/cqload" ./cmd/cqload
+
+VIEW='V[bff](x, y, p) :- R(x, p), R(y, p)'
+echo "== compiling snapshot"
+"$TMP/cqcli" compile -view "$VIEW" -rel "R=$TMP/r.csv" -o "$TMP/v.cqs"
+
+echo "== starting cqserve on $ADDR"
+"$TMP/cqserve" -snapshot "$TMP/v.cqs" -addr "$ADDR" &
+SRV_PID=$!
+ready=""
+for _ in $(seq 1 100); do
+    if curl -sf "http://$ADDR/v1/views" > "$TMP/views.json" 2>/dev/null; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$ready" ] || { echo "cqserve did not come up on $ADDR" >&2; exit 1; }
+grep -q '"name":"V"' "$TMP/views.json" || { echo "/v1/views does not list V" >&2; cat "$TMP/views.json" >&2; exit 1; }
+
+echo "== querying every bound author over HTTP and diffing against cqcli serve"
+for x in 1 2 3 4 5; do
+    # Both sides normalize to one "y p" line per tuple: cqcli serve prints
+    # "(y, p)", the wire streams NDJSON "[y,p]" — strip the punctuation
+    # and the remaining bytes must agree exactly (content and order).
+    echo "$x" | "$TMP/cqcli" serve -limit 1000000 "$TMP/v.cqs" 2>/dev/null \
+        | tr -d '(),[]' > "$TMP/want.$x"
+    curl -sf -X POST "http://$ADDR/v1/query/V" -d "{\"bindings\":{\"x\":$x}}" \
+        | tr -d '[]' | tr ',' ' ' > "$TMP/got.$x"
+    if ! diff -u "$TMP/want.$x" "$TMP/got.$x"; then
+        echo "divergence for binding x=$x" >&2
+        exit 1
+    fi
+done
+
+echo "== checking error paths"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/query/Nope" -d '{}')
+[ "$code" = 404 ] || { echo "unknown view returned $code, want 404" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/query/V" -d '{"bindings":{"bad":1}}')
+[ "$code" = 400 ] || { echo "bad binding returned $code, want 400" >&2; exit 1; }
+
+echo "== hot reload"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/reload")
+[ "$code" = 200 ] || { echo "reload returned $code, want 200" >&2; exit 1; }
+
+echo "== load generator"
+printf '1\n2\n3\n' > "$TMP/req.txt"
+"$TMP/cqload" -url "http://$ADDR" -view V -bindings "$TMP/req.txt" -c 2 -n 60
+
+echo "== stats"
+curl -sf "http://$ADDR/v1/stats" | grep -q '"requests"' || { echo "/v1/stats malformed" >&2; exit 1; }
+
+echo "== graceful shutdown"
+kill -INT "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+echo "serve smoke: OK"

@@ -47,8 +47,25 @@ func NewServer(src QuerySource, opts ...Option) (*Server, error) {
 // is served. Cancelling ctx terminates the stream (Next returns false)
 // and makes the serving worker abandon the enumeration. Submitting to a
 // closed server fails with ErrClosed.
+//
+// The stream carries a terminal error: once Next has returned false,
+// IterErr reports why the stream ended — nil for a complete enumeration,
+// ErrClosed for a server closed mid-stream, the submitting context's
+// error for a cancellation, or the underlying source's failure when the
+// enumeration broke mid-stream. Consumers that must distinguish "all
+// results delivered" from "stream truncated" check IterErr after draining.
 func (s *Server) Submit(ctx context.Context, binding Tuple) (Iterator, error) {
 	return s.srv.SubmitContext(ctx, binding)
+}
+
+// SubmitArgs is Submit with the binding given by bound-variable name
+// instead of position — the submission path of network fronts (cqserve),
+// whose clients send name→value maps. The server's source must be able to
+// resolve names (a *Representation can); a source that cannot, or a
+// valuation that does not match the view's bound variables, fails with an
+// error wrapping ErrBadBinding.
+func (s *Server) SubmitArgs(ctx context.Context, args map[string]Value) (Iterator, error) {
+	return s.srv.SubmitArgs(ctx, args)
 }
 
 // All is Submit as a range-over-func sequence. The request is enqueued
