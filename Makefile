@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke examples snapshot-check difftest fuzz-smoke serve-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-record smoke examples snapshot-check difftest fuzz-smoke serve-smoke ci
 
 all: build
 
@@ -42,6 +42,15 @@ bench-smoke:
 	$(GO) run ./cmd/cqbench -parallel -n 1000 -queries 10
 	$(GO) run ./cmd/cqbench -shards 1,2 -n 800 -queries 5
 
+# Bench trajectory: record the next BENCH_<n>.json at the pinned
+# configuration the committed trajectory uses and compare it against the
+# previous record — serving-throughput drops beyond 20% fail the run. CI
+# runs the same configuration but writes to a scratch file (BENCHOUT) so
+# the committed history only grows from deliberate local runs.
+BENCHOUT ?=
+bench-record:
+	$(GO) run ./cmd/cqbench -record -n 4000 -queries 30 -seed 42 -record-clients 4 $(if $(BENCHOUT),-record-out $(BENCHOUT))
+
 smoke: bench-smoke
 
 # Build and run every examples/ program — the public-API consumers. CI runs
@@ -69,13 +78,15 @@ difftest:
 	$(GO) test -shuffle=on -v -run 'TestDifferential|TestNaiveJoin|TestGenerator' ./internal/difftest
 
 # Fuzz smoke: a short budget per native fuzz target — the snapshot
-# decoder (corrupt input must fail typed, never panic or over-allocate)
-# and the HTTP binding parser. Mirrors the CI fuzz job; run with a longer
-# -fuzztime locally when touching either codec.
+# decoder (corrupt input must fail typed, never panic or over-allocate),
+# the HTTP binding parser, and the binary stream frame reader. Mirrors
+# the CI fuzz job; run with a longer -fuzztime locally when touching any
+# of the codecs.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadRepresentation -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
 	$(GO) test -fuzz=FuzzBindingsJSON -fuzztime=$(FUZZTIME) -run '^$$' ./internal/httpserve
+	$(GO) test -fuzz=FuzzBinaryStream -fuzztime=$(FUZZTIME) -run '^$$' ./internal/httpserve
 
 # cqserve end-to-end gate: compile → snapshot → cqserve → curl, diffed
 # against cqcli serve output for the same snapshot. Mirrors the CI serve
@@ -84,3 +95,4 @@ serve-smoke:
 	sh scripts/serve_smoke.sh
 
 ci: build vet fmt-check test race bench-smoke examples snapshot-check difftest fuzz-smoke serve-smoke
+	$(MAKE) bench-record BENCHOUT=$$(mktemp /tmp/cqrep-bench-XXXXXX.json)

@@ -1,0 +1,83 @@
+package cqrep
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"cqrep/internal/experiments"
+)
+
+// bench_record.go is the public face of the recorded bench trajectory:
+// cmd/cqbench -record runs one pinned-seed measurement pass over the
+// serving stack and writes it as BENCH_<n>.json next to the previous
+// records, so the repository carries its own performance history and CI
+// can fail a change that regresses serving throughput against the last
+// recorded file.
+
+// BenchRecord is one recorded measurement pass (see BENCH_1.json for the
+// committed baseline).
+type BenchRecord = experiments.BenchRecord
+
+// RecordBench runs the measurement pass at the given scale: compile and
+// snapshot-load costs, in-process first-tuple delay and allocation cost
+// per served tuple, and HTTP serving throughput in both the NDJSON and
+// binary stream encodings, driven by `clients` concurrent clients. All
+// generators are seeded; the same configuration on the same machine
+// reproduces comparable numbers.
+func RecordBench(cfg ExperimentConfig, clients int) (*BenchRecord, error) {
+	cfg = cfg.withDefaults()
+	return experiments.RecordBench(cfg.Scale, cfg.Queries, cfg.Seed, clients)
+}
+
+// WriteBenchRecord writes rec as indented JSON.
+func WriteBenchRecord(rec *BenchRecord, path string) error {
+	return experiments.WriteBenchRecord(rec, path)
+}
+
+// ReadBenchRecord loads and validates a bench record file.
+func ReadBenchRecord(path string) (*BenchRecord, error) {
+	return experiments.ReadBenchRecord(path)
+}
+
+// CompareBenchRecords lines a fresh record up against a baseline:
+// regressions are the gating failures (a throughput metric that fell by
+// more than tolerance, e.g. 0.2 for 20%), notes carry every other drift.
+// Records measured under different configurations never gate.
+func CompareBenchRecords(baseline, fresh *BenchRecord, tolerance float64) (regressions, notes []string) {
+	return experiments.CompareBenchRecords(baseline, fresh, tolerance)
+}
+
+var benchRecordName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestBenchRecord finds the highest-numbered BENCH_<n>.json in dir. It
+// returns ok=false (and no error) when the directory holds none.
+func LatestBenchRecord(dir string) (path string, n int, ok bool, err error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", 0, false, err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		m := benchRecordName.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			continue
+		}
+		if i, convErr := strconv.Atoi(m[1]); convErr == nil && (i > n || !ok) {
+			path, n, ok = p, i, true
+		}
+	}
+	return path, n, ok, nil
+}
+
+// NextBenchRecordPath names the next record in the trajectory:
+// BENCH_<last+1>.json in dir (BENCH_1.json when dir has none).
+func NextBenchRecordPath(dir string) (string, error) {
+	_, n, _, err := LatestBenchRecord(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1)), nil
+}

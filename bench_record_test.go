@@ -1,0 +1,165 @@
+// Tests of the recorded bench trajectory plumbing: file round-trip,
+// BENCH_<n>.json numbering, and the gating rules of the comparison. The
+// measurement pass itself is exercised by `make bench-record` / the CI
+// bench job, not here — unit tests must not time anything.
+package cqrep_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"cqrep"
+)
+
+func record(metrics map[string]float64) *cqrep.BenchRecord {
+	return &cqrep.BenchRecord{
+		Schema: 1, Kind: "cqrep-bench-record",
+		Go: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH,
+		Scale: 4000, Queries: 30, Seed: 42, Clients: 4,
+		Metrics: metrics,
+	}
+}
+
+func TestBenchRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := record(map[string]float64{"serve_binary_tuples_per_sec": 1e6, "compile_ns": 5e7})
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := cqrep.WriteBenchRecord(rec, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cqrep.ReadBenchRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != rec.Scale || got.Metrics["serve_binary_tuples_per_sec"] != 1e6 {
+		t.Fatalf("round trip drifted: %+v", got)
+	}
+
+	// Foreign JSON must be rejected, not compared.
+	bad := filepath.Join(dir, "other.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": 1, "kind": "something-else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cqrep.ReadBenchRecord(bad); err == nil || !strings.Contains(err.Error(), "not a bench record") {
+		t.Fatalf("foreign kind: err = %v", err)
+	}
+}
+
+func TestBenchRecordNumbering(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, ok, err := cqrep.LatestBenchRecord(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	next, err := cqrep.NextBenchRecordPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_1.json" {
+		t.Fatalf("first record path = %q, %v", next, err)
+	}
+	rec := record(map[string]float64{"serve_binary_tuples_per_sec": 1})
+	for _, name := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json", "BENCH_x.json"} {
+		if err := cqrep.WriteBenchRecord(rec, filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, n, ok, err := cqrep.LatestBenchRecord(dir)
+	if err != nil || !ok || n != 10 || filepath.Base(path) != "BENCH_10.json" {
+		t.Fatalf("latest = %q n=%d ok=%v err=%v, want BENCH_10.json", path, n, ok, err)
+	}
+	next, err = cqrep.NextBenchRecordPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_11.json" {
+		t.Fatalf("next = %q, %v, want BENCH_11.json", next, err)
+	}
+}
+
+func TestBenchRecordCompareGating(t *testing.T) {
+	base := record(map[string]float64{
+		"serve_binary_tuples_per_sec": 1000,
+		"serve_ndjson_tuples_per_sec": 500,
+		"inproc_tuples_per_sec":       1e6,
+		"serve_binary_speedup":        4.0,
+		"compile_ns":                  1e8,
+		"allocs_per_tuple":            1.0,
+	})
+
+	t.Run("serving-throughput drop beyond tolerance gates, nothing else does", func(t *testing.T) {
+		fresh := record(map[string]float64{
+			"serve_binary_tuples_per_sec": 700,  // -30%: gates
+			"serve_ndjson_tuples_per_sec": 490,  // -2%
+			"inproc_tuples_per_sec":       5e5,  // -50%: too noisy to gate
+			"serve_binary_speedup":        10.0, // big improvement: a note
+			"compile_ns":                  3e8,  // 3x slower: reported, not gating
+			"allocs_per_tuple":            5.0,  // worse: reported, not gating
+		})
+		regressions, notes := cqrep.CompareBenchRecords(base, fresh, 0.2)
+		if len(regressions) != 1 || !strings.Contains(regressions[0], "serve_binary_tuples_per_sec") {
+			t.Fatalf("regressions = %v, want exactly the binary throughput drop", regressions)
+		}
+		if len(notes) < 3 {
+			t.Fatalf("notes = %v, want the non-gating drifts reported", notes)
+		}
+	})
+
+	t.Run("improvements and tolerated noise pass", func(t *testing.T) {
+		fresh := record(map[string]float64{
+			"serve_binary_tuples_per_sec": 900, // -10%, inside 20%
+			"serve_ndjson_tuples_per_sec": 800, // improvement
+			"compile_ns":                  9e7,
+			"allocs_per_tuple":            1.0,
+		})
+		if regressions, _ := cqrep.CompareBenchRecords(base, fresh, 0.2); len(regressions) != 0 {
+			t.Fatalf("regressions = %v, want none", regressions)
+		}
+	})
+
+	t.Run("config mismatch never gates", func(t *testing.T) {
+		fresh := record(map[string]float64{"serve_binary_tuples_per_sec": 1})
+		fresh.Scale = 99
+		regressions, notes := cqrep.CompareBenchRecords(base, fresh, 0.2)
+		if len(regressions) != 0 {
+			t.Fatalf("regressions = %v, want none on config mismatch", regressions)
+		}
+		if len(notes) != 1 || !strings.Contains(notes[0], "configurations differ") {
+			t.Fatalf("notes = %v, want the mismatch warning", notes)
+		}
+	})
+
+	t.Run("missing metric is a note", func(t *testing.T) {
+		fresh := record(map[string]float64{
+			"serve_binary_tuples_per_sec": 1000,
+			"serve_ndjson_tuples_per_sec": 500,
+			"compile_ns":                  1e8,
+			"new_metric_per_sec":          7,
+		})
+		regressions, notes := cqrep.CompareBenchRecords(base, fresh, 0.2)
+		if len(regressions) != 0 {
+			t.Fatalf("regressions = %v", regressions)
+		}
+		joined := strings.Join(notes, "\n")
+		if !strings.Contains(joined, "allocs_per_tuple: missing") || !strings.Contains(joined, "new metric") {
+			t.Fatalf("notes = %v, want missing/new metric reports", notes)
+		}
+	})
+}
+
+// TestCommittedBenchBaseline pins the acceptance claims of the committed
+// trajectory file itself: the binary encoding at least doubles NDJSON
+// serving throughput and the steady-state submit path stays within two
+// allocations per served tuple.
+func TestCommittedBenchBaseline(t *testing.T) {
+	path, _, ok, err := cqrep.LatestBenchRecord(".")
+	if err != nil || !ok {
+		t.Fatalf("no committed BENCH_<n>.json found: ok=%v err=%v", ok, err)
+	}
+	rec, err := cqrep.ReadBenchRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := rec.Metrics["serve_binary_speedup"]; speedup < 2 {
+		t.Fatalf("%s: serve_binary_speedup = %.2f, want >= 2", path, speedup)
+	}
+	if allocs := rec.Metrics["allocs_per_tuple"]; allocs <= 0 || allocs > 2 {
+		t.Fatalf("%s: allocs_per_tuple = %.2f, want in (0, 2]", path, allocs)
+	}
+}

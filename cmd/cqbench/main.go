@@ -8,17 +8,27 @@
 //	cqbench -startup            # snapshot load vs recompile startup cost (E17)
 //	cqbench -shards 1,2,4,8     # sharded compile/rebuild scaling (E18)
 //	cqbench -serve              # network serving delay/throughput (E19)
+//	cqbench -record             # record a BENCH_<n>.json trajectory point
 //
 // Scales are edge/tuple counts; all generators are seeded and
 // deterministic. cqbench drives the suite through the public cqrep
 // experiment facade (Experiments / RunExperiment) — like cqcli, it
 // imports nothing under internal/.
+//
+// -record is the bench trajectory mode: one pinned-seed measurement pass
+// (compile, snapshot load, first-tuple delay, serving throughput in both
+// stream encodings, allocs per served tuple) is written as the next
+// BENCH_<n>.json in -benchdir and compared against the previous one;
+// serving-throughput drops beyond -record-tolerance fail the run unless
+// -record-report-only is set. `make bench-record` pins the configuration
+// the committed trajectory uses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -97,6 +107,12 @@ func main() {
 	shardsFlag := flag.String("shards", "", "run only the sharding experiment (E18) with these comma-separated shard counts: compile-time and rebuild-time scaling on the E1/E6 workloads, verified byte-identical")
 	serve := flag.Bool("serve", false, "run only the network serving experiment (E19): in-process cqserve HTTP front driven by -workers concurrent clients, streams verified byte-identical, p50/p99 first-tuple delay and throughput")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel / E16 (run sorted ascending; the smallest is the speedup baseline); doubles as the concurrent-client sweep of -serve / E19")
+	record := flag.Bool("record", false, "record one bench-trajectory point as BENCH_<n>.json and compare against the previous record")
+	benchdir := flag.String("benchdir", ".", "directory holding the BENCH_<n>.json trajectory (with -record)")
+	recordOut := flag.String("record-out", "", "write the fresh record here instead of the next BENCH_<n>.json (with -record; the comparison baseline stays the latest file in -benchdir)")
+	recordTolerance := flag.Float64("record-tolerance", 0.2, "fractional serving-throughput drop vs the previous record that fails -record (0.2 = 20%)")
+	recordReportOnly := flag.Bool("record-report-only", false, "with -record, print regressions but exit 0 (fork PRs, unstable machines)")
+	recordClients := flag.Int("record-clients", 4, "concurrent clients driving the serving sweep of -record")
 	flag.Parse()
 
 	workers, err := parseCounts("workers", *workersFlag, nil)
@@ -110,6 +126,14 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := cqrep.ExperimentConfig{Scale: *n, Queries: *queries, Seed: *seed, Workers: workers, Shards: shardCounts}
+
+	if *record {
+		if err := runRecord(cfg, *recordClients, *benchdir, *recordOut, *recordTolerance, *recordReportOnly); err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	flags := benchFlags{run: *run, parallel: *parallel, startup: *startup, shards: *shardsFlag, serve: *serve, workers: *workersFlag}
 	selected := selectExperiments(flags, cqrep.Experiments())
@@ -131,7 +155,64 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E19, all, -parallel, -startup, -shards, or -serve")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E19, all, -parallel, -startup, -shards, -serve, or -record")
 		os.Exit(2)
 	}
+}
+
+// runRecord is the trajectory mode: measure, write the next record, and
+// compare against the latest previous one.
+func runRecord(cfg cqrep.ExperimentConfig, clients int, dir, out string, tolerance float64, reportOnly bool) error {
+	baselinePath, _, haveBaseline, err := cqrep.LatestBenchRecord(dir)
+	if err != nil {
+		return err
+	}
+
+	rec, err := cqrep.RecordBench(cfg, clients)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		if out, err = cqrep.NextBenchRecordPath(dir); err != nil {
+			return err
+		}
+	}
+	if err := cqrep.WriteBenchRecord(rec, out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s (scale %d, queries %d, seed %d, %d clients)\n", out, rec.Scale, rec.Queries, rec.Seed, rec.Clients)
+	names := make([]string, 0, len(rec.Metrics))
+	for name := range rec.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-28s %.4g\n", name, rec.Metrics[name])
+	}
+
+	if !haveBaseline {
+		fmt.Println("no previous BENCH_<n>.json in", dir, "- nothing to compare")
+		return nil
+	}
+	baseline, err := cqrep.ReadBenchRecord(baselinePath)
+	if err != nil {
+		return err
+	}
+	regressions, notes := cqrep.CompareBenchRecords(baseline, rec, tolerance)
+	fmt.Printf("compared against %s:\n", baselinePath)
+	for _, line := range notes {
+		fmt.Println("  note:", line)
+	}
+	for _, line := range regressions {
+		fmt.Println("  REGRESSION:", line)
+	}
+	if len(regressions) > 0 {
+		if reportOnly {
+			fmt.Printf("%d throughput regression(s) beyond %.0f%%; report-only, not failing\n", len(regressions), tolerance*100)
+			return nil
+		}
+		return fmt.Errorf("%d serving-throughput regression(s) beyond %.0f%% vs %s", len(regressions), tolerance*100, baselinePath)
+	}
+	fmt.Println("no gating regressions")
+	return nil
 }

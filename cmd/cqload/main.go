@@ -11,7 +11,11 @@
 // the positions onto names. Requests are fired round-robin by -c
 // concurrent clients until -n requests complete, then p50/p95/p99 of the
 // time-to-first-tuple delay and of the total request time are printed
-// with the achieved request and tuple throughput.
+// with the achieved request and tuple throughput and the client-side
+// allocation cost per request (runtime.MemStats deltas across the run).
+//
+// -format picks the stream encoding to request: ndjson (default) or
+// binary, the length-prefixed framing of DESIGN.md §5.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,7 +50,13 @@ func main() {
 	clients := flag.Int("c", 4, "concurrent clients")
 	total := flag.Int("n", 200, "total requests")
 	limit := flag.Int("limit", 0, "per-request tuple limit (0 = drain fully)")
+	formatFlag := flag.String("format", "ndjson", "stream encoding to request: ndjson or binary")
 	flag.Parse()
+
+	format, err := httpserve.ParseFormat(*formatFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -66,14 +77,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cqload: %s view %s (bound %v, free %v, %s, %d shards): %d requests, %d clients\n",
-		*url, info.Name, info.Bound, info.Free, info.Strategy, info.Shards, *total, *clients)
+	fmt.Fprintf(os.Stderr, "cqload: %s view %s (bound %v, free %v, %s, %d shards): %d requests, %d clients, %s stream\n",
+		*url, info.Name, info.Bound, info.Free, info.Strategy, info.Shards, *total, *clients, format)
 
-	samples, errs := fire(ctx, c, info.Name, reqs, *clients, *total, *limit)
+	// MemStats deltas across the whole run give the client-side decode
+	// cost per request — the number the binary framing is meant to shrink.
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	samples, errs := fire(ctx, c, info.Name, reqs, *clients, *total, *limit, format)
+	runtime.ReadMemStats(&m1)
 	if len(samples) == 0 {
 		fatal(fmt.Errorf("no requests completed (%d errors)", errs))
 	}
-	report(os.Stdout, samples, errs)
+	report(os.Stdout, samples, errs, m1.Mallocs-m0.Mallocs, m1.TotalAlloc-m0.TotalAlloc)
 }
 
 // pickView resolves the requested view name against the registry; with no
@@ -149,7 +166,7 @@ func loadBindings(path string, bound []string) ([]map[string]relation.Value, err
 // fire runs the load: clients goroutines pull request indexes off a
 // shared counter (round-robin over the binding set) until total requests
 // have been issued or ctx is cancelled.
-func fire(ctx context.Context, c *httpserve.Client, view string, reqs []map[string]relation.Value, clients, total, limit int) ([]sample, int) {
+func fire(ctx context.Context, c *httpserve.Client, view string, reqs []map[string]relation.Value, clients, total, limit int, format httpserve.Format) ([]sample, int) {
 	var next, errs atomic.Int64
 	samples := make([]sample, total)
 	var taken atomic.Int64
@@ -163,7 +180,9 @@ func fire(ctx context.Context, c *httpserve.Client, view string, reqs []map[stri
 				if i >= total || ctx.Err() != nil {
 					return
 				}
-				res, err := c.Query(ctx, view, reqs[i%len(reqs)], limit)
+				res, err := c.QueryOpts(ctx, view, httpserve.QueryOptions{
+					Bindings: reqs[i%len(reqs)], Limit: limit, Format: format,
+				})
 				if err != nil {
 					errs.Add(1)
 					continue
@@ -176,8 +195,10 @@ func fire(ctx context.Context, c *httpserve.Client, view string, reqs []map[stri
 	return samples[:taken.Load()], int(errs.Load())
 }
 
-// report prints the percentile table.
-func report(w *os.File, samples []sample, errs int) {
+// report prints the percentile table plus the client-side allocation cost
+// per completed request (process-wide MemStats deltas, so concurrent
+// client goroutines are all accounted).
+func report(w *os.File, samples []sample, errs int, allocs, bytes uint64) {
 	firsts := make([]time.Duration, 0, len(samples))
 	totals := make([]time.Duration, len(samples))
 	var wall time.Duration
@@ -209,6 +230,8 @@ func report(w *os.File, samples []sample, errs int) {
 	if mean := wall / time.Duration(len(samples)); mean > 0 {
 		fmt.Fprintf(w, "throughput         %.0f req/s per client (mean latency %v)\n", float64(time.Second)/float64(mean), mean.Round(time.Microsecond))
 	}
+	n := float64(len(samples))
+	fmt.Fprintf(w, "client alloc       %.0f allocs/op  %.0f B/op\n", float64(allocs)/n, float64(bytes)/n)
 }
 
 func fatal(err error) {

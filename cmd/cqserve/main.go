@@ -7,11 +7,18 @@
 //	curl -s localhost:8080/v1/query/V -d '{"bindings":{"x":1}}'
 //
 // The wire API (DESIGN.md §5): POST /v1/query/{view} takes JSON bindings
-// and streams result tuples as NDJSON in enumeration order; GET /v1/views
-// lists the registry; GET /v1/stats reports tuple/shard counts and
-// request/latency counters; POST /v1/reload re-reads the snapshot files
-// and swaps them in atomically while in-flight requests finish on the
-// representation they started with.
+// and streams result tuples in enumeration order — NDJSON by default, or
+// the length-prefixed binary framing when the request Accepts
+// application/x-cqrep-binary; GET /v1/views lists the registry; GET
+// /v1/stats reports tuple/shard counts and request/latency counters;
+// POST /v1/reload re-reads the snapshot files and swaps them in
+// atomically while in-flight requests finish on the representation they
+// started with.
+//
+// -mmap maps snapshots instead of eagerly decoding them (per-shard lazy
+// decode on first touch), -flush-batch tunes the tuples-per-flush batch
+// of the stream writers, and -pprof exposes the net/http/pprof profiling
+// endpoints under /debug/pprof/ on the same listener.
 //
 // SIGINT/SIGTERM shuts down gracefully: the listener stops, in-flight
 // streams are cancelled through their request contexts, and the serving
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,11 +44,14 @@ import (
 
 // config is the parsed command line, separated from main for testability.
 type config struct {
-	addr      string
-	snapshots []string
-	workers   int
-	buffer    int
-	drain     time.Duration
+	addr       string
+	snapshots  []string
+	workers    int
+	buffer     int
+	flushBatch int
+	mmap       bool
+	pprof      bool
+	drain      time.Duration
 }
 
 type listFlag []string
@@ -58,6 +69,9 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.workers, "workers", 0, "serving workers per view (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.buffer, "buffer", 0, "per-request result buffer in tuples (0 = default 256)")
+	fs.IntVar(&cfg.flushBatch, "flush-batch", 0, "tuples batched per stream flush (0 = default 128)")
+	fs.BoolVar(&cfg.mmap, "mmap", false, "mmap snapshots instead of eager decode (lazy per-shard decode on first touch)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the listen address")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -86,13 +100,30 @@ func main() {
 
 // run serves until ctx is cancelled, then drains gracefully.
 func run(ctx context.Context, cfg config, logw *os.File) error {
-	h, err := httpserve.New(cfg.snapshots, httpserve.Options{Workers: cfg.workers, Buffer: cfg.buffer})
+	h, err := httpserve.New(cfg.snapshots, httpserve.Options{
+		Workers: cfg.workers, Buffer: cfg.buffer,
+		FlushBatch: cfg.flushBatch, Mmap: cfg.mmap,
+	})
 	if err != nil {
 		return err
 	}
+	var handler http.Handler = h
+	if cfg.pprof {
+		// The profiling endpoints share the API listener; they are opt-in
+		// because they expose internals no production deployment should
+		// serve unauthenticated.
+		mux := http.NewServeMux()
+		mux.Handle("/", h)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:    cfg.addr,
-		Handler: h,
+		Handler: handler,
 		// Request contexts derive from ctx, so cancelling it propagates
 		// into every in-flight enumeration via Server.SubmitContext.
 		BaseContext: func(net.Listener) context.Context { return ctx },

@@ -174,6 +174,10 @@ type Representation struct {
 	be       backend // the uniform strategy surface (see backend.go)
 
 	stats Stats
+
+	// lazy defers decoding for mmap-loaded snapshots; nil for eagerly
+	// built or loaded representations. See ensure in lazy.go.
+	lazy *lazySnapshot
 }
 
 // Build compiles the adorned view over db. Non-full views (boolean or
@@ -449,7 +453,14 @@ func sanitizeCover(h cq.Hypergraph, u fractional.Cover) fractional.Cover {
 // Query answers an access request given the bound-variable valuation in
 // head order. It is safe to call from any number of goroutines; the
 // returned Iterator is not itself safe for sharing between goroutines.
-func (r *Representation) Query(vb relation.Tuple) Iterator { return r.be.Query(vb) }
+// An mmap-loaded representation whose payload fails to decode returns an
+// empty iterator whose IterErr wraps ErrBadSnapshot.
+func (r *Representation) Query(vb relation.Tuple) Iterator {
+	if err := r.ensure(); err != nil {
+		return errIterator{err}
+	}
+	return r.be.Query(vb)
+}
 
 // QueryArgs answers an access request given bound values by variable name.
 // A valuation that does not match the view's bound variables fails with an
@@ -465,6 +476,9 @@ func (r *Representation) QueryArgs(args map[string]relation.Value) (Iterator, er
 // Bind resolves named bound values into a valuation in the view's bound
 // order, wrapping failures with ErrBadBinding.
 func (r *Representation) Bind(args map[string]relation.Value) (relation.Tuple, error) {
+	if err := r.ensure(); err != nil {
+		return nil, err
+	}
 	vb, err := r.nv.BindArgs(args)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadBinding, err)
@@ -477,32 +491,64 @@ func (r *Representation) Bind(args map[string]relation.Value) (relation.Tuple, e
 // for concurrent use. Backends with a native membership probe (the
 // all-bound index check, the materialized bucket lookup) answer without
 // constructing an enumeration.
-func (r *Representation) Exists(vb relation.Tuple) bool { return r.be.Exists(vb) }
+func (r *Representation) Exists(vb relation.Tuple) bool {
+	if err := r.ensure(); err != nil {
+		return false
+	}
+	return r.be.Exists(vb)
+}
 
-// Stats returns the build statistics.
-func (r *Representation) Stats() Stats { return r.stats }
+// Stats returns the build statistics. An mmap-loaded representation
+// materializes first; one that fails to decode reports zero statistics.
+func (r *Representation) Stats() Stats {
+	r.ensure()
+	return r.stats
+}
 
 // View returns the (full) compiled view.
 func (r *Representation) View() *cq.View { return r.view }
 
-// Normalized returns the normalized view (variable ids, orders).
-func (r *Representation) Normalized() *cq.NormalizedView { return r.nv }
+// Normalized returns the normalized view (variable ids, orders), or nil
+// for an mmap-loaded representation that fails to decode.
+func (r *Representation) Normalized() *cq.NormalizedView {
+	r.ensure()
+	return r.nv
+}
 
-// Instance returns the bound join instance (base indexes).
-func (r *Representation) Instance() *join.Instance { return r.inst }
+// Instance returns the bound join instance (base indexes), or nil for an
+// mmap-loaded representation that fails to decode.
+func (r *Representation) Instance() *join.Instance {
+	r.ensure()
+	return r.inst
+}
 
 // EnumOrder reports the representation's enumeration order as output
 // tuple positions, most significant first; nil means lexicographic head
 // order. Only the Theorem-2 decomposition enumerates in a non-head order
 // (Algorithm 5's traversal); differential checkers use this to reorder a
 // trusted baseline before demanding byte-identical streams.
-func (r *Representation) EnumOrder() []int { return r.be.EnumOrder() }
+func (r *Representation) EnumOrder() []int {
+	if err := r.ensure(); err != nil {
+		return nil
+	}
+	return r.be.EnumOrder()
+}
 
 // FreeNames returns the output column names of Query tuples.
-func (r *Representation) FreeNames() []string { return r.nv.FreeNames() }
+func (r *Representation) FreeNames() []string {
+	if err := r.ensure(); err != nil {
+		return nil
+	}
+	return r.nv.FreeNames()
+}
 
 // BoundNames returns the expected valuation order for Query.
-func (r *Representation) BoundNames() []string { return r.nv.BoundNames() }
+func (r *Representation) BoundNames() []string {
+	if err := r.ensure(); err != nil {
+		return nil
+	}
+	return r.nv.BoundNames()
+}
 
 // Drain collects an iterator fully.
 func Drain(it Iterator) []relation.Tuple {

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package core
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap syscall falls back to
+// reading the whole file into memory. Decoding is still deferred exactly
+// as on unix — the startup cost is one sequential read instead of
+// O(file-open), but no structure decodes before first touch.
+func mmapFile(f *os.File) (*mmapRef, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapRef{data: data}, nil
+}

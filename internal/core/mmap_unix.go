@@ -1,0 +1,45 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mmapFile maps f read-only and returns a holder whose finalizer unmaps
+// it. The mapping is shared (no copy, no swap pressure): pages fault in
+// from the page cache as lazy frames decode, which is what makes the mmap
+// load path O(file-open) until first touch.
+func mmapFile(f *os.File) (*mmapRef, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &mmapRef{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("snapshot too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	ref := &mmapRef{data: data, mapped: true}
+	// Unmap when the last lazy frame drops its reference (materialized
+	// frames copy what they keep, so nothing aliases the mapping by then).
+	runtime.SetFinalizer(ref, (*mmapRef).unmap)
+	return ref, nil
+}
+
+func (m *mmapRef) unmap() {
+	if m.mapped {
+		m.mapped = false
+		syscall.Munmap(m.data)
+		m.data = nil
+	}
+}

@@ -228,8 +228,10 @@ func (b *shardedBackend) Query(vb relation.Tuple) Iterator {
 }
 
 // EnumOrder reports the shared sub-backend order (every shard compiles
-// the same structure shape over its partition, so the orders agree).
-func (b *shardedBackend) EnumOrder() []int { return b.subs[0].be.EnumOrder() }
+// the same structure shape over its partition, so the orders agree). It
+// goes through the sub-representation — not its backend field directly —
+// so a lazily-loaded shard materializes first.
+func (b *shardedBackend) EnumOrder() []int { return b.subs[0].EnumOrder() }
 
 // Exists asks the owning shard, or any shard when the key is free.
 func (b *shardedBackend) Exists(vb relation.Tuple) bool {
@@ -260,7 +262,7 @@ type mergeIterator struct {
 
 func newMergeIterator(subs []*Representation, vb relation.Tuple) *mergeIterator {
 	m := &mergeIterator{
-		order: subs[0].be.EnumOrder(),
+		order: subs[0].EnumOrder(),
 		its:   make([]Iterator, len(subs)),
 		heads: make([]relation.Tuple, len(subs)),
 		live:  make([]bool, len(subs)),
@@ -283,6 +285,18 @@ func (m *mergeIterator) lessUnder(a, b relation.Tuple) bool {
 		}
 	}
 	return false
+}
+
+// Err surfaces the first per-shard terminal error (see IterErr) — in
+// particular a lazily-loaded shard whose frame failed to decode, whose
+// stream is empty with the decode failure as its terminal error.
+func (m *mergeIterator) Err() error {
+	for _, it := range m.its {
+		if err := IterErr(it); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Next yields the smallest head across shards and refills that shard.

@@ -46,6 +46,9 @@ const (
 // implements io.WriterTo; use the root package's Save for the file-path
 // convenience.
 func (r *Representation) WriteTo(w io.Writer) (int64, error) {
+	if err := r.ensure(); err != nil { // mmap-loaded: materialize before re-encoding
+		return 0, err
+	}
 	var payload bytes.Buffer
 	e := relation.NewEncoder(&payload)
 	encodeView(e, r.orig)
@@ -132,12 +135,20 @@ func ReadRepresentation(rd io.Reader) (*Representation, error) {
 	return r, nil
 }
 
-// decodeRepresentation rebuilds a representation from a verified payload:
-// it re-runs the cheap deterministic front of Build (extend, normalize,
-// index) over the stored view and relations, then installs the decoded
-// expensive structures — dispatched through the backend registry — instead
-// of recompiling them.
-func decodeRepresentation(d *relation.Decoder, version uint16) (*Representation, error) {
+// snapshotPrefix is the cheap leading part of every snapshot payload —
+// everything before the backend's structure encoding.
+type snapshotPrefix struct {
+	view      *cq.View
+	db        *relation.Database
+	strategy  Strategy
+	buildTime time.Duration
+	shards    int
+}
+
+// decodeSnapshotPrefix reads the payload prefix shared by the eager and
+// mmap load paths: view, base relations, strategy, build time, and (for
+// version >= 2) the shard count.
+func decodeSnapshotPrefix(d *relation.Decoder, version uint16) (*snapshotPrefix, error) {
 	view, err := decodeView(d)
 	if err != nil {
 		return nil, err
@@ -146,9 +157,7 @@ func decodeRepresentation(d *relation.Decoder, version uint16) (*Representation,
 	if err != nil {
 		return nil, err
 	}
-	strategy := Strategy(d.Uint())
-	buildTime := time.Duration(d.Int())
-	shards := 1
+	pre := &snapshotPrefix{view: view, db: db, strategy: Strategy(d.Uint()), buildTime: time.Duration(d.Int()), shards: 1}
 	if version >= 2 {
 		n := d.Uint()
 		// Bounded like every other count in the codec: a sharded payload
@@ -159,30 +168,51 @@ func decodeRepresentation(d *relation.Decoder, version uint16) (*Representation,
 			if n > uint64(d.Remaining()/(snapshotHeaderLen+5)) {
 				return nil, fmt.Errorf("shard count %d exceeds remaining payload (%d bytes)", n, d.Remaining())
 			}
-			shards = int(n)
+			pre.shards = int(n)
 		}
 	}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
+	return pre, nil
+}
 
-	r, err := newShell(view, db)
+// shellFromPrefix re-runs the cheap deterministic front of Build (extend,
+// normalize, index) over the stored view and relations and installs the
+// prefix metadata. The returned representation has no backend yet.
+func shellFromPrefix(pre *snapshotPrefix) (*Representation, error) {
+	r, err := newShell(pre.view, pre.db)
 	if err != nil {
 		return nil, err
 	}
-	r.strategy = strategy
-	r.stats.Strategy = strategy
-	r.stats.BuildTime = buildTime
+	r.strategy = pre.strategy
+	r.stats.Strategy = pre.strategy
+	r.stats.BuildTime = pre.buildTime
 	r.stats.Shards = 1
+	return r, nil
+}
 
-	if shards > 1 {
-		if err := decodeShardedBackend(d, r, strategy, shards); err != nil {
+// decodeRepresentation rebuilds a representation from a verified payload:
+// it re-runs the cheap deterministic front of Build over the stored view
+// and relations, then installs the decoded expensive structures —
+// dispatched through the backend registry — instead of recompiling them.
+func decodeRepresentation(d *relation.Decoder, version uint16) (*Representation, error) {
+	pre, err := decodeSnapshotPrefix(d, version)
+	if err != nil {
+		return nil, err
+	}
+	r, err := shellFromPrefix(pre)
+	if err != nil {
+		return nil, err
+	}
+	if pre.shards > 1 {
+		if err := decodeShardedBackend(d, r, pre.strategy, pre.shards); err != nil {
 			return nil, err
 		}
 	} else {
-		spec, ok := backendSpecs[strategy]
+		spec, ok := backendSpecs[pre.strategy]
 		if !ok {
-			return nil, fmt.Errorf("unknown strategy %d", int(strategy))
+			return nil, fmt.Errorf("unknown strategy %d", int(pre.strategy))
 		}
 		be, err := spec.decode(d, r)
 		if err != nil {

@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"cqrep/internal/core"
+	"cqrep/internal/cq"
+	"cqrep/internal/httpserve"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+// record.go is the recorded bench trajectory: one pinned-seed measurement
+// pass over the serving stack, written as BENCH_<n>.json so the repo
+// carries its own performance history. Each run measures the same fixture
+// the E19 serving experiment uses (the E1 triangle view), and a later run
+// with the same configuration compares metric-for-metric against the last
+// recorded file — CI fails when serving throughput regresses beyond the
+// tolerance, while the remaining metrics are reported for trend reading.
+
+// BenchRecordSchema versions the BENCH_<n>.json layout.
+const BenchRecordSchema = 1
+
+// benchRecordKind tags the file so a foreign JSON cannot be compared by
+// accident.
+const benchRecordKind = "cqrep-bench-record"
+
+// BenchRecord is one recorded measurement pass.
+type BenchRecord struct {
+	Schema  int    `json:"schema"`
+	Kind    string `json:"kind"`
+	Go      string `json:"go"`
+	OS      string `json:"os"`
+	Arch    string `json:"arch"`
+	Scale   int    `json:"scale"`
+	Queries int    `json:"queries"`
+	Seed    int64  `json:"seed"`
+	Clients int    `json:"clients"`
+	// Metrics maps metric name to value; units live in the name. Keys
+	// ending in _per_sec or _speedup are higher-is-better; everything
+	// else (_ns, _per_tuple) is lower-is-better. Only the serve_*_per_sec
+	// serving-throughput metrics gate the comparison — the rest, including
+	// the in-process enumeration rate (too noisy under shared CI runners
+	// to gate on), is reported for trend reading.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// gating reports whether a metric's regression fails the comparison: the
+// end-to-end serving-throughput metrics, and only those.
+func gating(name string) bool {
+	return strings.HasPrefix(name, "serve_") && strings.HasSuffix(name, "_per_sec")
+}
+
+// higherIsBetter reports the metric's direction.
+func higherIsBetter(name string) bool {
+	return strings.HasSuffix(name, "_per_sec") || strings.HasSuffix(name, "_speedup")
+}
+
+// RecordBench runs the measurement pass: compile and snapshot-load costs,
+// in-process first-tuple delay, HTTP serving throughput in both stream
+// encodings, and steady-state allocation cost per served tuple.
+func RecordBench(edges, queries int, seed int64, clients int) (*BenchRecord, error) {
+	if clients < 1 {
+		clients = 4
+	}
+	rec := &BenchRecord{
+		Schema: BenchRecordSchema, Kind: benchRecordKind,
+		Go: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH,
+		Scale: edges, Queries: queries, Seed: seed, Clients: clients,
+		Metrics: map[string]float64{},
+	}
+
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	db := workload.TriangleDB(seed, edges/12, edges/2)
+
+	// Compression time T_C.
+	start := time.Now()
+	rep, err := core.Build(view, db)
+	if err != nil {
+		return nil, fmt.Errorf("record: compile: %w", err)
+	}
+	rec.Metrics["compile_ns"] = float64(time.Since(start))
+
+	// Snapshot startup: eager load vs mmap open.
+	dir, err := os.MkdirTemp("", "cqrep-record-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "v.cqs")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rep.WriteTo(f); err != nil {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	sf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.ReadRepresentation(sf); err != nil {
+		return nil, fmt.Errorf("record: load: %w", err)
+	}
+	sf.Close()
+	rec.Metrics["snapshot_load_ns"] = float64(time.Since(start))
+	start = time.Now()
+	if _, err := core.OpenRepresentationMmap(path); err != nil {
+		return nil, fmt.Errorf("record: mmap open: %w", err)
+	}
+	rec.Metrics["mmap_open_ns"] = float64(time.Since(start))
+
+	// Answerable bindings, exactly as E19 samples them.
+	sampled := sampleVbs(rand.New(rand.NewSource(seed+31)), rep.Instance(), queries*4)
+	var vbs []relation.Tuple
+	for _, vb := range sampled {
+		if len(vbs) >= queries {
+			break
+		}
+		if _, ok := rep.Query(vb).Next(); ok {
+			vbs = append(vbs, vb)
+		}
+	}
+	if len(vbs) == 0 {
+		return nil, fmt.Errorf("record: no sampled binding has answers; increase the scale")
+	}
+
+	// In-process first-tuple delay p50 on the batched Server submit path
+	// (the triangle's per-request answer sets are small, so this measures
+	// request latency, not enumeration steady state).
+	srv, err := core.NewServer(rep, 1, core.WithFlushBatch(128))
+	if err != nil {
+		return nil, err
+	}
+	firstTuple := func() []time.Duration {
+		firsts := make([]time.Duration, 0, len(vbs))
+		for _, vb := range vbs {
+			t0 := time.Now()
+			it := srv.Submit(vb)
+			if _, ok := it.Next(); ok {
+				firsts = append(firsts, time.Since(t0))
+			}
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+		}
+		return firsts
+	}
+	firstTuple() // warm the pools
+	firsts := firstTuple()
+	srv.Close()
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	if len(firsts) > 0 {
+		rec.Metrics["first_tuple_p50_ns"] = float64(firsts[len(firsts)/2])
+	}
+
+	// Steady-state enumeration: a deliberately stream-heavy fan-out view
+	// (fanKeys bound keys, scale/fanKeys answers each), so per-tuple costs
+	// dominate per-request overhead — the regime the flush batching and the
+	// binary framing exist for.
+	const fanKeys = 16
+	fanView := cq.MustParse("W[bf](x, y) :- S(x, y)")
+	fanDB := relation.NewDatabase()
+	s := relation.NewRelation("S", 2)
+	perKey := edges / fanKeys
+	if perKey < 1 {
+		perKey = 1
+	}
+	for k := 0; k < fanKeys; k++ {
+		for j := 0; j < perKey; j++ {
+			s.MustInsert(relation.Value(k), relation.Value(j))
+		}
+	}
+	fanDB.Add(s)
+	// Pinned to the materialized strategy: its iterator allocates exactly
+	// the result tuple, so allocs_per_tuple isolates what the Server's
+	// batched submit path adds (~0) instead of measuring a particular
+	// enumeration structure's internals.
+	fanRep, err := core.Build(fanView, fanDB, core.WithStrategy(core.MaterializedStrategy))
+	if err != nil {
+		return nil, fmt.Errorf("record: fan-out compile: %w", err)
+	}
+	fanVbs := make([]relation.Tuple, fanKeys)
+	for k := range fanVbs {
+		fanVbs[k] = relation.Tuple{relation.Value(k)}
+	}
+
+	// Allocation cost per served tuple through the batched submit path.
+	fanSrv, err := core.NewServer(fanRep, 1, core.WithFlushBatch(128))
+	if err != nil {
+		return nil, err
+	}
+	defer fanSrv.Close()
+	drainFan := func() int {
+		tuples := 0
+		for _, vb := range fanVbs {
+			it := fanSrv.Submit(vb)
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+				tuples++
+			}
+		}
+		return tuples
+	}
+	drainFan() // warm the pools
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	tuples := 0
+	for round := 0; round < 4; round++ {
+		tuples += drainFan()
+	}
+	inProcWall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	if tuples > 0 {
+		rec.Metrics["allocs_per_tuple"] = float64(after.Mallocs-before.Mallocs) / float64(tuples)
+		rec.Metrics["alloc_bytes_per_tuple"] = float64(after.TotalAlloc-before.TotalAlloc) / float64(tuples)
+		rec.Metrics["inproc_tuples_per_sec"] = float64(tuples) / inProcWall.Seconds()
+	}
+
+	fanPath := filepath.Join(dir, "w.cqs")
+	ff, err := os.Create(fanPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fanRep.WriteTo(ff); err != nil {
+		return nil, err
+	}
+	if err := ff.Close(); err != nil {
+		return nil, err
+	}
+
+	// HTTP serving: both views behind one handler; throughput is measured
+	// on the fan-out view in both encodings with the same bindings and
+	// client count.
+	h, err := httpserve.New([]string{path, fanPath}, httpserve.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cl := &httpserve.Client{Base: ts.URL}
+
+	mkReqs := func(r *core.Representation, vbs []relation.Tuple) []map[string]relation.Value {
+		bound := r.BoundNames()
+		reqs := make([]map[string]relation.Value, len(vbs))
+		for i, vb := range vbs {
+			m := make(map[string]relation.Value, len(bound))
+			for j, name := range bound {
+				m[name] = vb[j]
+			}
+			reqs[i] = m
+		}
+		return reqs
+	}
+	triReqs := mkReqs(rep, vbs)
+	fanReqs := mkReqs(fanRep, fanVbs)
+
+	// Conformance gate before timing anything: on both views, both
+	// encodings must decode byte-identical to the in-process enumeration.
+	check := func(name string, r *core.Representation, vbs []relation.Tuple, reqs []map[string]relation.Value) error {
+		for i, vb := range vbs {
+			want := encodeRecordTuples(core.Drain(r.Query(vb)))
+			for _, format := range []httpserve.Format{httpserve.FormatNDJSON, httpserve.FormatBinary} {
+				res, err := cl.QueryOpts(context.Background(), name, httpserve.QueryOptions{Bindings: reqs[i], Format: format})
+				if err != nil {
+					return fmt.Errorf("record: %s %v query: %w", name, format, err)
+				}
+				if !bytes.Equal(encodeRecordTuples(res.Tuples), want) {
+					return fmt.Errorf("record: %s %v stream for binding %v diverges from in-process enumeration", name, format, vb)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("V", rep, vbs, triReqs); err != nil {
+		return nil, err
+	}
+	if err := check("W", fanRep, fanVbs, fanReqs); err != nil {
+		return nil, err
+	}
+
+	for _, format := range []httpserve.Format{httpserve.FormatNDJSON, httpserve.FormatBinary} {
+		total, wall, err := serveSweep(cl, "W", fanReqs, clients, format)
+		if err != nil {
+			return nil, err
+		}
+		if wall > 0 {
+			rec.Metrics["serve_"+format.String()+"_tuples_per_sec"] = float64(total) / wall.Seconds()
+		}
+	}
+	if nd, bin := rec.Metrics["serve_ndjson_tuples_per_sec"], rec.Metrics["serve_binary_tuples_per_sec"]; nd > 0 {
+		rec.Metrics["serve_binary_speedup"] = bin / nd
+	}
+	return rec, nil
+}
+
+// serveSweep fires every request clients-wide several times over and
+// returns the tuple total and wall time.
+func serveSweep(cl *httpserve.Client, view string, reqs []map[string]relation.Value, clients int, format httpserve.Format) (int, time.Duration, error) {
+	const rounds = 4
+	total := len(reqs) * rounds * clients
+	counts := make(chan int, clients)
+	errc := make(chan error, clients)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		go func(w int) {
+			n := 0
+			for i := w; i < total; i += clients {
+				res, err := cl.QueryOpts(context.Background(), view, httpserve.QueryOptions{Bindings: reqs[i%len(reqs)], Format: format})
+				if err != nil {
+					errc <- err
+					return
+				}
+				n += len(res.Tuples)
+			}
+			counts <- n
+		}(w)
+	}
+	tuples := 0
+	for w := 0; w < clients; w++ {
+		select {
+		case err := <-errc:
+			return 0, 0, fmt.Errorf("record: %v sweep: %w", format, err)
+		case n := <-counts:
+			tuples += n
+		}
+	}
+	return tuples, time.Since(start), nil
+}
+
+func encodeRecordTuples(ts []relation.Tuple) []byte {
+	var buf bytes.Buffer
+	for _, t := range ts {
+		buf.Write(t.AppendEncode(nil))
+	}
+	return buf.Bytes()
+}
+
+// WriteBenchRecord writes the record as indented JSON.
+func WriteBenchRecord(rec *BenchRecord, path string) error {
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o666)
+}
+
+// ReadBenchRecord loads and validates a BENCH_<n>.json file.
+func ReadBenchRecord(path string) (*BenchRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Kind != benchRecordKind {
+		return nil, fmt.Errorf("%s: not a bench record (kind %q)", path, rec.Kind)
+	}
+	if rec.Schema != BenchRecordSchema {
+		return nil, fmt.Errorf("%s: bench record schema %d, this build writes %d", path, rec.Schema, BenchRecordSchema)
+	}
+	return &rec, nil
+}
+
+// CompareBenchRecords lines a fresh record up against a baseline.
+// Regressions are gating failures: a throughput metric that fell by more
+// than tolerance (0.2 = 20%). Notes cover everything else — improvements,
+// non-gating drifts, metrics present on only one side — plus a leading
+// warning when the two records measured different configurations, in
+// which case nothing gates.
+func CompareBenchRecords(baseline, fresh *BenchRecord, tolerance float64) (regressions, notes []string) {
+	if baseline.Scale != fresh.Scale || baseline.Queries != fresh.Queries || baseline.Seed != fresh.Seed || baseline.Clients != fresh.Clients {
+		return nil, []string{fmt.Sprintf(
+			"configurations differ (baseline scale=%d queries=%d seed=%d clients=%d, fresh scale=%d queries=%d seed=%d clients=%d); comparison is informational only",
+			baseline.Scale, baseline.Queries, baseline.Seed, baseline.Clients,
+			fresh.Scale, fresh.Queries, fresh.Seed, fresh.Clients)}
+	}
+	names := make([]string, 0, len(baseline.Metrics))
+	for name := range baseline.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old := baseline.Metrics[name]
+		cur, ok := fresh.Metrics[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: missing from the fresh record", name))
+			continue
+		}
+		if old == 0 {
+			continue
+		}
+		change := cur/old - 1
+		line := fmt.Sprintf("%s: %.4g -> %.4g (%+.1f%%)", name, old, cur, change*100)
+		worse := change < -tolerance
+		if !higherIsBetter(name) {
+			worse = change > tolerance
+		}
+		switch {
+		case worse && gating(name):
+			regressions = append(regressions, line)
+		default:
+			notes = append(notes, line)
+		}
+	}
+	for name := range fresh.Metrics {
+		if _, ok := baseline.Metrics[name]; !ok {
+			notes = append(notes, fmt.Sprintf("%s: new metric %.4g", name, fresh.Metrics[name]))
+		}
+	}
+	return regressions, notes
+}

@@ -48,7 +48,24 @@ type Options struct {
 	Buffer int
 	// MaxBodyBytes caps a query request body; <= 0 means 1 MiB.
 	MaxBodyBytes int64
+	// FlushBatch is the steady-state tuples-per-flush of binary result
+	// streams and of the core serving pools (core.WithFlushBatch); <= 0
+	// means defaultFlushBatch. The first tuple of every stream is always
+	// flushed alone, so batching never defers first-answer delay. NDJSON
+	// streams keep per-line flushing regardless.
+	FlushBatch int
+	// Mmap loads snapshots through the mmap path (cqrep.LoadMmap):
+	// startup is O(file-open) per snapshot and each view — each shard,
+	// for sharded snapshots — decodes on first touch. Payload-level
+	// corruption then surfaces on a view's first query instead of at load
+	// time.
+	Mmap bool
 }
+
+// defaultFlushBatch is the steady-state tuples-per-flush when
+// Options.FlushBatch is unset: large enough to amortize channel and flush
+// syscall overhead, small enough that a mid-stream gap stays tiny.
+const defaultFlushBatch = 128
 
 // Handler serves a registry of snapshot-loaded representations over HTTP.
 // It implements http.Handler; create one with New and Close it when done.
@@ -100,7 +117,7 @@ type viewEntry struct {
 	idle    chan struct{} // closed when retired with no refs left
 
 	requests atomic.Uint64
-	baseTup  int
+	baseTup  func() int // lazy: materializes mmap-loaded representations
 }
 
 // acquire takes a reference on the entry; it fails once the entry has
@@ -179,7 +196,7 @@ func (h *Handler) loadRegistry(gen uint64) (*registry, error) {
 		}
 	}()
 	for _, path := range h.paths {
-		rep, err := loadSnapshot(path)
+		rep, err := loadSnapshot(path, h.opts.Mmap)
 		if err != nil {
 			return nil, fmt.Errorf("httpserve: %s: %w", path, err)
 		}
@@ -187,7 +204,7 @@ func (h *Handler) loadRegistry(gen uint64) (*registry, error) {
 		if _, dup := reg.views[name]; dup {
 			return nil, fmt.Errorf("httpserve: duplicate view %q (snapshot %s)", name, path)
 		}
-		var srvOpts []core.ServerOption
+		srvOpts := []core.ServerOption{core.WithFlushBatch(h.flushBatch())}
 		if h.opts.Buffer > 0 {
 			srvOpts = append(srvOpts, core.WithServerBuffer(h.opts.Buffer))
 		}
@@ -202,7 +219,9 @@ func (h *Handler) loadRegistry(gen uint64) (*registry, error) {
 			srv:      srv,
 			loadedAt: time.Now(),
 			idle:     make(chan struct{}),
-			baseTup:  baseTuples(rep),
+			// Deferred: counting base tuples materializes the
+			// representation, which an mmap load must not do at startup.
+			baseTup: sync.OnceValue(func() int { return baseTuples(rep) }),
 		}
 		reg.names = append(reg.names, name)
 	}
@@ -212,17 +231,30 @@ func (h *Handler) loadRegistry(gen uint64) (*registry, error) {
 }
 
 // baseTuples counts the base-relation tuples behind a representation,
-// deduplicating self-join aliases of the same relation.
+// deduplicating self-join aliases of the same relation. An mmap-loaded
+// representation that fails to decode has no instance and counts zero.
 func baseTuples(rep *core.Representation) int {
+	inst := rep.Instance()
+	if inst == nil {
+		return 0
+	}
 	seen := map[string]bool{}
 	n := 0
-	for _, a := range rep.Instance().Atoms {
+	for _, a := range inst.Atoms {
 		if name := a.Rel.Name(); !seen[name] {
 			seen[name] = true
 			n += a.Rel.Len()
 		}
 	}
 	return n
+}
+
+// flushBatch resolves the steady-state tuples-per-flush option.
+func (h *Handler) flushBatch() int {
+	if h.opts.FlushBatch > 0 {
+		return h.opts.FlushBatch
+	}
+	return defaultFlushBatch
 }
 
 // Reload re-reads every snapshot path and atomically swaps the registry.
@@ -318,6 +350,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		h.errorJSON(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	format := negotiateFormat(r.Header.Get("Accept"))
 
 	// A retired entry (reload/close raced our registry load) fails fast
 	// with ErrClosed before streaming anything; retry on the fresh
@@ -336,7 +369,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if !entry.acquire() {
 			continue
 		}
-		served := h.streamQuery(w, r, entry, req, start)
+		served := h.streamQuery(w, r, entry, req, format, start)
 		entry.release()
 		if served {
 			return
@@ -348,7 +381,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 // streamQuery runs one acquired request to completion. It reports false
 // when the entry's pool was already closed before anything was streamed
 // (the caller retries on the fresh registry).
-func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *viewEntry, req queryRequest, start time.Time) bool {
+func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *viewEntry, req queryRequest, format wireFormat, start time.Time) bool {
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	it, err := entry.srv.SubmitArgs(ctx, req.Bindings)
@@ -368,9 +401,22 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 	// Headers are staged but the status line is only committed by the
 	// first body write, so a request whose enumeration fails before
 	// producing anything can still answer with a real error status.
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Cqrep-View", entry.name)
 	w.Header().Set("X-Cqrep-Free", strconv.Itoa(len(entry.rep.FreeNames())))
+	if format == formatBinary {
+		h.streamBinary(w, entry, it, req, ctx, cancel, start)
+	} else {
+		h.streamNDJSON(w, it, req, ctx, cancel, start)
+	}
+	return true
+}
+
+// streamNDJSON writes the result stream in the NDJSON encoding, flushing
+// per line: the stream is the product, and constant-delay enumeration
+// means the client should see tuples as they are produced, not when a
+// buffer happens to fill.
+func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req queryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) {
+	w.Header().Set("Content-Type", NDJSONMediaType)
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriterSize(w, 4096)
 
@@ -387,11 +433,8 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 		line = appendTupleJSON(line[:0], t)
 		if _, err := bw.Write(line); err != nil {
 			cancel() // client went away: abandon the enumeration
-			return true
+			return
 		}
-		// Flush per line: the stream is the product, and constant-delay
-		// enumeration means the client should see tuples as they are
-		// produced, not when a buffer happens to fill.
 		bw.Flush()
 		if flusher != nil {
 			flusher.Flush()
@@ -408,7 +451,7 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 			// Nothing was streamed yet, so the status line is still ours:
 			// fail properly instead of a 200 with an error trailer.
 			h.errorJSON(w, http.StatusInternalServerError, "%v", terr)
-			return true
+			return
 		}
 		// Mid-stream the status line is long gone; the error travels as
 		// the NDJSON terminal object.
@@ -421,7 +464,85 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 	if flusher != nil {
 		flusher.Flush()
 	}
-	return true
+}
+
+// streamBinary writes the result stream in the binary framing (wire.go):
+// the first tuple ships as its own frame — batching must not defer the
+// time-to-first-answer delay — and steady state flushes once per
+// FlushBatch tuples instead of once per tuple. Every stream that got as
+// far as its header ends with an explicit end or error frame, so clients
+// can tell truncation from completion.
+func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.Iterator, req queryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) {
+	w.Header().Set("Content-Type", BinaryMediaType)
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriterSize(w, 32*1024)
+	enc := newBinaryWriter(bw)
+	// Staged, not flushed: if the enumeration fails before the first
+	// tuple the buffered header is dropped and the status line still
+	// carries a real error.
+	enc.Header(len(entry.rep.FreeNames()))
+
+	flush := func() bool {
+		if err := enc.Flush(); err != nil {
+			return false
+		}
+		if err := bw.Flush(); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	batch := h.flushBatch()
+	limit := 1 // ramp: first flush carries one tuple
+	n := 0
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		if n == 0 {
+			h.delay.add(time.Since(start))
+		}
+		enc.Add(t)
+		h.tuples.Add(1)
+		n++
+		if req.Limit > 0 && n >= req.Limit {
+			cancel() // stop the serving worker; the stream is done
+			break
+		}
+		if enc.Pending() >= limit {
+			if !flush() {
+				cancel() // client went away: abandon the enumeration
+				return
+			}
+			limit = batch
+		}
+	}
+	if terr := core.IterErr(it); terr != nil && ctx.Err() == nil {
+		if n == 0 {
+			// Header bytes are still only staged in bw; drop them and
+			// answer with a real error status.
+			h.errorJSON(w, http.StatusInternalServerError, "%v", terr)
+			return
+		}
+		h.errors.Add(1)
+		enc.Flush()
+		enc.Error(terr.Error())
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
+	}
+	enc.Flush()
+	enc.End()
+	bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // appendTupleJSON renders one tuple as a compact JSON array of integers.
@@ -472,7 +593,7 @@ func (h *Handler) handleViews(w http.ResponseWriter, r *http.Request) {
 			Strategy:   st.Strategy.String(),
 			Shards:     st.Shards,
 			Entries:    st.Entries,
-			BaseTuples: e.baseTup,
+			BaseTuples: e.baseTup(),
 			Snapshot:   e.path,
 			LoadedAt:   e.loadedAt.UTC().Format(time.RFC3339),
 		})
@@ -539,7 +660,7 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 			Tuples:     ss.Tuples,
 			Entries:    st.Entries,
 			Shards:     st.Shards,
-			BaseTuples: e.baseTup,
+			BaseTuples: e.baseTup(),
 			Workers:    ss.Workers,
 		})
 	}
@@ -561,8 +682,12 @@ func (h *Handler) handleReload(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{"generation": gen})
 }
 
-// loadSnapshot reads one snapshot file through the core decoder.
-func loadSnapshot(path string) (*core.Representation, error) {
+// loadSnapshot reads one snapshot file through the core decoder — eagerly,
+// or as a lazily-decoded mapping when mmap is set.
+func loadSnapshot(path string, mmap bool) (*core.Representation, error) {
+	if mmap {
+		return core.OpenRepresentationMmap(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,302 @@
+package httpserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"cqrep/internal/relation"
+)
+
+// wire.go implements the binary result framing of POST /v1/query/{view} —
+// the Accept-negotiated alternative to NDJSON (DESIGN.md §5). A binary
+// stream is
+//
+//	header:      magic "CQB1" | arity uvarint
+//	data frame:  0x01 | byteLen uvarint | count uvarint | count×arity
+//	             values, 8-byte big-endian each (Tuple.AppendEncode)
+//	end frame:   0x00
+//	error frame: 0x02 | msgLen uvarint | message (UTF-8)
+//
+// Tuples appear in enumeration order, exactly as the NDJSON stream would
+// carry them. Every complete stream ends with an end frame or an error
+// frame; a reader that hits EOF first has a truncated stream and must say
+// so — the explicit terminal frame is what distinguishes "all results
+// delivered" from "connection died", mirroring core.IterErr. The error
+// frame is the binary twin of the NDJSON terminal {"error": ...} object.
+//
+// Framing exists so the server can flush once per batch instead of once
+// per tuple: values inside a frame are contiguous, and the first frame of
+// a stream carries a single tuple so batching never defers the
+// time-to-first-answer delay the paper's guarantees are about.
+
+// BinaryMediaType is the negotiated content type of the binary framing.
+const BinaryMediaType = "application/x-cqrep-binary"
+
+// NDJSONMediaType is the default stream content type.
+const NDJSONMediaType = "application/x-ndjson"
+
+// binaryMagic leads every binary stream; it doubles as a version tag (the
+// "1") so a future layout can negotiate a different magic.
+const binaryMagic = "CQB1"
+
+// Frame kind bytes.
+const (
+	frameEnd  = 0x00
+	frameData = 0x01
+	frameErr  = 0x02
+)
+
+// Reader-side sanity bounds: a data frame larger than maxFrameBytes or an
+// error message larger than maxErrBytes is corruption, not data — reject
+// before sizing an allocation from attacker-controlled lengths.
+const (
+	maxFrameBytes = 1 << 26 // 64 MiB
+	maxErrBytes   = 1 << 16
+	maxWireArity  = 1 << 16
+)
+
+// wireFormat is the negotiated result encoding of one query request.
+type wireFormat int
+
+const (
+	formatNDJSON wireFormat = iota
+	formatBinary
+)
+
+// negotiateFormat picks the result encoding from an Accept header: the
+// binary framing iff any element of the list names its exact media type
+// (parameters ignored); everything else — NDJSON, */*, an absent header —
+// is the NDJSON default. There is no 406: the stream formats carry
+// identical information and NDJSON is universally consumable.
+func negotiateFormat(accept string) wireFormat {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(part, ";")
+		if strings.EqualFold(strings.TrimSpace(mt), BinaryMediaType) {
+			return formatBinary
+		}
+	}
+	return formatNDJSON
+}
+
+// binaryWriter accumulates tuples into one pending data frame and writes
+// whole frames to w. The pending payload buffer is reused across frames,
+// so steady-state encoding allocates nothing per tuple.
+type binaryWriter struct {
+	w       io.Writer
+	count   int    // tuples in the pending frame
+	payload []byte // their encoded values
+	scratch []byte // frame header staging
+}
+
+func newBinaryWriter(w io.Writer) *binaryWriter { return &binaryWriter{w: w} }
+
+// Header writes the stream header.
+func (e *binaryWriter) Header(arity int) error {
+	e.scratch = append(e.scratch[:0], binaryMagic...)
+	e.scratch = binary.AppendUvarint(e.scratch, uint64(arity))
+	_, err := e.w.Write(e.scratch)
+	return err
+}
+
+// Add stages one tuple into the pending frame.
+func (e *binaryWriter) Add(t relation.Tuple) {
+	e.payload = t.AppendEncode(e.payload)
+	e.count++
+}
+
+// Pending reports the number of staged tuples.
+func (e *binaryWriter) Pending() int { return e.count }
+
+// Flush writes the pending tuples as one data frame; a pending count of
+// zero writes nothing.
+func (e *binaryWriter) Flush() error {
+	if e.count == 0 {
+		return nil
+	}
+	e.scratch = append(e.scratch[:0], frameData)
+	var cnt [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(cnt[:], uint64(e.count))
+	e.scratch = binary.AppendUvarint(e.scratch, uint64(n+len(e.payload)))
+	e.scratch = append(e.scratch, cnt[:n]...)
+	_, err := e.w.Write(e.scratch)
+	if err == nil {
+		_, err = e.w.Write(e.payload)
+	}
+	e.count = 0
+	e.payload = e.payload[:0]
+	return err
+}
+
+// End terminates a complete stream.
+func (e *binaryWriter) End() error {
+	_, err := e.w.Write([]byte{frameEnd})
+	return err
+}
+
+// Error terminates a failed stream with the terminal error frame.
+func (e *binaryWriter) Error(msg string) error {
+	if len(msg) > maxErrBytes {
+		msg = msg[:maxErrBytes]
+	}
+	e.scratch = append(e.scratch[:0], frameErr)
+	e.scratch = binary.AppendUvarint(e.scratch, uint64(len(msg)))
+	e.scratch = append(e.scratch, msg...)
+	_, err := e.w.Write(e.scratch)
+	return err
+}
+
+// binaryReader decodes one binary stream. It never trusts a length field:
+// frame and message sizes are bounded before allocation, data frames must
+// hold exactly count×arity values, and EOF anywhere before the terminal
+// frame is reported as truncation rather than a clean end.
+type binaryReader struct {
+	br    *bufio.Reader
+	arity int
+	frame []byte // undecoded values of the current data frame
+	count int    // tuples remaining in the current data frame
+	buf   []byte // frame buffer, reused across frames
+	err   error
+	done  bool
+}
+
+// newBinaryReader consumes the stream header and returns the frame
+// decoder.
+func newBinaryReader(r io.Reader) (*binaryReader, error) {
+	br := bufio.NewReaderSize(r, 32*1024)
+	var magic [len(binaryMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("httpserve: binary stream header: %w", truncated(err))
+	}
+	if string(magic[:]) != binaryMagic {
+		return nil, fmt.Errorf("httpserve: binary stream has bad magic %q", magic[:])
+	}
+	arity, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: binary stream arity: %w", truncated(err))
+	}
+	if arity > maxWireArity {
+		return nil, fmt.Errorf("httpserve: binary stream arity %d implausible", arity)
+	}
+	return &binaryReader{br: br, arity: int(arity)}, nil
+}
+
+// Arity reports the per-tuple value count declared by the stream header.
+func (d *binaryReader) Arity() int { return d.arity }
+
+// Next returns the next tuple in stream order. After it returns false,
+// Err distinguishes a complete stream (nil) from a truncated or failed
+// one.
+func (d *binaryReader) Next() (relation.Tuple, bool) {
+	for {
+		if d.err != nil || d.done {
+			return nil, false
+		}
+		if d.count > 0 {
+			t := make(relation.Tuple, d.arity)
+			rest, ok := t.DecodeFrom(d.frame)
+			if !ok { // unreachable: frame length is validated on read
+				d.err = fmt.Errorf("httpserve: binary frame underruns its tuple count")
+				return nil, false
+			}
+			d.frame = rest
+			d.count--
+			return t, true
+		}
+		if !d.readFrame() {
+			return nil, false
+		}
+	}
+}
+
+// readFrame loads the next frame, reporting whether a data frame with at
+// least the potential for tuples arrived (an empty data frame loops).
+func (d *binaryReader) readFrame() bool {
+	kind, err := d.br.ReadByte()
+	if err != nil {
+		d.err = fmt.Errorf("httpserve: binary stream: %w", truncated(err))
+		return false
+	}
+	switch kind {
+	case frameEnd:
+		d.done = true
+		return false
+	case frameErr:
+		n, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			d.err = fmt.Errorf("httpserve: binary error frame: %w", truncated(err))
+			return false
+		}
+		if n > maxErrBytes {
+			d.err = fmt.Errorf("httpserve: binary error frame of %d bytes implausible", n)
+			return false
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(d.br, msg); err != nil {
+			d.err = fmt.Errorf("httpserve: binary error frame: %w", truncated(err))
+			return false
+		}
+		d.done = true
+		d.err = &RemoteError{Status: http.StatusOK, Message: string(msg)}
+		return false
+	case frameData:
+		n, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			d.err = fmt.Errorf("httpserve: binary data frame: %w", truncated(err))
+			return false
+		}
+		if n > maxFrameBytes {
+			d.err = fmt.Errorf("httpserve: binary data frame of %d bytes implausible", n)
+			return false
+		}
+		if uint64(cap(d.buf)) < n {
+			d.buf = make([]byte, n)
+		}
+		d.buf = d.buf[:n]
+		if _, err := io.ReadFull(d.br, d.buf); err != nil {
+			d.err = fmt.Errorf("httpserve: binary data frame: %w", truncated(err))
+			return false
+		}
+		count, used := binary.Uvarint(d.buf)
+		if used <= 0 {
+			d.err = fmt.Errorf("httpserve: binary data frame has no tuple count")
+			return false
+		}
+		body := d.buf[used:]
+		if d.arity > 0 {
+			if count != uint64(len(body))/uint64(8*d.arity) || len(body)%(8*d.arity) != 0 {
+				d.err = fmt.Errorf("httpserve: binary data frame claims %d tuples over %d value bytes", count, len(body))
+				return false
+			}
+		} else if count != 0 || len(body) != 0 {
+			// Arity-0 tuples occupy no bytes, so a count here is not backed
+			// by data — reject it instead of synthesizing empty tuples.
+			d.err = fmt.Errorf("httpserve: binary data frame claims %d tuples over %d value bytes for arity 0", count, len(body))
+			return false
+		}
+		d.frame = body
+		d.count = int(count)
+		return true
+	default:
+		d.err = fmt.Errorf("httpserve: unknown binary frame kind %#x", kind)
+		return false
+	}
+}
+
+// Err reports the stream's terminal state once Next has returned false:
+// nil for a complete stream, a *RemoteError for a server-reported failure,
+// any other error for truncation or corruption.
+func (d *binaryReader) Err() error { return d.err }
+
+// truncated maps the io EOF pair onto io.ErrUnexpectedEOF: in a framed
+// stream any EOF before the terminal frame means truncation, including one
+// that lands exactly on a frame boundary.
+func truncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

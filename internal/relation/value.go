@@ -110,3 +110,20 @@ func (t Tuple) AppendEncode(dst []byte) []byte {
 	}
 	return dst
 }
+
+// DecodeFrom fills t in place from the front of p — the inverse of
+// AppendEncode, len(t) fixed-width 8-byte big-endian values — and returns
+// the remaining bytes. It reports false when p is too short, leaving t
+// partially untouched.
+func (t Tuple) DecodeFrom(p []byte) ([]byte, bool) {
+	if len(p) < 8*len(t) {
+		return p, false
+	}
+	for i := range t {
+		u := uint64(p[0])<<56 | uint64(p[1])<<48 | uint64(p[2])<<40 | uint64(p[3])<<32 |
+			uint64(p[4])<<24 | uint64(p[5])<<16 | uint64(p[6])<<8 | uint64(p[7])
+		t[i] = Value(u)
+		p = p[8:]
+	}
+	return p, true
+}

@@ -20,6 +20,7 @@ type config struct {
 	build        []core.Option
 	workers      int
 	serverBuffer int
+	flushBatch   int
 	err          error
 }
 
@@ -134,5 +135,24 @@ func WithServerBuffer(n int) Option {
 			return
 		}
 		c.serverBuffer = n
+	}
+}
+
+// WithFlushBatch makes a Server's workers hand results to iterators in
+// pooled batches of up to n tuples instead of one channel operation per
+// tuple. The first tuple of every stream is still delivered alone — the
+// time-to-first-answer delay does not grow with n — but steady-state
+// enumeration amortizes channel synchronization over n tuples and recycles
+// the batch buffers, making serving (near-)zero-alloc per tuple. Streams
+// are byte-identical for every n. n must be at least 1 (the default:
+// per-tuple delivery); violating that fails the consuming constructor with
+// ErrBadOption.
+func WithFlushBatch(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.fail(fmt.Errorf("%w: flush batch %d, need at least 1", ErrBadOption, n))
+			return
+		}
+		c.flushBatch = n
 	}
 }

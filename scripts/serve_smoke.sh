@@ -1,10 +1,14 @@
 #!/bin/sh
 # serve_smoke.sh — the cqserve end-to-end gate: compile a view to a
-# snapshot with cqcli, serve it over HTTP with cqserve, query it with
-# curl, and diff the streamed NDJSON answers against the in-process
-# enumeration printed by `cqcli serve`. Any divergence — ordering,
-# content, count — fails the build. Mirrors the CI "serve" job; run
-# locally via `make serve-smoke`.
+# snapshot with cqcli, serve it over HTTP with cqserve (mmap-loaded, with
+# the pprof endpoints enabled and a non-default flush batch, so all the
+# serving flags are exercised), query it with curl, and diff the streamed
+# NDJSON answers against the in-process enumeration printed by `cqcli
+# serve`. The binary stream encoding is checked through the same server:
+# its magic on the wire, and cqload driving both encodings must drain the
+# same tuple counts. Any divergence — ordering, content, count — fails
+# the build. Mirrors the CI "serve" job; run locally via
+# `make serve-smoke`.
 set -eu
 
 ADDR="${CQSERVE_ADDR:-127.0.0.1:18977}"
@@ -38,8 +42,8 @@ VIEW='V[bff](x, y, p) :- R(x, p), R(y, p)'
 echo "== compiling snapshot"
 "$TMP/cqcli" compile -view "$VIEW" -rel "R=$TMP/r.csv" -o "$TMP/v.cqs"
 
-echo "== starting cqserve on $ADDR"
-"$TMP/cqserve" -snapshot "$TMP/v.cqs" -addr "$ADDR" &
+echo "== starting cqserve on $ADDR (mmap, pprof, flush-batch 64)"
+"$TMP/cqserve" -snapshot "$TMP/v.cqs" -addr "$ADDR" -mmap -pprof -flush-batch 64 &
 SRV_PID=$!
 ready=""
 for _ in $(seq 1 100); do
@@ -67,6 +71,15 @@ for x in 1 2 3 4 5; do
     fi
 done
 
+echo "== binary stream encoding"
+curl -sf -H 'Accept: application/x-cqrep-binary' -X POST "http://$ADDR/v1/query/V" \
+    -d '{"bindings":{"x":1}}' > "$TMP/binary.1"
+magic=$(head -c 4 "$TMP/binary.1")
+[ "$magic" = "CQB1" ] || { echo "binary stream magic is $(od -c "$TMP/binary.1" | head -1), want CQB1" >&2; exit 1; }
+
+echo "== pprof endpoints"
+curl -sf "http://$ADDR/debug/pprof/cmdline" > /dev/null || { echo "/debug/pprof/cmdline not served" >&2; exit 1; }
+
 echo "== checking error paths"
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/query/Nope" -d '{}')
 [ "$code" = 404 ] || { echo "unknown view returned $code, want 404" >&2; exit 1; }
@@ -77,9 +90,13 @@ echo "== hot reload"
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/reload")
 [ "$code" = 200 ] || { echo "reload returned $code, want 200" >&2; exit 1; }
 
-echo "== load generator"
+echo "== load generator (both stream encodings must drain identical tuple counts)"
 printf '1\n2\n3\n' > "$TMP/req.txt"
-"$TMP/cqload" -url "http://$ADDR" -view V -bindings "$TMP/req.txt" -c 2 -n 60
+"$TMP/cqload" -url "http://$ADDR" -view V -bindings "$TMP/req.txt" -c 2 -n 60 | tee "$TMP/load.ndjson"
+"$TMP/cqload" -url "http://$ADDR" -view V -bindings "$TMP/req.txt" -c 2 -n 60 -format binary | tee "$TMP/load.binary"
+nd=$(sed -n 's/^requests .*ok.*errors, \([0-9]*\) tuples$/\1/p' "$TMP/load.ndjson")
+bin=$(sed -n 's/^requests .*ok.*errors, \([0-9]*\) tuples$/\1/p' "$TMP/load.binary")
+[ -n "$nd" ] && [ "$nd" = "$bin" ] || { echo "tuple counts diverge: ndjson=$nd binary=$bin" >&2; exit 1; }
 
 echo "== stats"
 curl -sf "http://$ADDR/v1/stats" | grep -q '"requests"' || { echo "/v1/stats malformed" >&2; exit 1; }

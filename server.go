@@ -34,6 +34,9 @@ func NewServer(src QuerySource, opts ...Option) (*Server, error) {
 	if cfg.serverBuffer > 0 {
 		coreOpts = append(coreOpts, core.WithServerBuffer(cfg.serverBuffer))
 	}
+	if cfg.flushBatch > 0 {
+		coreOpts = append(coreOpts, core.WithFlushBatch(cfg.flushBatch))
+	}
 	srv, err := core.NewServer(src, cfg.workers, coreOpts...)
 	if err != nil {
 		return nil, err

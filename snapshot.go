@@ -100,3 +100,26 @@ func Load(path string) (*Representation, error) {
 	}
 	return rep, nil
 }
+
+// LoadMmap maps the snapshot file at path instead of reading it, deferring
+// all decoding to first access: the call itself validates only the frame
+// header and the stored view, so it returns in O(file-open) time
+// regardless of snapshot size, and a process can hold thousands of views
+// while paying decode cost only for the ones that receive traffic. Sharded
+// snapshots stay lazy per shard — an access request that routes to one
+// shard decodes exactly that shard's frame.
+//
+// The loaded representation answers byte-for-byte identically to one from
+// Load. The error contract differs only in timing: header-level damage
+// (bad magic, truncation, version skew) fails here with the usual typed
+// errors, while payload-level damage (checksum mismatch, corrupt
+// structure) surfaces at first touch — Query returns an empty stream whose
+// IterErr wraps ErrBadSnapshot, Bind returns the error, Exists reports
+// false.
+func LoadMmap(path string) (*Representation, error) {
+	rep, err := core.OpenRepresentationMmap(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Representation{rep: rep}, nil
+}

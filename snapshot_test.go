@@ -127,6 +127,75 @@ func TestSnapshotSaveLoadProperty(t *testing.T) {
 	}
 }
 
+// TestSnapshotLoadMmap checks the mmap load path through the public
+// facade: identical enumeration across strategies and sharding, and the
+// deferred error contract for payload-level corruption.
+func TestSnapshotLoadMmap(t *testing.T) {
+	ctx := context.Background()
+	fx := snapshotFixtures(2)[0]
+	for _, st := range []struct {
+		name string
+		opts []cqrep.Option
+	}{
+		{"auto", nil},
+		{"primitive", []cqrep.Option{cqrep.WithStrategy(cqrep.PrimitiveStrategy), cqrep.WithTau(5)}},
+		{"sharded", []cqrep.Option{cqrep.WithShards(3)}},
+	} {
+		t.Run(st.name, func(t *testing.T) {
+			rep, err := cqrep.Compile(ctx, fx.view, fx.db, st.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "rep.cqs")
+			if err := rep.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			mapped, err := cqrep.LoadMmap(path)
+			if err != nil {
+				t.Fatalf("LoadMmap: %v", err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			vbs := sampleBindings(rng, rep, 30)
+			if want, got := enumBytes(t, rep, vbs), enumBytes(t, mapped, vbs); !bytes.Equal(want, got) {
+				t.Fatalf("mmap enumeration differs from in-memory representation (%d vs %d bytes)", len(want), len(got))
+			}
+			if rep.Stats().Strategy != mapped.Stats().Strategy {
+				t.Fatalf("strategy drifted: %v -> %v", rep.Stats().Strategy, mapped.Stats().Strategy)
+			}
+		})
+	}
+
+	t.Run("payload corruption surfaces at first touch", func(t *testing.T) {
+		rep, err := cqrep.Compile(ctx, fx.view, fx.db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "rep.cqs")
+		if err := rep.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[len(snap)/2] ^= 0x01
+		if err := os.WriteFile(path, snap, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := cqrep.LoadMmap(path)
+		if err != nil {
+			t.Fatalf("LoadMmap must defer payload verification, got %v", err)
+		}
+		it := mapped.Query(cqrep.Tuple{1, 2})
+		if _, ok := it.Next(); ok {
+			t.Fatal("corrupt mmap load yielded a tuple")
+		}
+		if err := cqrep.IterErr(it); !errors.Is(err, cqrep.ErrBadSnapshot) {
+			t.Fatalf("IterErr = %v, want ErrBadSnapshot", err)
+		}
+	})
+}
+
 // TestSnapshotFileErrors drives the typed failure modes through the
 // file-level API: corruption, truncation, version skew, and non-snapshot
 // input all surface as errors.Is-matchable sentinels.
