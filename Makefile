@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-record smoke examples snapshot-check difftest fuzz-smoke serve-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-record smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke ci
 
 all: build
 
@@ -94,5 +94,12 @@ fuzz-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: build vet fmt-check test race bench-smoke examples snapshot-check difftest fuzz-smoke serve-smoke
+# Distributed-serving end-to-end gate: one cqcoord coordinator + three
+# cqserve -join workers, byte-identical to a single node in both stream
+# encodings, re-verified after a /v1/move rebalance. Mirrors the CI
+# dist-smoke job.
+dist-smoke:
+	sh scripts/dist_smoke.sh
+
+ci: build vet fmt-check test race bench-smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke
 	$(MAKE) bench-record BENCHOUT=$$(mktemp /tmp/cqrep-bench-XXXXXX.json)

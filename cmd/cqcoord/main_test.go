@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", ":9070", "-snapshot", "a.cqs", "-advertise", "http://front:9070", "-flush-batch", "64", "-drain", "3s", "b.cqs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":9070" || cfg.advertise != "http://front:9070" || cfg.flushBatch != 64 || cfg.drain != 3*time.Second {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if len(cfg.snapshots) != 2 || cfg.snapshots[0] != "a.cqs" || cfg.snapshots[1] != "b.cqs" {
+		t.Fatalf("snapshots = %v", cfg.snapshots)
+	}
+}
+
+func TestParseFlagsRequiresSnapshots(t *testing.T) {
+	_, err := parseFlags(nil)
+	if err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("err = %v, want usage error", err)
+	}
+}

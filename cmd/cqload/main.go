@@ -16,13 +16,21 @@
 //
 // -format picks the stream encoding to request: ndjson (default) or
 // binary, the length-prefixed framing of DESIGN.md §5.
+//
+// -coord marks the target as a cqcoord coordinator (the query API is
+// identical, so the load loop is unchanged) and appends the coordinator's
+// per-worker breakdown — requests, errors, and first-tuple latency per
+// worker, deltas across the run — so scatter-gather tail latency is
+// attributable to the worker that caused it.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,6 +59,7 @@ func main() {
 	total := flag.Int("n", 200, "total requests")
 	limit := flag.Int("limit", 0, "per-request tuple limit (0 = drain fully)")
 	formatFlag := flag.String("format", "ndjson", "stream encoding to request: ndjson or binary")
+	coordMode := flag.Bool("coord", false, "target is a cqcoord coordinator: report its per-worker latency breakdown after the run")
 	flag.Parse()
 
 	format, err := httpserve.ParseFormat(*formatFlag)
@@ -80,6 +89,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "cqload: %s view %s (bound %v, free %v, %s, %d shards): %d requests, %d clients, %s stream\n",
 		*url, info.Name, info.Bound, info.Free, info.Strategy, info.Shards, *total, *clients, format)
 
+	// Per-worker deltas need a before snapshot: the coordinator's counters
+	// are cumulative since boot, and only this run's traffic should show.
+	var before []workerReport
+	if *coordMode {
+		if before, err = coordWorkers(ctx, *url); err != nil {
+			fatal(fmt.Errorf("-coord: fetching coordinator /v1/stats: %w", err))
+		}
+	}
+
 	// MemStats deltas across the whole run give the client-side decode
 	// cost per request — the number the binary framing is meant to shrink.
 	var m0, m1 runtime.MemStats
@@ -91,6 +109,13 @@ func main() {
 		fatal(fmt.Errorf("no requests completed (%d errors)", errs))
 	}
 	report(os.Stdout, samples, errs, m1.Mallocs-m0.Mallocs, m1.TotalAlloc-m0.TotalAlloc)
+	if *coordMode {
+		after, err := coordWorkers(ctx, *url)
+		if err != nil {
+			fatal(fmt.Errorf("-coord: fetching coordinator /v1/stats: %w", err))
+		}
+		reportWorkers(os.Stdout, before, after)
+	}
 }
 
 // pickView resolves the requested view name against the registry; with no
@@ -232,6 +257,66 @@ func report(w *os.File, samples []sample, errs int, allocs, bytes uint64) {
 	}
 	n := float64(len(samples))
 	fmt.Fprintf(w, "client alloc       %.0f allocs/op  %.0f B/op\n", float64(allocs)/n, float64(bytes)/n)
+}
+
+// workerReport mirrors one row of the coordinator's /v1/stats workers
+// section (coord.WorkerReport on the wire).
+type workerReport struct {
+	URL        string `json:"url"`
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"`
+	FirstTuple struct {
+		Count uint64 `json:"count"`
+		P50us int64  `json:"p50_us"`
+		P99us int64  `json:"p99_us"`
+	} `json:"first_tuple"`
+}
+
+// coordWorkers fetches the per-worker breakdown from a coordinator's
+// GET /v1/stats.
+func coordWorkers(ctx context.Context, base string) ([]workerReport, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s", resp.Status)
+	}
+	var body struct {
+		Workers []workerReport `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	if body.Workers == nil {
+		return nil, fmt.Errorf("no workers section in /v1/stats — is %s a cqcoord coordinator?", base)
+	}
+	return body.Workers, nil
+}
+
+// reportWorkers prints the coordinator's per-worker view of the run.
+// Request and error counts are deltas across the run; the first-tuple
+// percentiles come from the coordinator's cumulative histogram, so they
+// are labelled as such (histograms cannot be subtracted).
+func reportWorkers(w *os.File, before, after []workerReport) {
+	prev := make(map[string]workerReport, len(before))
+	for _, r := range before {
+		prev[r.URL] = r
+	}
+	fmt.Fprintln(w, "per-worker (coordinator view; latency cumulative since worker joined):")
+	for _, r := range after {
+		p := prev[r.URL]
+		fmt.Fprintf(w, "  %-28s %6d reqs  %4d errors  first-tuple p50 %v p99 %v (%d streams)\n",
+			r.URL, r.Requests-p.Requests, r.Errors-p.Errors,
+			time.Duration(r.FirstTuple.P50us)*time.Microsecond,
+			time.Duration(r.FirstTuple.P99us)*time.Microsecond,
+			r.FirstTuple.Count)
+	}
 }
 
 func fatal(err error) {

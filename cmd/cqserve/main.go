@@ -20,22 +20,33 @@
 // of the stream writers, and -pprof exposes the net/http/pprof profiling
 // endpoints under /debug/pprof/ on the same listener.
 //
+// Worker mode (-worker, or -join http://coord) starts with an empty
+// registry, exposes POST /v1/attach and /v1/detach so a cqcoord
+// coordinator can ship shard snapshots onto this node, and — with -join —
+// announces itself to the coordinator (retrying until it is up) and holds
+// GET /readyz at 503 until membership is confirmed. GET /healthz reports
+// liveness; /readyz additionally forces every registered view decodable.
+//
 // SIGINT/SIGTERM shuts down gracefully: the listener stops, in-flight
 // streams are cancelled through their request contexts, and the serving
 // pools drain before the process exits.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -52,6 +63,10 @@ type config struct {
 	mmap       bool
 	pprof      bool
 	drain      time.Duration
+	worker     bool
+	join       string
+	advertise  string
+	spool      string
 }
 
 type listFlag []string
@@ -73,13 +88,20 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.mmap, "mmap", false, "mmap snapshots instead of eager decode (lazy per-shard decode on first touch)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the listen address")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout")
+	fs.BoolVar(&cfg.worker, "worker", false, "worker mode: start with an empty registry and expose /v1/attach//v1/detach for a coordinator (implied by -join)")
+	fs.StringVar(&cfg.join, "join", "", "coordinator base URL to join (e.g. http://coord:8070); enables worker mode")
+	fs.StringVar(&cfg.advertise, "advertise", "", "base URL the coordinator reaches this worker on (default derived from the listen address)")
+	fs.StringVar(&cfg.spool, "spool", "", "directory for snapshots fetched via /v1/attach (default: OS temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
+	if cfg.join != "" {
+		cfg.worker = true
+	}
 	cfg.snapshots = append([]string(nil), snaps...)
 	cfg.snapshots = append(cfg.snapshots, fs.Args()...)
-	if len(cfg.snapshots) == 0 {
-		return cfg, errors.New("usage: cqserve [-addr :8080] -snapshot FILE.cqs [-snapshot ...]")
+	if len(cfg.snapshots) == 0 && !cfg.worker {
+		return cfg, errors.New("usage: cqserve [-addr :8080] -snapshot FILE.cqs [-snapshot ...] | cqserve -join http://coord")
 	}
 	return cfg, nil
 }
@@ -100,10 +122,22 @@ func main() {
 
 // run serves until ctx is cancelled, then drains gracefully.
 func run(ctx context.Context, cfg config, logw *os.File) error {
-	h, err := httpserve.New(cfg.snapshots, httpserve.Options{
+	var joined atomic.Bool
+	opts := httpserve.Options{
 		Workers: cfg.workers, Buffer: cfg.buffer,
 		FlushBatch: cfg.flushBatch, Mmap: cfg.mmap,
-	})
+		Admin: cfg.worker, SpoolDir: cfg.spool,
+	}
+	if cfg.join != "" {
+		// A worker that is told to join is not ready until its coordinator
+		// has confirmed membership and pushed its shard assignment.
+		opts.ReadyGate = joined.Load
+	}
+	specs := make([]httpserve.SnapshotSpec, len(cfg.snapshots))
+	for i, p := range cfg.snapshots {
+		specs[i] = httpserve.SnapshotSpec{Path: p}
+	}
+	h, err := httpserve.NewSpecs(specs, opts)
 	if err != nil {
 		return err
 	}
@@ -122,16 +156,37 @@ func run(ctx context.Context, cfg config, logw *os.File) error {
 		handler = mux
 	}
 	srv := &http.Server{
-		Addr:    cfg.addr,
 		Handler: handler,
 		// Request contexts derive from ctx, so cancelling it propagates
 		// into every in-flight enumeration via Server.SubmitContext.
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
-	fmt.Fprintf(logw, "cqserve: serving %d snapshot(s) on %s\n", len(cfg.snapshots), cfg.addr)
+	// An explicit listener (rather than ListenAndServe) pins the bound
+	// address before anything else happens: -addr :0 works, and the
+	// advertise URL a coordinator calls back on can be derived from it.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		h.Close()
+		return err
+	}
+	fmt.Fprintf(logw, "cqserve: serving %d snapshot(s) on %s\n", len(cfg.snapshots), ln.Addr())
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
+	if cfg.join != "" {
+		go func() {
+			self := cfg.advertise
+			if self == "" {
+				self = advertiseURL(ln.Addr())
+			}
+			if err := joinCoordinator(ctx, cfg.join, self); err != nil {
+				fmt.Fprintf(logw, "cqserve: join %s: %v\n", cfg.join, err)
+				return
+			}
+			joined.Store(true)
+			fmt.Fprintf(logw, "cqserve: joined %s as %s\n", cfg.join, self)
+		}()
+	}
 	select {
 	case err := <-errc:
 		h.Close()
@@ -150,4 +205,55 @@ func run(ctx context.Context, cfg config, logw *os.File) error {
 	}
 	h.Close()
 	return nil
+}
+
+// advertiseURL derives the base URL a coordinator can reach this process
+// on from the bound listen address: a wildcard host becomes 127.0.0.1,
+// which is right for the single-machine and test topologies; multi-host
+// deployments pass -advertise explicitly.
+func advertiseURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// joinCoordinator announces this worker to the coordinator, retrying with
+// backoff until it succeeds or ctx ends: at startup the coordinator may
+// not be listening yet, and join order must not matter.
+func joinCoordinator(ctx context.Context, coordURL, selfURL string) error {
+	body, err := json.Marshal(map[string]string{"url": selfURL})
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(coordURL, "/") + "/v1/join"
+	delay := 100 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("giving up: %w (last: %v)", ctx.Err(), err)
+		case <-time.After(delay):
+		}
+		if delay < 2*time.Second {
+			delay *= 2
+		}
+	}
 }

@@ -38,3 +38,26 @@ func TestParseFlagsRequiresSnapshots(t *testing.T) {
 		t.Fatalf("err = %v, want usage error", err)
 	}
 }
+
+func TestParseFlagsWorkerMode(t *testing.T) {
+	// -join implies worker mode, and a worker may start with zero snapshots:
+	// its registry fills through /v1/attach.
+	cfg, err := parseFlags([]string{"-join", "http://coord:8070", "-advertise", "http://me:9999", "-spool", "/tmp/spool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.worker || cfg.join != "http://coord:8070" || cfg.advertise != "http://me:9999" || cfg.spool != "/tmp/spool" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if len(cfg.snapshots) != 0 {
+		t.Fatalf("snapshots = %v", cfg.snapshots)
+	}
+	// Bare -worker (no coordinator) also allows an empty registry.
+	cfg, err = parseFlags([]string{"-worker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.worker || cfg.join != "" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}

@@ -1,0 +1,412 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cqrep/internal/core"
+	"cqrep/internal/cq"
+	"cqrep/internal/httpserve"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+// coord_test.go drives a real coordinator plus in-process workers over
+// httptest servers and holds the distributed tier to the single-node
+// standard: raw response bodies — not just decoded tuples — must be
+// byte-identical to a cqserve instance serving the same sharded snapshot,
+// in both encodings, across routing, scatter-merge, limits, rebalance,
+// and worker death.
+
+// buildSnapshot compiles a view and writes its snapshot, returning the path.
+func buildSnapshot(t *testing.T, dir, name string, view *cq.View, db *relation.Database, opts ...core.Option) string {
+	t.Helper()
+	rep, err := core.Build(view, db, opts...)
+	if err != nil {
+		t.Fatalf("building %s: %v", name, err)
+	}
+	path := filepath.Join(dir, name+".snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// cluster is one coordinator and its workers, all in-process.
+type cluster struct {
+	coord    *Coordinator
+	coordTS  *httptest.Server
+	workers  []*httpserve.Handler
+	workerTS []*httptest.Server
+}
+
+// startCluster brings up a coordinator over the snapshot paths and joins
+// nWorkers empty admin-mode workers through the real /v1/join endpoint.
+func startCluster(t *testing.T, paths []string, nWorkers, flushBatch int) *cluster {
+	t.Helper()
+	cl := &cluster{}
+	// The coordinator needs its own public URL (workers fetch shard files
+	// from it) before New, and the URL needs a handler: indirect through a
+	// pointer the server's closure loads.
+	var cptr atomic.Pointer[Coordinator]
+	cl.coordTS = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := cptr.Load()
+		if c == nil {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		c.ServeHTTP(w, r)
+	}))
+	c, err := New(paths, Options{SelfURL: cl.coordTS.URL, SpoolDir: t.TempDir(), FlushBatch: flushBatch})
+	if err != nil {
+		cl.coordTS.Close()
+		t.Fatalf("coord.New: %v", err)
+	}
+	cptr.Store(c)
+	cl.coord = c
+	for i := 0; i < nWorkers; i++ {
+		wh, err := httpserve.NewSpecs(nil, httpserve.Options{Admin: true, SpoolDir: t.TempDir(), Workers: 2, FlushBatch: flushBatch})
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		wts := httptest.NewServer(wh)
+		cl.workers = append(cl.workers, wh)
+		cl.workerTS = append(cl.workerTS, wts)
+		body, _ := json.Marshal(map[string]string{"url": wts.URL})
+		resp, err := http.Post(cl.coordTS.URL+"/v1/join", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("joining worker %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("joining worker %d: %s: %s", i, resp.Status, b)
+		}
+		resp.Body.Close()
+	}
+	t.Cleanup(func() {
+		cl.coordTS.Close()
+		cl.coord.Close()
+		for i := range cl.workers {
+			cl.workerTS[i].Close()
+			cl.workers[i].Close()
+		}
+	})
+	return cl
+}
+
+// rawQuery POSTs one query and returns status plus the raw body bytes.
+func rawQuery(t *testing.T, base, view, body string, format httpserve.Format) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/query/"+view, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", format.MediaType())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestDistributedByteIdentity is the tentpole property on concrete views:
+// every response body from the coordinator — routed bound-key requests,
+// scattered merged enumerations, limits, misses — equals the single-node
+// body byte for byte, in both encodings, and keeps doing so after a shard
+// moves between workers.
+func TestDistributedByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	const flushBatch = 3 // tiny batches force frame boundaries inside results
+	triDB := workload.TriangleDB(7, 40, 420)
+	pathDB := workload.PathDB(11, 2, 300, 20)
+	paths := []string{
+		buildSnapshot(t, dir, "v", cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)"), triDB,
+			core.WithStrategy(core.MaterializedStrategy), core.WithShards(3)),
+		buildSnapshot(t, dir, "p", cq.MustParse("P(x1, x2, x3) :- R1(x1, x2), R2(x2, x3)"), pathDB,
+			core.WithStrategy(core.DecompositionStrategy), core.WithShards(4)),
+	}
+	single, err := httpserve.New(paths, httpserve.Options{Workers: 2, FlushBatch: flushBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	singleTS := httptest.NewServer(single)
+	defer singleTS.Close()
+
+	cl := startCluster(t, paths, 3, flushBatch)
+
+	requests := []struct {
+		view string
+		body string
+	}{
+		{"P", `{}`},           // full scatter-merge
+		{"P", `{"limit": 7}`}, // merged prefix
+		{"V", `{"bindings":{"x":1,"z":2}}`},
+		{"V", `{"bindings":{"x":3,"z":3}}`},
+		{"V", `{"bindings":{"x":1099511627776,"z":1}}`}, // guaranteed miss
+		{"V", `{"bindings":{"x":2,"z":5},"limit":1}`},
+	}
+	// Cover more key values so all three workers see routed traffic.
+	for x := 0; x < 12; x++ {
+		requests = append(requests, struct{ view, body string }{"V", fmt.Sprintf(`{"bindings":{"x":%d,"z":%d}}`, x, (x+1)%7)})
+	}
+	verify := func(stage string) {
+		t.Helper()
+		for _, rq := range requests {
+			for _, format := range []httpserve.Format{httpserve.FormatNDJSON, httpserve.FormatBinary} {
+				wantStatus, want := rawQuery(t, singleTS.URL, rq.view, rq.body, format)
+				gotStatus, got := rawQuery(t, cl.coordTS.URL, rq.view, rq.body, format)
+				if wantStatus != gotStatus {
+					t.Fatalf("%s: %s %s (%s): status %d != single-node %d", stage, rq.view, rq.body, format, gotStatus, wantStatus)
+				}
+				if !bytes.Equal(want, got) {
+					t.Fatalf("%s: %s %s (%s): body diverges from single node\nwant %q\ngot  %q", stage, rq.view, rq.body, format, want, got)
+				}
+			}
+		}
+	}
+	verify("initial")
+
+	// Rebalance: move V's shard 0 and P's shard 2 onto different workers
+	// and require the exact same bytes again.
+	ctx := context.Background()
+	if err := cl.coord.Move(ctx, "V", 0, cl.workerTS[2].URL); err != nil {
+		t.Fatalf("move V/0: %v", err)
+	}
+	if err := cl.coord.Move(ctx, "P", 2, cl.workerTS[0].URL); err != nil {
+		t.Fatalf("move P/2: %v", err)
+	}
+	verify("after move")
+
+	// The per-worker breakdown must show traffic on every worker.
+	resp, err := http.Get(cl.coordTS.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Requests        uint64         `json:"requests"`
+		StreamsComplete uint64         `json:"streams_complete"`
+		Workers         []WorkerReport `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Workers) != 3 {
+		t.Fatalf("stats reports %d workers, want 3", len(stats.Workers))
+	}
+	for _, wr := range stats.Workers {
+		if wr.Requests == 0 {
+			t.Fatalf("worker %s saw no requests; routing did not spread", wr.URL)
+		}
+	}
+	if stats.StreamsComplete == 0 {
+		t.Fatalf("no complete streams recorded")
+	}
+}
+
+// TestReadinessLifecycle: a coordinator with unassigned shards must refuse
+// readiness (it would 503 routed queries), and flip ready once workers
+// cover the map. Workers gate the same way through ReadyGate.
+func TestReadinessLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{buildSnapshot(t, dir, "v", cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)"),
+		workload.TriangleDB(5, 30, 300), core.WithStrategy(core.MaterializedStrategy), core.WithShards(2))}
+
+	var cptr atomic.Pointer[Coordinator]
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c := cptr.Load(); c != nil {
+			c.ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c, err := New(paths, Options{SelfURL: ts.URL, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cptr.Store(c)
+
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no workers = %d, want 503", got)
+	}
+	// Queries against unassigned shards 503 rather than hanging or lying.
+	if got, _ := rawQuery(t, ts.URL, "V", `{"bindings":{"x":1,"z":2}}`, httpserve.FormatNDJSON); got != http.StatusServiceUnavailable {
+		t.Fatalf("query with no workers = %d, want 503", got)
+	}
+
+	wh, err := httpserve.NewSpecs(nil, httpserve.Options{Admin: true, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	wts := httptest.NewServer(wh)
+	defer wts.Close()
+	if err := c.Join(context.Background(), wts.URL); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz with full coverage = %d, want 200", got)
+	}
+}
+
+// TestWorkerDeathMidStream kills a worker while a scattered enumeration is
+// in flight: the client must receive the terminal error of its encoding —
+// never a truncated stream that parses as complete.
+func TestWorkerDeathMidStream(t *testing.T) {
+	dir := t.TempDir()
+	// A big free enumeration so the stream is still flowing when the worker
+	// dies: the ~1M-tuple result is far beyond anything socket buffers can
+	// swallow, so the kill always lands mid-stream.
+	pathDB := workload.PathDB(13, 2, 8000, 60)
+	paths := []string{buildSnapshot(t, dir, "p", cq.MustParse("P(x1, x2, x3) :- R1(x1, x2), R2(x2, x3)"), pathDB,
+		core.WithStrategy(core.DecompositionStrategy), core.WithShards(3))}
+	cl := startCluster(t, paths, 3, 4)
+
+	for _, format := range []httpserve.Format{httpserve.FormatNDJSON, httpserve.FormatBinary} {
+		client := &httpserve.Client{Base: cl.coordTS.URL}
+		st, err := client.Open(context.Background(), "P", httpserve.QueryOptions{Format: format})
+		if err != nil {
+			t.Fatalf("%s: open: %v", format, err)
+		}
+		n := 0
+		killed := false
+		for {
+			_, ok := st.Next()
+			if !ok {
+				break
+			}
+			n++
+			if n == 5 && !killed {
+				killed = true
+				// Sever every connection into worker 1 — the mid-stream death.
+				cl.workerTS[1].CloseClientConnections()
+			}
+		}
+		err = st.Err()
+		st.Close()
+		if err == nil {
+			t.Fatalf("%s: stream ended cleanly after worker death (%d tuples); silent truncation", format, n)
+		}
+		t.Logf("%s: %d tuples then terminal error: %v", format, n, err)
+	}
+}
+
+// TestChurnUnderLoad is the race-mode churn gate: queries run concurrently
+// with shard moves bouncing a shard between workers, and every stream must
+// end either complete (byte-identical tuple count to the in-process
+// answer) or in a clean terminal error — never a silent prefix.
+func TestChurnUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	pathDB := workload.PathDB(17, 2, 800, 30)
+	view := cq.MustParse("P(x1, x2, x3) :- R1(x1, x2), R2(x2, x3)")
+	rep, err := core.Build(view, pathDB, core.WithStrategy(core.DecompositionStrategy), core.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(core.Drain(rep.Query(nil)))
+	path := filepath.Join(dir, "p.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cl := startCluster(t, []string{path}, 2, 8)
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		target := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := cl.coord.Move(context.Background(), "P", 1, cl.workerTS[target%2].URL); err != nil {
+				// ErrClosed at teardown is the only acceptable failure.
+				select {
+				case <-stop:
+					return
+				default:
+					t.Errorf("move: %v", err)
+					return
+				}
+			}
+			target++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &httpserve.Client{Base: cl.coordTS.URL}
+			format := httpserve.FormatBinary
+			if g%2 == 0 {
+				format = httpserve.FormatNDJSON
+			}
+			for i := 0; i < 25; i++ {
+				res, err := client.QueryOpts(context.Background(), "P", httpserve.QueryOptions{Format: format})
+				if err != nil {
+					// A clean terminal error is an acceptable outcome under
+					// churn; a nil error with missing tuples is not.
+					continue
+				}
+				if len(res.Tuples) != want {
+					t.Errorf("goroutine %d: stream reported complete with %d/%d tuples — silent truncation", g, len(res.Tuples), want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+}

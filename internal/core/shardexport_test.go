@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+	"cqrep/internal/workload"
+)
+
+// shardexport_test.go verifies the per-shard snapshot export that the
+// distributed serving tier ships to workers: each exported shard must load
+// as an ordinary snapshot and answer exactly its slice of the composite's
+// results — the routed slice for bound-key views, an EnumOrder-mergeable
+// slice for free enumerations.
+
+// exportShards writes every shard of rep through WriteShard and loads each
+// back through the ordinary snapshot reader.
+func exportShards(t *testing.T, rep *Representation) []*Representation {
+	t.Helper()
+	out := make([]*Representation, rep.ShardCount())
+	for i := range out {
+		var buf bytes.Buffer
+		if _, err := rep.WriteShard(i, &buf); err != nil {
+			t.Fatalf("WriteShard(%d): %v", i, err)
+		}
+		loaded, err := ReadRepresentation(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reading exported shard %d: %v", i, err)
+		}
+		out[i] = loaded
+	}
+	return out
+}
+
+// TestShardExportRoutedIdentity: for a bound-key sharded view, the shard
+// that relation.ShardOf says owns a binding must answer it byte-identically
+// to the composite, and every other shard must answer it empty — the
+// disjointness that makes single-worker routing correct.
+func TestShardExportRoutedIdentity(t *testing.T) {
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	db := workload.TriangleDB(7, 40, 420)
+	const shards = 3
+	rep, err := Build(view, db, WithStrategy(MaterializedStrategy), WithShards(shards))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if got := rep.ShardCount(); got != shards {
+		t.Fatalf("ShardCount() = %d, want %d", got, shards)
+	}
+	keyIdx := rep.ShardKeyIndex()
+	if keyIdx < 0 {
+		t.Fatalf("ShardKeyIndex() = %d, want routable bound key", keyIdx)
+	}
+	loaded := exportShards(t, rep)
+	for _, vb := range sampleBindings(rep, 40, 7) {
+		owner := relation.ShardOf(vb[keyIdx], shards)
+		want := enumBytes(rep, vb)
+		for i, sh := range loaded {
+			got := enumBytes(sh, vb)
+			if i == owner {
+				if !bytes.Equal(got, want) {
+					t.Fatalf("shard %d (owner of %v): enumeration differs:\nwant %q\ngot  %q", i, vb, want, got)
+				}
+			} else if len(got) != 0 {
+				t.Fatalf("shard %d answered %q for %v owned by shard %d", i, got, vb, owner)
+			}
+		}
+	}
+}
+
+// TestShardExportMergedIdentity: for a free enumeration, merging the
+// exported shards' streams under the composite's EnumOrder (ties broken by
+// shard index, as the coordinator does) reproduces the composite's stream
+// byte-for-byte.
+func TestShardExportMergedIdentity(t *testing.T) {
+	view := cq.MustParse("P(x1, x2, x3) :- R1(x1, x2), R2(x2, x3)")
+	db := workload.PathDB(11, 2, 300, 20)
+	const shards = 4
+	rep, err := Build(view, db, WithStrategy(DecompositionStrategy), WithShards(shards))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if got := rep.ShardKeyIndex(); got != -1 {
+		t.Fatalf("ShardKeyIndex() = %d, want -1 for a free shard variable", got)
+	}
+	order := rep.EnumOrder()
+	loaded := exportShards(t, rep)
+	streams := make([][]relation.Tuple, len(loaded))
+	for i, sh := range loaded {
+		// EnumOrder must survive export: the merge is only correct when
+		// every shard enumerates in the composite's declared order.
+		if so := sh.EnumOrder(); len(so) != len(order) {
+			t.Fatalf("shard %d EnumOrder %v != composite %v", i, so, order)
+		} else {
+			for j := range so {
+				if so[j] != order[j] {
+					t.Fatalf("shard %d EnumOrder %v != composite %v", i, so, order)
+				}
+			}
+		}
+		streams[i] = Drain(sh.Query(nil))
+	}
+	merged := mergeStreams(streams, order)
+	var got bytes.Buffer
+	for _, tu := range merged {
+		got.Write(tu.AppendEncode(nil))
+		got.WriteByte('|')
+	}
+	if want := enumBytes(rep, nil); !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("merged shard streams differ from composite:\nwant %q\ngot  %q", want, got.Bytes())
+	}
+}
+
+// mergeStreams k-way merges sorted per-shard streams under order, lowest
+// shard index winning ties — the reference merge the coordinator mirrors.
+func mergeStreams(streams [][]relation.Tuple, order []int) []relation.Tuple {
+	pos := make([]int, len(streams))
+	var out []relation.Tuple
+	for {
+		best := -1
+		for i := range streams {
+			if pos[i] >= len(streams[i]) {
+				continue
+			}
+			if best < 0 || tupleLessUnder(streams[i][pos[i]], streams[best][pos[best]], order) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, streams[best][pos[best]])
+		pos[best]++
+	}
+}
+
+// tupleLessUnder is the strict EnumOrder comparison: order positions are
+// most significant, remaining positions break ties in index order.
+func tupleLessUnder(a, b relation.Tuple, order []int) bool {
+	seen := make(map[int]bool, len(order))
+	for _, idx := range order {
+		seen[idx] = true
+		if a[idx] != b[idx] {
+			return a[idx] < b[idx]
+		}
+	}
+	for i := range a {
+		if !seen[i] && a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TestShardExportUnsharded: an unsharded representation exports exactly one
+// shard — itself — and rejects any other index.
+func TestShardExportUnsharded(t *testing.T) {
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	db := workload.TriangleDB(5, 30, 300)
+	rep, err := Build(view, db, WithStrategy(MaterializedStrategy))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if got := rep.ShardCount(); got != 1 {
+		t.Fatalf("ShardCount() = %d, want 1", got)
+	}
+	if got := rep.ShardKeyIndex(); got != -1 {
+		t.Fatalf("ShardKeyIndex() = %d, want -1", got)
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteShard(0, &buf); err != nil {
+		t.Fatalf("WriteShard(0): %v", err)
+	}
+	loaded, err := ReadRepresentation(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reading exported shard 0: %v", err)
+	}
+	for _, vb := range sampleBindings(rep, 20, 3) {
+		if !bytes.Equal(enumBytes(rep, vb), enumBytes(loaded, vb)) {
+			t.Fatalf("shard-0 export of unsharded rep differs for %v", vb)
+		}
+	}
+	if _, err := rep.WriteShard(1, &buf); err == nil {
+		t.Fatalf("WriteShard(1) on unsharded rep succeeded, want error")
+	}
+}
+
+// TestShardExportMmapAndEnsure: shard metadata and export work identically
+// through the mmap load path, and Ensure reports the decode verdict a
+// readiness probe relies on.
+func TestShardExportMmapAndEnsure(t *testing.T) {
+	view := cq.MustParse("V[bfb](x, y, z) :- R(x, y), R(y, z), R(z, x)")
+	db := workload.TriangleDB(7, 40, 420)
+	const shards = 3
+	rep, err := Build(view, db, WithStrategy(MaterializedStrategy), WithShards(shards))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "v.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.WriteTo(f); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := OpenRepresentationMmap(path)
+	if err != nil {
+		t.Fatalf("OpenRepresentationMmap: %v", err)
+	}
+	if err := mm.Ensure(); err != nil {
+		t.Fatalf("Ensure on a valid mapping: %v", err)
+	}
+	if got := mm.ShardCount(); got != shards {
+		t.Fatalf("mmap ShardCount() = %d, want %d", got, shards)
+	}
+	if got, want := mm.ShardKeyIndex(), rep.ShardKeyIndex(); got != want {
+		t.Fatalf("mmap ShardKeyIndex() = %d, want %d", got, want)
+	}
+	var direct, mapped bytes.Buffer
+	if _, err := rep.WriteShard(1, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mm.WriteShard(1, &mapped); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadRepresentation(bytes.NewReader(direct.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadRepresentation(bytes.NewReader(mapped.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vb := range sampleBindings(rep, 20, 11) {
+		if !bytes.Equal(enumBytes(a, vb), enumBytes(b, vb)) {
+			t.Fatalf("mmap-exported shard differs from direct export for %v", vb)
+		}
+	}
+}

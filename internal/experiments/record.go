@@ -6,14 +6,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"cqrep/internal/coord"
 	"cqrep/internal/core"
 	"cqrep/internal/cq"
 	"cqrep/internal/httpserve"
@@ -313,7 +316,95 @@ func RecordBench(edges, queries int, seed int64, clients int) (*BenchRecord, err
 	if nd, bin := rec.Metrics["serve_ndjson_tuples_per_sec"], rec.Metrics["serve_binary_tuples_per_sec"]; nd > 0 {
 		rec.Metrics["serve_binary_speedup"] = bin / nd
 	}
+	if err := recordDistServe(rec, dir, fanView, fanDB, fanReqs, clients); err != nil {
+		return nil, err
+	}
 	return rec, nil
+}
+
+// recordDistServe measures the scatter-gather tier on the same fan-out
+// workload: the view compiled 3-way sharded, a coordinator scattering to 3
+// in-process workers that joined over the wire protocol. The sweep uses
+// the binary encoding — that is what the coordinator speaks to its workers,
+// so the metric stacks coordinator re-encoding on top of worker streaming.
+func recordDistServe(rec *BenchRecord, dir string, fanView *cq.View, fanDB *relation.Database, fanReqs []map[string]relation.Value, clients int) error {
+	distRep, err := core.Build(fanView, fanDB, core.WithStrategy(core.MaterializedStrategy), core.WithShards(3))
+	if err != nil {
+		return fmt.Errorf("record: sharded fan-out compile: %w", err)
+	}
+	distPath := filepath.Join(dir, "wd.cqs")
+	df, err := os.Create(distPath)
+	if err != nil {
+		return err
+	}
+	if _, err := distRep.WriteTo(df); err != nil {
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return err
+	}
+
+	var cptr atomic.Pointer[coord.Coordinator]
+	coordTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c := cptr.Load(); c != nil {
+			c.ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	}))
+	defer coordTS.Close()
+	co, err := coord.New([]string{distPath}, coord.Options{SelfURL: coordTS.URL, SpoolDir: filepath.Join(dir, "coord-spool")})
+	if err != nil {
+		return fmt.Errorf("record: coordinator: %w", err)
+	}
+	defer co.Close()
+	cptr.Store(co)
+	for i := 0; i < 3; i++ {
+		wh, err := httpserve.NewSpecs(nil, httpserve.Options{Admin: true, SpoolDir: filepath.Join(dir, fmt.Sprintf("worker%d", i))})
+		if err != nil {
+			return fmt.Errorf("record: worker %d: %w", i, err)
+		}
+		defer wh.Close()
+		wts := httptest.NewServer(wh)
+		defer wts.Close()
+		body, err := json.Marshal(map[string]string{"url": wts.URL})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(coordTS.URL+"/v1/join", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("record: joining worker %d: %w", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("record: joining worker %d: %s", i, resp.Status)
+		}
+	}
+
+	// Conformance gate before timing: every swept binding must stream
+	// byte-identical to the in-process enumeration through the full
+	// scatter-gather path.
+	distCl := &httpserve.Client{Base: coordTS.URL}
+	for i, req := range fanReqs {
+		vb := relation.Tuple{relation.Value(i)}
+		want := encodeRecordTuples(core.Drain(distRep.Query(vb)))
+		res, err := distCl.QueryOpts(context.Background(), "W", httpserve.QueryOptions{Bindings: req, Format: httpserve.FormatBinary})
+		if err != nil {
+			return fmt.Errorf("record: distributed query %v: %w", vb, err)
+		}
+		if !bytes.Equal(encodeRecordTuples(res.Tuples), want) {
+			return fmt.Errorf("record: distributed stream for binding %v diverges from in-process enumeration", vb)
+		}
+	}
+
+	total, wall, err := serveSweep(distCl, "W", fanReqs, clients, httpserve.FormatBinary)
+	if err != nil {
+		return fmt.Errorf("record: distributed sweep: %w", err)
+	}
+	if wall > 0 {
+		rec.Metrics["serve_dist_tuples_per_sec"] = float64(total) / wall.Seconds()
+	}
+	return nil
 }
 
 // serveSweep fires every request clients-wide several times over and

@@ -31,8 +31,10 @@ import (
 // real view has anywhere near this many bound variables.
 const maxBindings = 4096
 
-// queryRequest is the decoded body of POST /v1/query/{view}.
-type queryRequest struct {
+// QueryRequest is the decoded body of POST /v1/query/{view}, exported so
+// the coordinator (internal/coord) can parse once and fan the same request
+// out to workers.
+type QueryRequest struct {
 	Bindings map[string]relation.Value
 	Limit    int // 0 = unlimited
 }
@@ -47,8 +49,8 @@ type rawQueryRequest struct {
 
 // ParseBindings parses a query-request body. It accepts an empty body as
 // a request with no bindings and no limit.
-func ParseBindings(data []byte) (queryRequest, error) {
-	req := queryRequest{}
+func ParseBindings(data []byte) (QueryRequest, error) {
+	req := QueryRequest{}
 	if len(bytes.TrimSpace(data)) == 0 {
 		return req, nil
 	}
@@ -72,7 +74,7 @@ func ParseBindings(data []byte) (queryRequest, error) {
 		for name, num := range raw.Bindings {
 			v, err := parseValue(num)
 			if err != nil {
-				return queryRequest{}, fmt.Errorf("invalid query request: binding %q: %w", name, err)
+				return QueryRequest{}, fmt.Errorf("invalid query request: binding %q: %w", name, err)
 			}
 			req.Bindings[name] = v
 		}
@@ -83,7 +85,7 @@ func ParseBindings(data []byte) (queryRequest, error) {
 		// or wrap a validated limit.
 		n, err := strconv.ParseInt(raw.Limit.String(), 10, 64)
 		if err != nil || n < 0 || n > 1<<31-1 {
-			return queryRequest{}, fmt.Errorf("invalid query request: limit %q is not a non-negative integer below 2^31", raw.Limit.String())
+			return QueryRequest{}, fmt.Errorf("invalid query request: limit %q is not a non-negative integer below 2^31", raw.Limit.String())
 		}
 		req.Limit = int(n)
 	}

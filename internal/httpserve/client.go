@@ -135,6 +135,58 @@ func (c *Client) Reload(ctx context.Context) (uint64, error) {
 	return body.Generation, nil
 }
 
+// postJSON sends one JSON body to an endpoint and checks for a 200.
+func (c *Client) postJSON(ctx context.Context, path string, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(c.Base, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64*1024))
+	return nil
+}
+
+// Attach asks an admin-enabled worker to serve the snapshot named by
+// source (a local path or a fetchable URL) under the registry key name.
+func (c *Client) Attach(ctx context.Context, name, source string) error {
+	return c.postJSON(ctx, "/v1/attach", map[string]string{"name": name, "source": source})
+}
+
+// Detach asks an admin-enabled worker to stop serving the named entry.
+func (c *Client) Detach(ctx context.Context, name string) error {
+	return c.postJSON(ctx, "/v1/detach", map[string]string{"name": name})
+}
+
+// Ready probes GET /readyz; nil means the server reports ready.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(c.Base, "/")+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64*1024))
+	return nil
+}
+
 // QueryOptions shapes one access request.
 type QueryOptions struct {
 	// Bindings assigns values to the view's bound variables.

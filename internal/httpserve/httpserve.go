@@ -30,6 +30,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,30 @@ type Options struct {
 	// corruption then surfaces on a view's first query instead of at load
 	// time.
 	Mmap bool
+	// Admin exposes the registry-mutation endpoints (POST /v1/attach,
+	// POST /v1/detach) that a coordinator drives to ship shards onto a
+	// worker. They load arbitrary local files and fetch arbitrary URLs, so
+	// they are opt-in: only worker processes behind a trusted coordinator
+	// should enable them.
+	Admin bool
+	// SpoolDir is where /v1/attach materializes snapshot bytes fetched
+	// from a source URL; empty means the OS temp directory.
+	SpoolDir string
+	// ReadyGate, when non-nil, gates /readyz beyond the per-view decode
+	// checks — a worker reports unready until it has joined its
+	// coordinator, whatever its registry holds.
+	ReadyGate func() bool
+}
+
+// SnapshotSpec names one registry entry: the snapshot file to load and the
+// key it serves under. An empty Name means the view name stored in the
+// snapshot — the common case; an explicit Name lets one process serve
+// several shards of the same view apart (the coordinator attaches shard i
+// of view V as "V@i", each a self-contained per-shard snapshot whose
+// stored view name is still V).
+type SnapshotSpec struct {
+	Name string
+	Path string
 }
 
 // defaultFlushBatch is the steady-state tuples-per-flush when
@@ -71,9 +96,12 @@ const defaultFlushBatch = 128
 // It implements http.Handler; create one with New and Close it when done.
 type Handler struct {
 	opts  Options
-	paths []string
 	mux   *http.ServeMux
 	start time.Time
+
+	// specs is the registry recipe: Reload re-reads it, Attach/Detach
+	// mutate it. Guarded by reloadMu.
+	specs []SnapshotSpec
 
 	// reg is the current registry; queries load it once and hold a
 	// reference on their entry for their whole stream, so a concurrent
@@ -89,8 +117,18 @@ type Handler struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	tuples   atomic.Uint64
-	delay    latHist // time to first streamed tuple
-	total    latHist // full request wall-clock
+	// Stream dispositions: every stream that started (headers committed or
+	// first tuple produced) lands in exactly one bucket. complete includes
+	// limit-truncated streams (the client got what it asked for); errored
+	// means a terminal error reached the client (the IterErr contract);
+	// aborted means the client went away or shutdown cut the stream — the
+	// client did NOT see a clean terminal, so counting it as served would
+	// hide mid-stream terminations.
+	streamsComplete atomic.Uint64
+	streamsErrored  atomic.Uint64
+	streamsAborted  atomic.Uint64
+	delay           LatencyHist // time to first streamed tuple
+	total           LatencyHist // full request wall-clock
 }
 
 // registry is one immutable generation of the view table; Reload builds a
@@ -116,9 +154,22 @@ type viewEntry struct {
 	retired bool
 	idle    chan struct{} // closed when retired with no refs left
 
-	requests atomic.Uint64
-	baseTup  func() int // lazy: materializes mmap-loaded representations
+	requests        atomic.Uint64
+	streamsComplete atomic.Uint64
+	streamsErrored  atomic.Uint64
+	streamsAborted  atomic.Uint64
+	baseTup         func() int // lazy: materializes mmap-loaded representations
 }
+
+// streamDisposition is how one started stream ended; see the Handler
+// counter comments for the bucket semantics.
+type streamDisposition int
+
+const (
+	streamComplete streamDisposition = iota
+	streamErrored
+	streamAborted
+)
 
 // acquire takes a reference on the entry; it fails once the entry has
 // been retired by a reload or shutdown (the caller then retries on the
@@ -168,7 +219,18 @@ func New(paths []string, opts Options) (*Handler, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("httpserve: no snapshot paths")
 	}
-	h := &Handler{opts: opts, paths: append([]string(nil), paths...), start: time.Now(), closeDone: make(chan struct{})}
+	specs := make([]SnapshotSpec, len(paths))
+	for i, p := range paths {
+		specs[i] = SnapshotSpec{Path: p}
+	}
+	return NewSpecs(specs, opts)
+}
+
+// NewSpecs is New with explicit registry keys, and it accepts an empty
+// spec list: a worker process starts with no views and gains them through
+// Attach as its coordinator assigns shards.
+func NewSpecs(specs []SnapshotSpec, opts Options) (*Handler, error) {
+	h := &Handler{opts: opts, specs: append([]SnapshotSpec(nil), specs...), start: time.Now(), closeDone: make(chan struct{})}
 	reg, err := h.loadRegistry(1)
 	if err != nil {
 		return nil, err
@@ -180,13 +242,19 @@ func New(paths []string, opts Options) (*Handler, error) {
 	mux.HandleFunc("GET /v1/views", h.handleViews)
 	mux.HandleFunc("GET /v1/stats", h.handleStats)
 	mux.HandleFunc("POST /v1/reload", h.handleReload)
+	mux.HandleFunc("GET /healthz", h.handleHealth)
+	mux.HandleFunc("GET /readyz", h.handleReady)
+	if opts.Admin {
+		mux.HandleFunc("POST /v1/attach", h.handleAttach)
+		mux.HandleFunc("POST /v1/detach", h.handleDetach)
+	}
 	h.mux = mux
 	return h, nil
 }
 
-// loadRegistry reads every snapshot path into a fresh registry generation.
+// loadRegistry reads every snapshot spec into a fresh registry generation.
 func (h *Handler) loadRegistry(gen uint64) (*registry, error) {
-	reg := &registry{gen: gen, views: make(map[string]*viewEntry, len(h.paths))}
+	reg := &registry{gen: gen, views: make(map[string]*viewEntry, len(h.specs))}
 	ok := false
 	defer func() {
 		if !ok { // abandon the half-built generation's serving pools
@@ -195,39 +263,146 @@ func (h *Handler) loadRegistry(gen uint64) (*registry, error) {
 			}
 		}
 	}()
-	for _, path := range h.paths {
-		rep, err := loadSnapshot(path, h.opts.Mmap)
+	for i, spec := range h.specs {
+		entry, err := h.loadEntry(spec)
 		if err != nil {
-			return nil, fmt.Errorf("httpserve: %s: %w", path, err)
+			return nil, err
 		}
-		name := rep.View().Name
-		if _, dup := reg.views[name]; dup {
-			return nil, fmt.Errorf("httpserve: duplicate view %q (snapshot %s)", name, path)
+		// Resolve path-only specs to their registry key, so Attach/Detach
+		// can match them by name from here on.
+		h.specs[i].Name = entry.name
+		if _, dup := reg.views[entry.name]; dup {
+			return nil, fmt.Errorf("httpserve: duplicate view %q (snapshot %s)", entry.name, spec.Path)
 		}
-		srvOpts := []core.ServerOption{core.WithFlushBatch(h.flushBatch())}
-		if h.opts.Buffer > 0 {
-			srvOpts = append(srvOpts, core.WithServerBuffer(h.opts.Buffer))
-		}
-		srv, err := core.NewServer(rep, h.opts.Workers, srvOpts...)
-		if err != nil {
-			return nil, fmt.Errorf("httpserve: %s: %w", path, err)
-		}
-		reg.views[name] = &viewEntry{
-			name:     name,
-			path:     path,
-			rep:      rep,
-			srv:      srv,
-			loadedAt: time.Now(),
-			idle:     make(chan struct{}),
-			// Deferred: counting base tuples materializes the
-			// representation, which an mmap load must not do at startup.
-			baseTup: sync.OnceValue(func() int { return baseTuples(rep) }),
-		}
-		reg.names = append(reg.names, name)
+		reg.views[entry.name] = entry
+		reg.names = append(reg.names, entry.name)
 	}
 	sort.Strings(reg.names)
 	ok = true
 	return reg, nil
+}
+
+// loadEntry loads one snapshot spec into a servable view entry.
+func (h *Handler) loadEntry(spec SnapshotSpec) (*viewEntry, error) {
+	rep, err := loadSnapshot(spec.Path, h.opts.Mmap)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: %s: %w", spec.Path, err)
+	}
+	name := spec.Name
+	if name == "" {
+		name = rep.View().Name
+	}
+	srvOpts := []core.ServerOption{core.WithFlushBatch(h.flushBatch())}
+	if h.opts.Buffer > 0 {
+		srvOpts = append(srvOpts, core.WithServerBuffer(h.opts.Buffer))
+	}
+	srv, err := core.NewServer(rep, h.opts.Workers, srvOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: %s: %w", spec.Path, err)
+	}
+	return &viewEntry{
+		name:     name,
+		path:     spec.Path,
+		rep:      rep,
+		srv:      srv,
+		loadedAt: time.Now(),
+		idle:     make(chan struct{}),
+		// Deferred: counting base tuples materializes the
+		// representation, which an mmap load must not do at startup.
+		baseTup: sync.OnceValue(func() int { return baseTuples(rep) }),
+	}, nil
+}
+
+// Attach loads the snapshot at path and serves it under name, atomically
+// swapping in a registry generation that includes it. An existing entry
+// under the same name is replaced with the /v1/reload retire discipline:
+// streams in flight on the old entry finish on it, new requests land on
+// the replacement. The spec is remembered, so a later Reload re-reads the
+// attached file along with everything else.
+func (h *Handler) Attach(name, path string) error {
+	if name == "" {
+		return fmt.Errorf("httpserve: attach needs a registry name")
+	}
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	if h.closed.Load() {
+		return core.ErrClosed
+	}
+	entry, err := h.loadEntry(SnapshotSpec{Name: name, Path: path})
+	if err != nil {
+		return err
+	}
+	old := h.reg.Load()
+	reg := &registry{gen: old.gen + 1, views: make(map[string]*viewEntry, len(old.views)+1)}
+	var replaced *viewEntry
+	for n, e := range old.views {
+		if n == name {
+			replaced = e
+			continue
+		}
+		reg.views[n] = e
+		reg.names = append(reg.names, n)
+	}
+	reg.views[name] = entry
+	reg.names = append(reg.names, name)
+	sort.Strings(reg.names)
+	h.reg.Store(reg)
+
+	kept := h.specs[:0]
+	for _, s := range h.specs {
+		if s.Name != name {
+			kept = append(kept, s)
+		}
+	}
+	h.specs = append(kept, SnapshotSpec{Name: name, Path: path})
+	if replaced != nil {
+		h.retired.Add(1)
+		go func() {
+			defer h.retired.Done()
+			replaced.retire()
+		}()
+	}
+	return nil
+}
+
+// Detach removes the named entry from the registry (and from the reload
+// spec list). In-flight streams on it finish; its serving pool closes once
+// the last one does.
+func (h *Handler) Detach(name string) error {
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	if h.closed.Load() {
+		return core.ErrClosed
+	}
+	old := h.reg.Load()
+	gone, ok := old.views[name]
+	if !ok {
+		return fmt.Errorf("httpserve: view %q is not served", name)
+	}
+	reg := &registry{gen: old.gen + 1, views: make(map[string]*viewEntry, len(old.views)-1)}
+	for n, e := range old.views {
+		if n == name {
+			continue
+		}
+		reg.views[n] = e
+		reg.names = append(reg.names, n)
+	}
+	sort.Strings(reg.names)
+	h.reg.Store(reg)
+
+	kept := h.specs[:0]
+	for _, s := range h.specs {
+		if s.Name != name {
+			kept = append(kept, s)
+		}
+	}
+	h.specs = kept
+	h.retired.Add(1)
+	go func() {
+		defer h.retired.Done()
+		gone.retire()
+	}()
+	return nil
 }
 
 // baseTuples counts the base-relation tuples behind a representation,
@@ -381,7 +556,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 // streamQuery runs one acquired request to completion. It reports false
 // when the entry's pool was already closed before anything was streamed
 // (the caller retries on the fresh registry).
-func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *viewEntry, req queryRequest, format wireFormat, start time.Time) bool {
+func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *viewEntry, req QueryRequest, format wireFormat, start time.Time) bool {
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	it, err := entry.srv.SubmitArgs(ctx, req.Bindings)
@@ -396,17 +571,29 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 		return true
 	}
 	entry.requests.Add(1)
-	defer func() { h.total.add(time.Since(start)) }()
+	defer func() { h.total.Add(time.Since(start)) }()
 
 	// Headers are staged but the status line is only committed by the
 	// first body write, so a request whose enumeration fails before
 	// producing anything can still answer with a real error status.
 	w.Header().Set("X-Cqrep-View", entry.name)
 	w.Header().Set("X-Cqrep-Free", strconv.Itoa(len(entry.rep.FreeNames())))
+	var disp streamDisposition
 	if format == formatBinary {
-		h.streamBinary(w, entry, it, req, ctx, cancel, start)
+		disp = h.streamBinary(w, entry, it, req, ctx, cancel, start)
 	} else {
-		h.streamNDJSON(w, it, req, ctx, cancel, start)
+		disp = h.streamNDJSON(w, it, req, ctx, cancel, start)
+	}
+	switch disp {
+	case streamErrored:
+		h.streamsErrored.Add(1)
+		entry.streamsErrored.Add(1)
+	case streamAborted:
+		h.streamsAborted.Add(1)
+		entry.streamsAborted.Add(1)
+	default:
+		h.streamsComplete.Add(1)
+		entry.streamsComplete.Add(1)
 	}
 	return true
 }
@@ -415,25 +602,26 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 // per line: the stream is the product, and constant-delay enumeration
 // means the client should see tuples as they are produced, not when a
 // buffer happens to fill.
-func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req queryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) {
+func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req QueryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) streamDisposition {
 	w.Header().Set("Content-Type", NDJSONMediaType)
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriterSize(w, 4096)
 
 	var line []byte
 	n := 0
+	limited := false
 	for {
 		t, ok := it.Next()
 		if !ok {
 			break
 		}
 		if n == 0 {
-			h.delay.add(time.Since(start))
+			h.delay.Add(time.Since(start))
 		}
 		line = appendTupleJSON(line[:0], t)
 		if _, err := bw.Write(line); err != nil {
 			cancel() // client went away: abandon the enumeration
-			return
+			return streamAborted
 		}
 		bw.Flush()
 		if flusher != nil {
@@ -442,20 +630,34 @@ func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req quer
 		h.tuples.Add(1)
 		n++
 		if req.Limit > 0 && n >= req.Limit {
+			limited = true
 			cancel() // stop the serving worker; the stream is done
 			break
 		}
 	}
-	if terr := core.IterErr(it); terr != nil && ctx.Err() == nil {
-		if n == 0 {
+	disp := streamComplete
+	// A nil IterErr means the enumeration genuinely finished; limited means
+	// we cut it ourselves after delivering what the client asked for. Both
+	// are complete streams. Anything else — a source error, or a context
+	// cancellation (shutdown, disconnect) that cut the enumeration short —
+	// must reach the client as the terminal error object: an abort that
+	// ended with plain EOF would be indistinguishable from a complete
+	// result set (NDJSON has no end marker), which is exactly the silent
+	// truncation the IterErr contract exists to prevent.
+	if terr := core.IterErr(it); terr != nil && !limited {
+		disp = streamErrored
+		if ctx.Err() != nil {
+			disp = streamAborted
+		}
+		if n == 0 && disp == streamErrored {
 			// Nothing was streamed yet, so the status line is still ours:
 			// fail properly instead of a 200 with an error trailer.
 			h.errorJSON(w, http.StatusInternalServerError, "%v", terr)
-			return
+			return disp
 		}
-		// Mid-stream the status line is long gone; the error travels as
-		// the NDJSON terminal object.
-		h.errors.Add(1)
+		if disp == streamErrored {
+			h.errors.Add(1)
+		}
 		obj, _ := json.Marshal(map[string]string{"error": terr.Error()})
 		bw.Write(obj)
 		bw.WriteByte('\n')
@@ -464,6 +666,7 @@ func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req quer
 	if flusher != nil {
 		flusher.Flush()
 	}
+	return disp
 }
 
 // streamBinary writes the result stream in the binary framing (wire.go):
@@ -472,7 +675,7 @@ func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req quer
 // FlushBatch tuples instead of once per tuple. Every stream that got as
 // far as its header ends with an explicit end or error frame, so clients
 // can tell truncation from completion.
-func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.Iterator, req queryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) {
+func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.Iterator, req QueryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) streamDisposition {
 	w.Header().Set("Content-Type", BinaryMediaType)
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriterSize(w, 32*1024)
@@ -498,44 +701,57 @@ func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.
 	batch := h.flushBatch()
 	limit := 1 // ramp: first flush carries one tuple
 	n := 0
+	limited := false
 	for {
 		t, ok := it.Next()
 		if !ok {
 			break
 		}
 		if n == 0 {
-			h.delay.add(time.Since(start))
+			h.delay.Add(time.Since(start))
 		}
 		enc.Add(t)
 		h.tuples.Add(1)
 		n++
 		if req.Limit > 0 && n >= req.Limit {
+			limited = true
 			cancel() // stop the serving worker; the stream is done
 			break
 		}
 		if enc.Pending() >= limit {
 			if !flush() {
 				cancel() // client went away: abandon the enumeration
-				return
+				return streamAborted
 			}
 			limit = batch
 		}
 	}
-	if terr := core.IterErr(it); terr != nil && ctx.Err() == nil {
-		if n == 0 {
+	// Same terminal discipline as the NDJSON path: only a genuinely
+	// finished or limit-satisfied enumeration earns the end frame. A
+	// context-cut stream ends with the error frame instead — the binary
+	// framing makes bare truncation detectable, but an end frame after an
+	// abort would actively forge completion.
+	if terr := core.IterErr(it); terr != nil && !limited {
+		disp := streamErrored
+		if ctx.Err() != nil {
+			disp = streamAborted
+		}
+		if n == 0 && disp == streamErrored {
 			// Header bytes are still only staged in bw; drop them and
 			// answer with a real error status.
 			h.errorJSON(w, http.StatusInternalServerError, "%v", terr)
-			return
+			return disp
 		}
-		h.errors.Add(1)
+		if disp == streamErrored {
+			h.errors.Add(1)
+		}
 		enc.Flush()
 		enc.Error(terr.Error())
 		bw.Flush()
 		if flusher != nil {
 			flusher.Flush()
 		}
-		return
+		return disp
 	}
 	enc.Flush()
 	enc.End()
@@ -543,6 +759,7 @@ func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.
 	if flusher != nil {
 		flusher.Flush()
 	}
+	return streamComplete
 }
 
 // appendTupleJSON renders one tuple as a compact JSON array of integers.
@@ -557,11 +774,15 @@ func appendTupleJSON(dst []byte, t relation.Tuple) []byte {
 	return append(dst, ']', '\n')
 }
 
-// ViewInfo is one /v1/views registry row.
+// ViewInfo is one /v1/views registry row. EnumOrder is the declared
+// enumeration order as free-variable positions, most significant first —
+// the coordinator merges scattered per-shard streams under exactly this
+// order, so it is part of the registry contract, not an internal detail.
 type ViewInfo struct {
 	Name       string   `json:"name"`
 	Bound      []string `json:"bound"`
 	Free       []string `json:"free"`
+	EnumOrder  []int    `json:"enum_order"`
 	Strategy   string   `json:"strategy"`
 	Shards     int      `json:"shards"`
 	Entries    int      `json:"entries"`
@@ -590,6 +811,7 @@ func (h *Handler) handleViews(w http.ResponseWriter, r *http.Request) {
 			Name:       e.name,
 			Bound:      e.rep.BoundNames(),
 			Free:       e.rep.FreeNames(),
+			EnumOrder:  e.rep.EnumOrder(),
 			Strategy:   st.Strategy.String(),
 			Shards:     st.Shards,
 			Entries:    st.Entries,
@@ -610,28 +832,38 @@ type LatencySummary struct {
 	P99us int64  `json:"p99_us"`
 }
 
-// ViewStats is one per-view /v1/stats row.
+// ViewStats is one per-view /v1/stats row. The streams_* counters split
+// how streams on this view ended: complete (clean terminal, including
+// limit-truncated), errored (terminal error delivered per the IterErr
+// contract), aborted (client gone or shutdown mid-stream — no clean
+// terminal, so it must not be mistaken for a served request).
 type ViewStats struct {
-	Name       string `json:"name"`
-	Requests   uint64 `json:"requests"`
-	Tuples     uint64 `json:"tuples"`
-	Entries    int    `json:"entries"`
-	Shards     int    `json:"shards"`
-	BaseTuples int    `json:"base_tuples"`
-	Workers    int    `json:"workers"`
+	Name            string `json:"name"`
+	Requests        uint64 `json:"requests"`
+	Tuples          uint64 `json:"tuples"`
+	StreamsComplete uint64 `json:"streams_complete"`
+	StreamsErrored  uint64 `json:"streams_errored"`
+	StreamsAborted  uint64 `json:"streams_aborted"`
+	Entries         int    `json:"entries"`
+	Shards          int    `json:"shards"`
+	BaseTuples      int    `json:"base_tuples"`
+	Workers         int    `json:"workers"`
 }
 
 // statsResponse is the /v1/stats body.
 type statsResponse struct {
-	UptimeMs   int64          `json:"uptime_ms"`
-	Generation uint64         `json:"generation"`
-	Reloads    uint64         `json:"reloads"`
-	Requests   uint64         `json:"requests"`
-	Errors     uint64         `json:"errors"`
-	Tuples     uint64         `json:"tuples"`
-	FirstTuple LatencySummary `json:"first_tuple"`
-	Total      LatencySummary `json:"total"`
-	Views      []ViewStats    `json:"views"`
+	UptimeMs        int64          `json:"uptime_ms"`
+	Generation      uint64         `json:"generation"`
+	Reloads         uint64         `json:"reloads"`
+	Requests        uint64         `json:"requests"`
+	Errors          uint64         `json:"errors"`
+	Tuples          uint64         `json:"tuples"`
+	StreamsComplete uint64         `json:"streams_complete"`
+	StreamsErrored  uint64         `json:"streams_errored"`
+	StreamsAborted  uint64         `json:"streams_aborted"`
+	FirstTuple      LatencySummary `json:"first_tuple"`
+	Total           LatencySummary `json:"total"`
+	Views           []ViewStats    `json:"views"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -641,31 +873,186 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := statsResponse{
-		UptimeMs:   time.Since(h.start).Milliseconds(),
-		Generation: reg.gen,
-		Reloads:    h.reloads.Load(),
-		Requests:   h.requests.Load(),
-		Errors:     h.errors.Load(),
-		Tuples:     h.tuples.Load(),
-		FirstTuple: h.delay.summary(),
-		Total:      h.total.summary(),
+		UptimeMs:        time.Since(h.start).Milliseconds(),
+		Generation:      reg.gen,
+		Reloads:         h.reloads.Load(),
+		Requests:        h.requests.Load(),
+		Errors:          h.errors.Load(),
+		Tuples:          h.tuples.Load(),
+		FirstTuple:      h.delay.Summary(),
+		Total:           h.total.Summary(),
+		StreamsComplete: h.streamsComplete.Load(),
+		StreamsErrored:  h.streamsErrored.Load(),
+		StreamsAborted:  h.streamsAborted.Load(),
 	}
 	for _, name := range reg.names {
 		e := reg.views[name]
 		st := e.rep.Stats()
 		ss := e.srv.Stats()
 		resp.Views = append(resp.Views, ViewStats{
-			Name:       e.name,
-			Requests:   e.requests.Load(),
-			Tuples:     ss.Tuples,
-			Entries:    st.Entries,
-			Shards:     st.Shards,
-			BaseTuples: e.baseTup(),
-			Workers:    ss.Workers,
+			Name:            e.name,
+			Requests:        e.requests.Load(),
+			Tuples:          ss.Tuples,
+			StreamsComplete: e.streamsComplete.Load(),
+			StreamsErrored:  e.streamsErrored.Load(),
+			StreamsAborted:  e.streamsAborted.Load(),
+			Entries:         st.Entries,
+			Shards:          st.Shards,
+			BaseTuples:      e.baseTup(),
+			Workers:         ss.Workers,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleHealth is process liveness: the handler is up and dispatching. It
+// says nothing about views — a worker with zero attached shards is healthy.
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ok": true})
+}
+
+// handleReady is serving readiness: every registered view must be loaded
+// AND decodable. For mmap-loaded snapshots that means forcing the lazy
+// decode (Ensure), so a readiness probe doubles as a warmup — payload
+// corruption surfaces here instead of on the first real query. An
+// Options.ReadyGate (worker join state, coordinator shard-map coverage)
+// can hold readiness back beyond the registry checks.
+func (h *Handler) handleReady(w http.ResponseWriter, r *http.Request) {
+	reg := h.reg.Load()
+	if reg == nil {
+		h.errorJSON(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if h.opts.ReadyGate != nil && !h.opts.ReadyGate() {
+		h.errorJSON(w, http.StatusServiceUnavailable, "not ready: gate closed")
+		return
+	}
+	for _, name := range reg.names {
+		if err := reg.views[name].rep.Ensure(); err != nil {
+			h.errorJSON(w, http.StatusServiceUnavailable, "view %q not decodable: %v", name, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ready": true, "views": len(reg.names), "generation": reg.gen})
+}
+
+// attachRequest is the POST /v1/attach body: serve the snapshot from
+// Source under Name. Source is either a local file path or an http(s) URL
+// (the coordinator's shardfile endpoint) that is fetched into SpoolDir
+// first — the join-by-snapshot protocol of DESIGN.md §6.
+type attachRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+func (h *Handler) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var req attachRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil || req.Name == "" || req.Source == "" {
+		h.errorJSON(w, http.StatusBadRequest, "attach wants {\"name\":..., \"source\": path-or-url}")
+		return
+	}
+	path := req.Source
+	if isHTTPURL(req.Source) {
+		path, err = h.spoolFetch(r.Context(), req.Name, req.Source)
+		if err != nil {
+			h.errorJSON(w, http.StatusBadGateway, "fetch %s: %v", req.Source, err)
+			return
+		}
+	}
+	if err := h.Attach(req.Name, path); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		h.errorJSON(w, status, "attach %q: %v", req.Name, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"attached": req.Name})
+}
+
+func (h *Handler) handleDetach(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil || req.Name == "" {
+		h.errorJSON(w, http.StatusBadRequest, "detach wants {\"name\": ...}")
+		return
+	}
+	if err := h.Detach(req.Name); err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, core.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		h.errorJSON(w, status, "detach %q: %v", req.Name, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"detached": req.Name})
+}
+
+// isHTTPURL reports whether source names a fetchable URL rather than a
+// local path.
+func isHTTPURL(source string) bool {
+	return strings.HasPrefix(source, "http://") || strings.HasPrefix(source, "https://")
+}
+
+// spoolFetch downloads a snapshot into the spool directory and returns the
+// local path. The name only seeds the temp-file prefix (sanitized), so a
+// hostile name cannot escape the spool dir.
+func (h *Handler) spoolFetch(ctx context.Context, name, url string) (string, error) {
+	dir := h.opts.SpoolDir
+	if dir == "" {
+		dir = os.TempDir()
+	} else if err := os.MkdirAll(dir, 0o777); err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %s", resp.Status)
+	}
+	safe := make([]byte, 0, len(name))
+	for _, c := range []byte(name) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	f, err := os.CreateTemp(dir, "cqrep-"+string(safe)+"-*.snap")
+	if err != nil {
+		return "", err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), nil
 }
 
 func (h *Handler) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -696,14 +1083,16 @@ func loadSnapshot(path string, mmap bool) (*core.Representation, error) {
 	return core.ReadRepresentation(f)
 }
 
-// latHist is a lock-free latency histogram over power-of-two microsecond
-// buckets — coarse, but constant-time on the request path and good enough
-// for the p50/p99 health signal of /v1/stats.
-type latHist struct {
+// LatencyHist is a lock-free latency histogram over power-of-two
+// microsecond buckets — coarse, but constant-time on the request path and
+// good enough for the p50/p99 health signal of /v1/stats. Exported so the
+// coordinator can keep per-worker breakdowns with the same shape.
+type LatencyHist struct {
 	buckets [48]atomic.Uint64
 }
 
-func (h *latHist) add(d time.Duration) {
+// Add records one observation.
+func (h *LatencyHist) Add(d time.Duration) {
 	us := d.Microseconds()
 	if us < 0 {
 		us = 0
@@ -715,8 +1104,8 @@ func (h *latHist) add(d time.Duration) {
 	h.buckets[idx].Add(1)
 }
 
-// summary renders count and approximate p50/p99 (bucket upper bounds).
-func (h *latHist) summary() LatencySummary {
+// Summary renders count and approximate p50/p99 (bucket upper bounds).
+func (h *LatencyHist) Summary() LatencySummary {
 	var counts [48]uint64
 	var total uint64
 	for i := range h.buckets {
@@ -732,7 +1121,7 @@ func (h *latHist) summary() LatencySummary {
 	return out
 }
 
-func (h *latHist) quantile(counts []uint64, total uint64, q float64) int64 {
+func (h *LatencyHist) quantile(counts []uint64, total uint64, q float64) int64 {
 	rank := uint64(q * float64(total))
 	if rank < 1 {
 		rank = 1

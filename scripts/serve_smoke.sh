@@ -56,6 +56,12 @@ done
 [ -n "$ready" ] || { echo "cqserve did not come up on $ADDR" >&2; exit 1; }
 grep -q '"name":"V"' "$TMP/views.json" || { echo "/v1/views does not list V" >&2; cat "$TMP/views.json" >&2; exit 1; }
 
+echo "== health and readiness probes"
+curl -sf "http://$ADDR/healthz" > /dev/null || { echo "/healthz not 200" >&2; exit 1; }
+# readyz forces every registered view decodable (here: the mmap-loaded
+# snapshot), so a 200 also proves the lazy decode path works.
+curl -sf "http://$ADDR/readyz" | grep -q '"ready":true' || { echo "/readyz not ready" >&2; exit 1; }
+
 echo "== querying every bound author over HTTP and diffing against cqcli serve"
 for x in 1 2 3 4 5; do
     # Both sides normalize to one "y p" line per tuple: cqcli serve prints
@@ -99,7 +105,12 @@ bin=$(sed -n 's/^requests .*ok.*errors, \([0-9]*\) tuples$/\1/p' "$TMP/load.bina
 [ -n "$nd" ] && [ "$nd" = "$bin" ] || { echo "tuple counts diverge: ndjson=$nd binary=$bin" >&2; exit 1; }
 
 echo "== stats"
-curl -sf "http://$ADDR/v1/stats" | grep -q '"requests"' || { echo "/v1/stats malformed" >&2; exit 1; }
+curl -sf "http://$ADDR/v1/stats" > "$TMP/stats.json"
+grep -q '"requests"' "$TMP/stats.json" || { echo "/v1/stats malformed" >&2; exit 1; }
+# Every request above ran to completion, so the disposition counters must
+# show completed streams and no errored/aborted ones.
+grep -q '"streams_errored":0' "$TMP/stats.json" || { echo "/v1/stats reports errored streams" >&2; cat "$TMP/stats.json" >&2; exit 1; }
+grep -q '"streams_aborted":0' "$TMP/stats.json" || { echo "/v1/stats reports aborted streams" >&2; cat "$TMP/stats.json" >&2; exit 1; }
 
 echo "== graceful shutdown"
 kill -INT "$SRV_PID"
