@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-record smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-record smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke lint ci
 
 all: build
 
@@ -88,6 +88,21 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzBindingsJSON -fuzztime=$(FUZZTIME) -run '^$$' ./internal/httpserve
 	$(GO) test -fuzz=FuzzBinaryStream -fuzztime=$(FUZZTIME) -run '^$$' ./internal/httpserve
 
+# Contract lint gate (DESIGN.md §7): build the cqlint multichecker, run
+# its analysistest suites, and sweep the whole tree through
+# `go vet -vettool` — streamcheck, sentinelcheck, ctxcheck and lockcheck
+# must all come back clean, with zero suppressions. govulncheck runs too
+# when installed (CI always installs it; this container may not have it).
+lint:
+	$(GO) build -o bin/cqlint ./cmd/cqlint
+	$(GO) test ./internal/analyzers/...
+	$(GO) vet -vettool=$(abspath bin/cqlint) ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipped locally (the CI lint job runs it)"; \
+	fi
+
 # cqserve end-to-end gate: compile → snapshot → cqserve → curl, diffed
 # against cqcli serve output for the same snapshot. Mirrors the CI serve
 # job.
@@ -101,5 +116,5 @@ serve-smoke:
 dist-smoke:
 	sh scripts/dist_smoke.sh
 
-ci: build vet fmt-check test race bench-smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke
+ci: build vet fmt-check lint test race bench-smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke
 	$(MAKE) bench-record BENCHOUT=$$(mktemp /tmp/cqrep-bench-XXXXXX.json)

@@ -233,7 +233,13 @@ func serveLoop(ctx context.Context, rep *cqrep.Representation, limit int) {
 		defer close(lines)
 		sc := bufio.NewScanner(os.Stdin)
 		for sc.Scan() {
-			lines <- sc.Text()
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				// The serve loop has stopped receiving; without this branch
+				// the send would wedge the goroutine forever.
+				return
+			}
 		}
 	}()
 	for {

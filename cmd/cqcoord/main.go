@@ -135,21 +135,34 @@ func run(ctx context.Context, cfg config, logw *os.File) error {
 	}
 	fmt.Fprintf(logw, "cqcoord: coordinating %d snapshot(s) on %s (advertised as %s)\n", len(cfg.snapshots), ln.Addr(), self)
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		c.Close()
-		return err
-	case <-ctx.Done():
-	}
-
-	fmt.Fprintln(logw, "cqcoord: shutting down")
-	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
-	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
-		srv.Close()
-	}
+	// The ctx watcher owns the shutdown half of the lifecycle so Serve
+	// can stay a plain blocking call: when the root context fires it
+	// drains in-flight requests (bounded by -drain) and Serve returns
+	// http.ErrServerClosed. The drain context derives from ctx through
+	// WithoutCancel — the drain must outlive the cancellation that
+	// triggered it, but stays in its value chain.
+	serveDone := make(chan struct{})
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		select {
+		case <-serveDone:
+			return // Serve failed on its own; nothing left to shut down
+		case <-ctx.Done():
+		}
+		fmt.Fprintln(logw, "cqcoord: shutting down")
+		drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), cfg.drain)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			srv.Close()
+		}
+	}()
+	err = srv.Serve(ln)
+	close(serveDone)
+	<-shutdownDone
 	c.Close()
-	return nil
+	if errors.Is(err, http.ErrServerClosed) && ctx.Err() != nil {
+		return nil // graceful: the watcher closed the listener
+	}
+	return err
 }

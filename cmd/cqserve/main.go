@@ -171,8 +171,31 @@ func run(ctx context.Context, cfg config, logw *os.File) error {
 	}
 	fmt.Fprintf(logw, "cqserve: serving %d snapshot(s) on %s\n", len(cfg.snapshots), ln.Addr())
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	// The ctx watcher owns the shutdown half of the lifecycle so Serve
+	// can stay a plain blocking call: when the root context fires it
+	// drains in-flight handlers (bounded by -drain) and Serve returns
+	// http.ErrServerClosed. The drain context derives from ctx through
+	// WithoutCancel — the drain must outlive the cancellation that
+	// triggered it, but stays in its value chain.
+	serveDone := make(chan struct{})
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		select {
+		case <-serveDone:
+			return // Serve failed on its own; nothing left to shut down
+		case <-ctx.Done():
+		}
+		fmt.Fprintln(logw, "cqserve: shutting down")
+		drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), cfg.drain)
+		defer cancel()
+		// Shutdown stops the listener and waits for handlers; the
+		// cancelled base context has already cut the streams loose, so
+		// this returns as soon as the handlers notice.
+		if err := srv.Shutdown(drainCtx); err != nil {
+			srv.Close()
+		}
+	}()
 	if cfg.join != "" {
 		go func() {
 			self := cfg.advertise
@@ -187,24 +210,14 @@ func run(ctx context.Context, cfg config, logw *os.File) error {
 			fmt.Fprintf(logw, "cqserve: joined %s as %s\n", cfg.join, self)
 		}()
 	}
-	select {
-	case err := <-errc:
-		h.Close()
-		return err
-	case <-ctx.Done():
-	}
-
-	fmt.Fprintln(logw, "cqserve: shutting down")
-	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
-	defer cancel()
-	// Shutdown stops the listener and waits for handlers; the cancelled
-	// base context has already cut the streams loose, so this returns as
-	// soon as the handlers notice.
-	if err := srv.Shutdown(drainCtx); err != nil {
-		srv.Close()
-	}
+	err = srv.Serve(ln)
+	close(serveDone)
+	<-shutdownDone
 	h.Close()
-	return nil
+	if errors.Is(err, http.ErrServerClosed) && ctx.Err() != nil {
+		return nil // graceful: the watcher closed the listener
+	}
+	return err
 }
 
 // advertiseURL derives the base URL a coordinator can reach this process

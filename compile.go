@@ -65,6 +65,26 @@ func (r *Representation) All(ctx context.Context, binding Tuple) iter.Seq[Tuple]
 	return allSeq(ctx, func() Iterator { return r.rep.Query(binding) })
 }
 
+// All2 is All with the terminal error surfaced: the sequence yields
+// (tuple, nil) for every answer and, when the enumeration ends early —
+// context cancelled, or the underlying stream failed mid-enumeration —
+// one final (nil, error) element. A sequence that ends without an error
+// element enumerated every answer. This is the form to range when a
+// truncated result must not be mistaken for a complete one:
+//
+//	for t, err := range rep.All2(ctx, binding) {
+//	    if err != nil {
+//	        return err // cancelled or failed: the result above is partial
+//	    }
+//	    ...
+//	}
+//
+// All is the lossy convenience form, implemented over All2.
+func (r *Representation) All2(ctx context.Context, binding Tuple) iter.Seq2[Tuple, error] {
+	checkBindingArity(binding, len(r.rep.BoundNames()))
+	return allSeq2(ctx, func() Iterator { return r.rep.Query(binding) })
+}
+
 // checkBindingArity enforces the All contract: arity mismatches are
 // programming errors and panic with an error wrapping ErrBadBinding.
 func checkBindingArity(binding Tuple, n int) {
@@ -75,19 +95,49 @@ func checkBindingArity(binding Tuple, n int) {
 
 // allSeq is the shared enumeration contract behind Representation.All and
 // Maintained.All: each ranging opens a fresh iterator, ctx is polled
-// between tuples, and breaking out of the loop simply stops the pull.
+// between tuples, and breaking out of the loop simply stops the pull. It
+// is the lossy wrapper over allSeq2 — the terminal error element is
+// consumed and deliberately dropped, which is exactly the truncation
+// hazard All2 exists to avoid.
 func allSeq(ctx context.Context, open func() Iterator) iter.Seq[Tuple] {
+	seq2 := allSeq2(ctx, open)
+	return func(yield func(Tuple) bool) {
+		for t, err := range seq2 {
+			if err != nil {
+				// The convenience form ends silently on cancellation or
+				// stream failure; use All2 to observe the difference.
+				return
+			}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
+// allSeq2 is the error-carrying enumeration behind All2: tuples stream as
+// (t, nil) elements, and an early end — ctx cancelled between tuples, or
+// a terminal stream error reported through IterErr — yields one final
+// (nil, error) element before the sequence stops.
+func allSeq2(ctx context.Context, open func() Iterator) iter.Seq2[Tuple, error] {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return func(yield func(Tuple) bool) {
+	return func(yield func(Tuple, error) bool) {
 		it := open()
 		for {
-			if ctx.Err() != nil {
+			if err := ctx.Err(); err != nil {
+				yield(nil, err)
 				return
 			}
 			t, ok := it.Next()
-			if !ok || !yield(t) {
+			if !ok {
+				if err := IterErr(it); err != nil {
+					yield(nil, err)
+				}
+				return
+			}
+			if !yield(t, nil) {
 				return
 			}
 		}

@@ -48,7 +48,12 @@ func symmetricGraph(rng *rand.Rand, name string, nodes, edges int) *cqrep.Relati
 func maxDelay(ctx context.Context, rep *cqrep.Representation, vb cqrep.Tuple) time.Duration {
 	var worst time.Duration
 	last := time.Now()
-	for range rep.All(ctx, vb) {
+	for _, err := range rep.All2(ctx, vb) {
+		if err != nil {
+			// A cancelled enumeration would report a bogus (too small)
+			// delay; All2's terminal error element makes that observable.
+			log.Fatalf("inference: enumeration cut short: %v", err)
+		}
 		if d := time.Since(last); d > worst {
 			worst = d
 		}

@@ -1,0 +1,120 @@
+// Package analyzers is a self-contained static-analysis framework in the
+// shape of golang.org/x/tools/go/analysis, built on nothing but the
+// standard library so the module stays dependency-free. It exists to
+// mechanically enforce the hand-maintained invariants of this codebase —
+// the stream terminal-error contract (IterErr / Stream.Err), sentinel
+// error discipline (errors.Is / %w), context threading through
+// goroutine-spawning paths, and lock hygiene around the registry swap
+// paths. DESIGN.md §7 maps each invariant to its analyzer.
+//
+// An Analyzer runs over one type-checked package at a time and reports
+// position-anchored diagnostics. All analyzers in this suite are purely
+// intra-package (no cross-package fact propagation), which is what lets
+// the cqlint driver satisfy cmd/go's -vettool protocol without an export
+// side channel: dependency passes (VetxOnly) are no-ops.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package via its Pass
+// and reports findings through Pass.Report; returning an error aborts the
+// whole cqlint run (reserved for internal failures, not findings).
+type Analyzer struct {
+	// Name is the short lowercase identifier used in diagnostics and in
+	// per-analyzer disable flags (-streamcheck=false).
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed source files of the package, test files
+	// included when the loader saw a test variant.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo maps syntax to types and objects for Files.
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ModulePath is the import-path prefix that identifies first-party
+// packages; analyzers use it to scope rules (e.g. which Err* variables
+// count as sentinels) to this module's own API.
+const ModulePath = "cqrep"
+
+// InModule reports whether pkg belongs to this module.
+func InModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == ModulePath || strings.HasPrefix(p, ModulePath+"/")
+}
+
+// IsNamed reports whether t (after unwrapping aliases and at most one
+// pointer) is the named type path.name.
+func IsNamed(t types.Type, path, name string) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool { return IsNamed(t, "context", "Context") }
+
+// IsErrorType reports whether t is the built-in error interface type.
+func IsErrorType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// CalleeObj resolves the called function or method object of call, or nil
+// for indirect calls through function values.
+func CalleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// IsTestFile reports whether the file enclosing pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,198 @@
+// Package ctxcheck enforces context threading through the module's
+// goroutine-spawning paths. Two rules, both scoped to non-test files:
+//
+//  1. A `go` statement inside a function that receives a context.Context
+//     must hand that cancellation chain to the goroutine — by capturing a
+//     context-typed variable, passing one as an argument, or referencing
+//     a value whose struct type carries a context field (the build
+//     config pattern in core). A goroutine that captures none of these
+//     outlives its request invisibly; a deliberately detached cleanup
+//     must still derive from the request context with
+//     context.WithoutCancel, which both documents the detachment and
+//     keeps context values (trace ids) flowing.
+//
+//  2. context.Background() / context.TODO() must not be called where a
+//     context.Context parameter is in scope: minting a fresh root there
+//     silently severs the caller's cancellation. The one exception is
+//     the documented nil-default idiom `ctx = context.Background()`
+//     assigning to the context parameter itself. Functions without a
+//     context parameter (the non-ctx convenience API, main, harness
+//     code) may mint roots freely.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cqrep/internal/analyzers"
+)
+
+// Analyzer flags goroutines that drop an in-scope context and fresh
+// context roots minted where a caller's context is available.
+var Analyzer = &analyzers.Analyzer{
+	Name: "ctxcheck",
+	Doc: "flag `go` statements that ignore an in-scope context.Context and " +
+		"context.Background()/TODO() calls that sever an in-scope cancellation chain",
+	Run: run,
+}
+
+func run(pass *analyzers.Pass) error {
+	c := &checker{pass: pass, exempt: make(map[ast.Expr]bool)}
+	for _, f := range pass.Files {
+		if analyzers.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.walk(fd.Body, ctxParams(pass, fd.Type))
+			}
+		}
+	}
+	return nil
+}
+
+// checker is the per-run state: exempt marks Background() calls blessed
+// by the nil-default idiom. ast.Inspect visits an AssignStmt before its
+// RHS, so the marking happens before the CallExpr check reads it.
+type checker struct {
+	pass   *analyzers.Pass
+	exempt map[ast.Expr]bool
+}
+
+// ctxParams returns the context.Context-typed parameter objects of ft.
+func ctxParams(pass *analyzers.Pass, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && analyzers.IsContext(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// walk traverses a function body with the set of context parameters in
+// scope, pushing further parameters as it enters nested function
+// literals.
+func (c *checker) walk(body ast.Node, ctxs []types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walk(n.Body, append(ctxs[:len(ctxs):len(ctxs)], ctxParams(c.pass, n.Type)...))
+			return false
+		case *ast.GoStmt:
+			if len(ctxs) > 0 {
+				c.checkGo(n)
+			}
+		case *ast.AssignStmt:
+			// The nil-default idiom: `ctx = context.Background()` where
+			// ctx is the context parameter itself. Mark the call exempt
+			// before the CallExpr case sees it.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 && c.isCtxParam(n.Lhs[0], ctxs) && c.isFreshRoot(n.Rhs[0]) != "" {
+				c.exempt[n.Rhs[0]] = true
+			}
+		case *ast.CallExpr:
+			if len(ctxs) == 0 {
+				return true
+			}
+			if name := c.isFreshRoot(n); name != "" && !c.exempt[n] {
+				c.pass.Reportf(n.Pos(),
+					"context.%s() inside a function that already receives a context: "+
+						"derive from it (or context.WithoutCancel for deliberate detachment)", name)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) isCtxParam(e ast.Expr, ctxs []types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	for _, p := range ctxs {
+		if obj == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isFreshRoot reports whether e is a call to context.Background or
+// context.TODO, returning the function name.
+func (c *checker) isFreshRoot(e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	obj := analyzers.CalleeObj(c.pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// checkGo reports a `go` statement whose goroutine references no context:
+// not as a captured variable, not as a call argument, and not indirectly
+// through a struct-typed value carrying a context field.
+func (c *checker) checkGo(g *ast.GoStmt) {
+	carries := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !carries {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && carriesContext(obj.Type(), nil) {
+				carries = true
+			}
+		}
+		return !carries
+	})
+	if !carries {
+		c.pass.Reportf(g.Pos(),
+			"goroutine launched inside a context-taking function without capturing any context: "+
+				"thread the context (or a context.WithoutCancel derivative) into it")
+	}
+}
+
+// carriesContext reports whether t is, or transitively contains (through
+// pointers, struct fields, slices, arrays, maps and channels), a
+// context.Context.
+func carriesContext(t types.Type, seen []types.Type) bool {
+	t = types.Unalias(t)
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return false
+		}
+	}
+	seen = append(seen, t)
+	if analyzers.IsContext(t) {
+		return true
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		return carriesContext(t.Elem(), seen)
+	case *types.Slice:
+		return carriesContext(t.Elem(), seen)
+	case *types.Array:
+		return carriesContext(t.Elem(), seen)
+	case *types.Map:
+		return carriesContext(t.Elem(), seen)
+	case *types.Chan:
+		return carriesContext(t.Elem(), seen)
+	case *types.Named:
+		return carriesContext(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if carriesContext(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

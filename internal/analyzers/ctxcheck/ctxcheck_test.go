@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"cqrep/internal/analyzers/analyzertest"
+	"cqrep/internal/analyzers/ctxcheck"
+)
+
+func TestCtxcheck(t *testing.T) {
+	analyzertest.Run(t, ctxcheck.Analyzer, "ctx")
+}

@@ -1,0 +1,87 @@
+// Package ctx is ctxcheck's testdata: goroutine launches with and without
+// a captured context, and fresh context roots minted in and out of scope
+// of a context parameter.
+package ctx
+
+import "context"
+
+func work()                      {}
+func worker(ctx context.Context) { _ = ctx }
+func use(v any)                  { _ = v }
+
+// --- goroutines: flag cases ----------------------------------------------
+
+func goDropsCtx(ctx context.Context) {
+	go func() { // want `without capturing any context`
+		work()
+	}()
+}
+
+func goDropsCtxNested(ctx context.Context) {
+	helper := func() {
+		go work() // want `without capturing any context`
+	}
+	helper()
+}
+
+// --- goroutines: no-flag cases -------------------------------------------
+
+func goCapturesCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+func goPassesCtx(ctx context.Context) {
+	go worker(ctx)
+}
+
+func goDetachedExplicitly(ctx context.Context) {
+	detached := context.WithoutCancel(ctx)
+	go worker(detached)
+}
+
+// job carries its context as a struct field — the build-config pattern.
+type job struct {
+	ctx  context.Context
+	name string
+}
+
+// goCtxViaStructField is the indirect-capture case: the goroutine sees no
+// context-typed variable, but j's type transitively carries one.
+func goCtxViaStructField(ctx context.Context) {
+	j := job{ctx: ctx, name: "j"}
+	go func() {
+		use(j)
+	}()
+}
+
+func goNoCtxInScope() {
+	go work() // no context parameter anywhere: nothing to thread
+}
+
+// --- fresh roots: flag and no-flag ----------------------------------------
+
+func freshRootInScope(ctx context.Context) context.Context {
+	return context.Background() // want `already receives a context`
+}
+
+func freshTODOInScope(ctx context.Context) context.Context {
+	return context.TODO() // want `already receives a context`
+}
+
+func nilDefaultIdiom(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // the documented nil-default idiom
+	}
+	return ctx
+}
+
+func freshRootNoCtx() context.Context {
+	return context.Background() // no context parameter: minting is fine
+}
+
+func derivedInScope(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,208 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// load.go type-checks packages without golang.org/x/tools: package
+// metadata and compiled export data come from `go list -export`, and the
+// standard gc importer resolves imports by looking the export files up in
+// that metadata. The same core (TypecheckFiles) backs three front ends:
+// the standalone `cqlint ./...` mode, cmd/go's -vettool protocol (which
+// hands us the equivalent maps in a vet.cfg), and the analyzertest
+// harness, which type-checks testdata packages against the real module.
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	ForTest    string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+// Load lists patterns in dir with `go list -test -deps -export` and
+// type-checks every first-party package it names, test variants included.
+// When a package has an in-package test variant ("p [p.test]"), only the
+// variant is returned — it is a superset of the plain package — so each
+// source file is analyzed exactly once.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	args := append([]string{
+		"list", "-test", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,ForTest,DepOnly,Standard,GoFiles,ImportMap",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var metas []*listPackage
+	hasVariant := make(map[string]bool) // plain path -> an in-package test variant exists
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		metas = append(metas, lp)
+		if lp.ForTest != "" && lp.ForTest == strippedVariant(lp.ImportPath) {
+			hasVariant[lp.ForTest] = true
+		}
+	}
+
+	var pkgs []*LoadedPackage
+	for _, lp := range metas {
+		switch {
+		case lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0:
+			continue
+		case !strings.HasPrefix(lp.ImportPath, ModulePath):
+			continue
+		case strings.HasSuffix(lp.ImportPath, ".test"):
+			// Synthesized test-main package; its only file is generated.
+			continue
+		case hasVariant[lp.ImportPath]:
+			// The "p [p.test]" variant re-lists every file of p.
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			if filepath.IsAbs(f) {
+				files[i] = f
+			} else {
+				files[i] = filepath.Join(lp.Dir, f)
+			}
+		}
+		pkg, err := TypecheckFiles(strippedVariant(lp.ImportPath), files, lp.ImportMap, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// strippedVariant maps "p [p.test]" to "p".
+func strippedVariant(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// TypecheckFiles parses goFiles and type-checks them as one package,
+// resolving imports through importMap (source import path -> package
+// path, may be nil) and packageFile (package path -> compiled export
+// data). This is exactly the information cmd/go hands a -vettool in
+// vet.cfg, and what Load reconstructs from `go list -export`.
+func TypecheckFiles(importPath string, goFiles []string, importMap, packageFile map[string]string) (*LoadedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor(build.Default.Compiler, build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadedPackage{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// RunAnalyzers applies each analyzer to pkg and returns the diagnostics
+// sorted by position.
+func RunAnalyzers(pkg *LoadedPackage, as []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range as {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Position: pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// Finding is one resolved diagnostic.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}

@@ -1,0 +1,360 @@
+// Package lockcheck enforces lock hygiene on the registry/swap paths.
+// Two rules:
+//
+//  1. No value copies of sync.Mutex / sync.RWMutex or any type that
+//     transitively contains one: by-value parameters, results and
+//     receivers, plain assignments from an existing value, range-clause
+//     element copies, and by-value call arguments. A copied lock guards
+//     nothing — both copies start unlocked and diverge.
+//
+//  2. No channel send while a mutex is held. The serving paths hand
+//     tuples between goroutines over channels whose receivers may need
+//     the same lock (registry reads during a swap); a send under the
+//     lock is a latent deadlock that only fires under backpressure.
+//     Locks released on every branch of an if/else before the send are
+//     recognized; a lock held via `defer mu.Unlock()` is held for the
+//     whole function, so any send after it is flagged.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cqrep/internal/analyzers"
+)
+
+// Analyzer flags value copies of lock-bearing types and channel sends
+// performed while a mutex is held.
+var Analyzer = &analyzers.Analyzer{
+	Name: "lockcheck",
+	Doc: "flag value copies of sync.Mutex/sync.RWMutex-bearing types and " +
+		"channel sends while holding a mutex (deadlock under backpressure)",
+	Run: run,
+}
+
+func run(pass *analyzers.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n)
+				if n.Body != nil {
+					walkHeld(pass, n.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				checkFuncType(pass, n.Type)
+				// A goroutine or callback starts with no lock held; its
+				// sends are checked in its own scope.
+				walkHeld(pass, n.Body.List, map[string]bool{})
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			case *ast.CallExpr:
+				checkCallArgs(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- rule 1: value copies -------------------------------------------------
+
+func checkSignature(pass *analyzers.Pass, fd *ast.FuncDecl) {
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			reportIfLockCopy(pass, field.Type.Pos(), pass.TypesInfo.TypeOf(field.Type), "by-value receiver")
+		}
+	}
+	checkFuncType(pass, fd.Type)
+}
+
+func checkFuncType(pass *analyzers.Pass, ft *ast.FuncType) {
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			reportIfLockCopy(pass, field.Type.Pos(), pass.TypesInfo.TypeOf(field.Type), "by-value parameter")
+		}
+	}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			reportIfLockCopy(pass, field.Type.Pos(), pass.TypesInfo.TypeOf(field.Type), "by-value result")
+		}
+	}
+}
+
+func checkAssign(pass *analyzers.Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		if !copiesExistingValue(rhs) {
+			continue
+		}
+		reportIfLockCopy(pass, rhs.Pos(), pass.TypesInfo.TypeOf(rhs), "assignment")
+	}
+}
+
+func checkRange(pass *analyzers.Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	reportIfLockCopy(pass, rs.Value.Pos(), pass.TypesInfo.TypeOf(rs.Value), "range value")
+}
+
+func checkCallArgs(pass *analyzers.Pass, call *ast.CallExpr) {
+	// Conversions don't create semantically new copies worth a second
+	// report; only check genuine calls.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	for _, arg := range call.Args {
+		if !copiesExistingValue(arg) {
+			continue
+		}
+		reportIfLockCopy(pass, arg.Pos(), pass.TypesInfo.TypeOf(arg), "by-value call argument")
+	}
+}
+
+// copiesExistingValue reports whether e reads an existing addressable
+// value (identifier, field, deref, index) — the copy shapes that actually
+// duplicate a lock in use. Composite literals and calls build fresh
+// values; the signatures producing them are checked instead.
+func copiesExistingValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func reportIfLockCopy(pass *analyzers.Pass, pos token.Pos, t types.Type, what string) {
+	if t == nil {
+		return
+	}
+	if path := lockPath(t, nil); path != "" {
+		pass.Reportf(pos, "%s copies lock: %s", what, path)
+	}
+}
+
+// lockPath returns a human-readable path to the mutex contained by value
+// in t (pointers share rather than copy, so they end the search), or ""
+// when t carries no lock.
+func lockPath(t types.Type, seen []types.Type) string {
+	t = types.Unalias(t)
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	if isSyncLock(t) {
+		return types.TypeString(t, nil)
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		if p := lockPath(t.Underlying(), seen); p != "" {
+			if named := t.Obj().Name(); named != "" {
+				return fmt.Sprintf("%s contains %s", named, p)
+			}
+			return p
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if p := lockPath(t.Field(i).Type(), seen); p != "" {
+				return fmt.Sprintf("field %s is %s", t.Field(i).Name(), p)
+			}
+		}
+	case *types.Array:
+		if p := lockPath(t.Elem(), seen); p != "" {
+			return fmt.Sprintf("array of %s", p)
+		}
+	}
+	return ""
+}
+
+// isSyncLock reports whether t is exactly sync.Mutex or sync.RWMutex (no
+// pointer unwrapping: a *sync.Mutex is shared, not copied).
+func isSyncLock(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// --- rule 2: sends under a held lock --------------------------------------
+
+// walkHeld walks a statement list in order, tracking which mutexes are
+// held by the textual receiver of Lock/RLock calls (e.g. "s.mu").
+func walkHeld(pass *analyzers.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		walkStmt(pass, s, held)
+	}
+}
+
+func walkStmt(pass *analyzers.Pass, s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := lockCall(pass, s.X); ok {
+			if op == "Lock" || op == "RLock" {
+				held[recv] = true
+			} else {
+				delete(held, recv)
+			}
+			return
+		}
+		checkInlineLit(pass, s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): the lock stays held until return, so the
+		// held set is deliberately left alone. A deferred FuncLit runs
+		// at return time with whatever is then held — approximated as
+		// the current held set.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			walkHeld(pass, lit.Body.List, copyHeld(held))
+		}
+	case *ast.SendStmt:
+		reportSend(pass, s.Pos(), held)
+	case *ast.BlockStmt:
+		walkHeld(pass, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		bodyHeld := copyHeld(held)
+		walkHeld(pass, s.Body.List, bodyHeld)
+		elseHeld := copyHeld(held)
+		if s.Else != nil {
+			walkStmt(pass, s.Else, elseHeld)
+		}
+		// Keep only locks still held on both paths — conservative toward
+		// silence on the lock-briefly-then-bail pattern.
+		for k := range held {
+			if !bodyHeld[k] || !elseHeld[k] {
+				delete(held, k)
+			}
+		}
+	case *ast.ForStmt:
+		walkHeld(pass, s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		walkHeld(pass, s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkHeld(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkHeld(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				reportSend(pass, send.Pos(), held)
+			}
+			walkHeld(pass, cc.Body, copyHeld(held))
+		}
+	case *ast.LabeledStmt:
+		walkStmt(pass, s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			checkInlineLit(pass, e, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs later with no inherited lock; its literal
+		// is walked with a fresh held set from run().
+	}
+}
+
+// checkInlineLit walks immediately-invoked function literals, which run
+// with the caller's locks held.
+func checkInlineLit(pass *analyzers.Pass, e ast.Expr, held map[string]bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		walkHeld(pass, lit.Body.List, copyHeld(held))
+	}
+}
+
+func reportSend(pass *analyzers.Pass, pos token.Pos, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	// map order: stabilize for deterministic output
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	pass.Reportf(pos, "channel send while holding %s: a blocked receiver that needs the lock deadlocks", strings.Join(names, ", "))
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockCall matches X.Lock() / X.RLock() / X.Unlock() / X.RUnlock() where
+// the method is sync.Mutex's or sync.RWMutex's (directly or promoted
+// through embedding), returning the textual receiver and method name.
+func lockCall(pass *analyzers.Pass, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+// exprString renders simple receiver chains ("s.mu", "c.reg.mu") for use
+// as held-set keys.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	}
+	return "?"
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"cqrep/internal/analyzers/analyzertest"
+	"cqrep/internal/analyzers/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analyzertest.Run(t, lockcheck.Analyzer, "lock")
+}

@@ -1,0 +1,134 @@
+// Package lock is lockcheck's testdata: value copies of lock-bearing
+// types, and channel sends under a held mutex.
+package lock
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	mu    sync.RWMutex
+	views map[string]int
+}
+
+type plain struct {
+	n int
+}
+
+// --- rule 1: copies — flag cases -----------------------------------------
+
+func byValueParam(c counter) int { // want `by-value parameter copies lock`
+	return c.n
+}
+
+func byValueResult() counter { // want `by-value result copies lock`
+	return counter{}
+}
+
+func (c counter) byValueReceiver() int { // want `by-value receiver copies lock`
+	return c.n
+}
+
+func assignCopy(c *counter) int {
+	snapshot := *c // want `assignment copies lock`
+	return snapshot.n
+}
+
+func identCopy() {
+	var mu sync.Mutex
+	mu2 := mu // want `assignment copies lock`
+	mu2.Lock()
+	mu2.Unlock()
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want `range value copies lock`
+		total += c.n
+	}
+	return total
+}
+
+func callArgCopy(cs []counter) {
+	use(cs[0]) // want `by-value call argument copies lock`
+}
+
+func use(v any) { _ = v }
+
+// --- rule 1: no-flag cases ------------------------------------------------
+
+func byPointerParam(c *counter) int { return c.n }
+
+func (c *counter) pointerReceiver() int { return c.n }
+
+func plainCopy(p plain) plain {
+	q := p // no lock anywhere: copying is fine
+	return q
+}
+
+func pointerCopy(c *counter) {
+	alias := c // copying the pointer shares the lock, not the state
+	_ = alias
+}
+
+func freshValue() {
+	c := counter{} // composite literal: a fresh value, not a copy
+	_ = c.n
+}
+
+// --- rule 2: sends under a held lock --------------------------------------
+
+func sendUnderLock(r *registry, ch chan int) {
+	r.mu.Lock()
+	ch <- len(r.views) // want `channel send while holding r.mu`
+	r.mu.Unlock()
+}
+
+func sendUnderDeferredUnlock(r *registry, ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch <- len(r.views) // want `channel send while holding r.mu`
+}
+
+func sendInSelectUnderLock(r *registry, ch chan int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	select {
+	case ch <- len(r.views): // want `channel send while holding r.mu`
+	default:
+	}
+}
+
+func sendAfterUnlock(r *registry, ch chan int) {
+	r.mu.Lock()
+	n := len(r.views)
+	r.mu.Unlock()
+	ch <- n
+}
+
+func sendWithoutLock(ch chan int) {
+	ch <- 1
+}
+
+func sendAfterBranchRelease(r *registry, ch chan int, fast bool) {
+	r.mu.Lock()
+	if fast {
+		r.mu.Unlock()
+	} else {
+		r.mu.Unlock()
+	}
+	// Released on every branch above: not held here.
+	ch <- 1
+}
+
+func sendInGoroutine(r *registry, ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		// The goroutine does not inherit the caller's lock.
+		ch <- 1
+	}()
+}

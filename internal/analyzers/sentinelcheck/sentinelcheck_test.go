@@ -1,0 +1,12 @@
+package sentinelcheck_test
+
+import (
+	"testing"
+
+	"cqrep/internal/analyzers/analyzertest"
+	"cqrep/internal/analyzers/sentinelcheck"
+)
+
+func TestSentinelcheck(t *testing.T) {
+	analyzertest.Run(t, sentinelcheck.Analyzer, "sentinel")
+}

@@ -1,0 +1,94 @@
+// Package sentinel is sentinelcheck's testdata. It declares its own
+// module-local sentinels; the analyzer recognizes them by the same rule
+// it applies to the real packages (package-level, error-typed, Err-named,
+// first-party).
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBoom = errors.New("boom")
+var errQuiet = errors.New("quiet")
+var NotASentinel = errors.New("name does not match")
+
+func mayFail() error { return ErrBoom }
+
+// --- comparisons: flag cases ---------------------------------------------
+
+func compareEq() bool {
+	err := mayFail()
+	return err == ErrBoom // want `use errors.Is`
+}
+
+func compareNeq() bool {
+	err := mayFail()
+	return err != ErrBoom // want `use errors.Is`
+}
+
+func compareUnexported() bool {
+	err := mayFail()
+	return err == errQuiet // want `use errors.Is`
+}
+
+func compareSwitch() string {
+	switch err := mayFail(); err {
+	case ErrBoom: // want `switch case compares error`
+		return "boom"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// --- comparisons: no-flag cases ------------------------------------------
+
+func compareIs() bool {
+	err := mayFail()
+	return errors.Is(err, ErrBoom)
+}
+
+// compareIsWrapped is the wrapped-chain case: errors.Is sees through the
+// fmt.Errorf %w layer, which is exactly why the analyzer insists on it.
+func compareIsWrapped() bool {
+	wrapped := fmt.Errorf("outer: %w", ErrBoom)
+	return errors.Is(wrapped, ErrBoom)
+}
+
+func compareNil() bool {
+	err := mayFail()
+	return err == nil // nil is not a sentinel
+}
+
+func compareForeign(err error) bool {
+	return err == io.EOF // third-party sentinel: outside the module contract
+}
+
+func compareNonSentinelName() bool {
+	err := mayFail()
+	return err == NotASentinel // name does not match Err[A-Z]
+}
+
+// --- fmt.Errorf wrapping: flag and no-flag --------------------------------
+
+func wrapWithV() error {
+	return fmt.Errorf("call failed: %v", ErrBoom) // want `use %w`
+}
+
+func wrapSecondArg(n int) error {
+	return fmt.Errorf("%d attempts: %s", n, ErrBoom) // want `use %w`
+}
+
+func wrapAfterStar(w, n int) error {
+	return fmt.Errorf("%*d: %v", w, n, ErrBoom) // want `use %w`
+}
+
+func wrapProperly() error {
+	return fmt.Errorf("call failed: %w", ErrBoom)
+}
+
+func wrapOther(err error) error {
+	return fmt.Errorf("call failed: %v", err) // a plain error, not a sentinel
+}

@@ -1,0 +1,12 @@
+package streamcheck_test
+
+import (
+	"testing"
+
+	"cqrep/internal/analyzers/analyzertest"
+	"cqrep/internal/analyzers/streamcheck"
+)
+
+func TestStreamcheck(t *testing.T) {
+	analyzertest.Run(t, streamcheck.Analyzer, "stream")
+}

@@ -1,0 +1,202 @@
+// Package stream is streamcheck's testdata: each function is one flag or
+// no-flag case for the consult-or-escape rule over core.Iterator,
+// httpserve.Stream and the All/All2 sequence forms.
+package stream
+
+import (
+	"context"
+	"iter"
+
+	"cqrep/internal/core"
+	"cqrep/internal/httpserve"
+)
+
+func openIter() core.Iterator               { return nil }
+func openStream() (httpserve.Stream, error) { return nil, nil }
+
+func drain(it core.Iterator) {
+	for {
+		if _, ok := it.Next(); !ok {
+			return
+		}
+	}
+}
+
+// --- core.Iterator: flag cases -------------------------------------------
+
+func iterNeverConsulted() int {
+	n := 0
+	it := openIter() // want `never consulted for its terminal error`
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func iterDiscarded() {
+	openIter() // want `result stream discarded`
+}
+
+func iterBlank() {
+	_ = openIter() // want `assigned to _`
+}
+
+func iterInlineDrain() {
+	core.Drain(openIter()) // want `drained inline via Drain`
+}
+
+// --- core.Iterator: no-flag cases ----------------------------------------
+
+func iterConsulted() error {
+	it := openIter()
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	return core.IterErr(it)
+}
+
+func iterDrainThenConsult() ([]int, error) {
+	it := openIter()
+	_ = core.Drain(it) // Drain is neutral: the obligation stays on it
+	return nil, core.IterErr(it)
+}
+
+// iterDeferredConsult checks the deferred-consult idiom: the IterErr call
+// sits in a deferred closure, which still counts. The drain loop is
+// inlined so the consult is the only thing keeping this case quiet.
+func iterDeferredConsult() (err error) {
+	it := openIter()
+	defer func() {
+		if err == nil {
+			err = core.IterErr(it)
+		}
+	}()
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	return nil
+}
+
+func iterEscapesByReturn() core.Iterator {
+	return openIter() // the caller inherits the obligation
+}
+
+func iterEscapesAsArg() {
+	drain(openIter()) // handed to a non-Drain callee: escape
+}
+
+func iterErrMethod() error {
+	s, err := openStream()
+	if err != nil {
+		return err
+	}
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	return s.Err()
+}
+
+func streamNeverConsulted() int {
+	n := 0
+	s, err := openStream() // want `never consulted for its terminal error`
+	if err != nil {
+		return 0
+	}
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// --- All-shaped sequences (ctx cancellation truncates) --------------------
+
+type rep struct{}
+
+func (rep) All(ctx context.Context, b int) iter.Seq[int] {
+	_ = ctx
+	return func(yield func(int) bool) {}
+}
+
+func (rep) All2(ctx context.Context, b int) iter.Seq2[int, error] {
+	_ = ctx
+	return func(yield func(int, error) bool) {}
+}
+
+func rangeAllNoConsult(ctx context.Context, r rep) int {
+	n := 0
+	for range r.All(ctx, 0) { // want `without consulting ctx.Err`
+		n++
+	}
+	return n
+}
+
+func rangeAllConsulted(ctx context.Context, r rep) (int, error) {
+	n := 0
+	for range r.All(ctx, 0) {
+		n++
+	}
+	return n, ctx.Err()
+}
+
+func rangeAllBackground(r rep) int {
+	ctx := context.Background() // non-cancellable: nothing to consult
+	n := 0
+	for range r.All(ctx, 0) {
+		n++
+	}
+	return n
+}
+
+func allEscapes(ctx context.Context, r rep) iter.Seq[int] {
+	return r.All(ctx, 0) // the caller ranges it and inherits the duty
+}
+
+func rangeAllViaVar(ctx context.Context, r rep) int {
+	n := 0
+	seq := r.All(ctx, 0) // want `without consulting ctx.Err`
+	for range seq {
+		n++
+	}
+	return n
+}
+
+// --- All2-shaped sequences (the error element must be consumed) -----------
+
+func rangeAll2OneVar(ctx context.Context, r rep) int {
+	n := 0
+	for range r.All2(ctx, 0) { // want `drops its terminal error`
+		n++
+	}
+	return n
+}
+
+func rangeAll2BlankErr(ctx context.Context, r rep) int {
+	n := 0
+	for t, _ := range r.All2(ctx, 0) { // want `blank error variable`
+		n += t
+	}
+	return n
+}
+
+func rangeAll2Handled(ctx context.Context, r rep) (int, error) {
+	n := 0
+	for t, err := range r.All2(ctx, 0) {
+		if err != nil {
+			return n, err
+		}
+		n += t
+	}
+	return n, nil
+}

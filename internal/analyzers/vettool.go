@@ -1,0 +1,87 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// vettool.go implements the driver half of cmd/go's -vettool protocol:
+// `go vet -vettool=$(cqlint)` invokes the tool once per package with a
+// single argument, the path to a vet.cfg JSON file describing the parsed
+// package and the export data of everything it imports (the same shape
+// TypecheckFiles consumes). Dependency invocations set VetxOnly — they
+// exist so tools with cross-package facts can export them; this suite is
+// fact-free, so those are answered with an empty output file immediately.
+
+// VetConfig mirrors cmd/go's internal vetConfig struct (the documented
+// unitchecker protocol).
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool executes the suite against one vet.cfg and returns the
+// process exit code: 0 clean, 1 internal failure, 2 findings. Diagnostics
+// go to w (cmd/go relays the tool's stderr to the user).
+func RunVetTool(w io.Writer, cfgPath string, as []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "cqlint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "cqlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Always produce the vetx output so cmd/go can cache the action; the
+	// suite has no facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(w, "cqlint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := TypecheckFiles(cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "cqlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	findings, err := RunAnalyzers(pkg, as)
+	if err != nil {
+		fmt.Fprintf(w, "cqlint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

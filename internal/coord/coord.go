@@ -472,7 +472,9 @@ func (c *Coordinator) applyAssignment(ctx context.Context, desired map[string][]
 		// dead worker has nothing to detach.
 		for _, mv := range moves {
 			if mv.from != "" && mv.from != mv.to {
-				dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				// Detach outlives the move request on purpose, so it
+				// detaches from ctx's cancellation but keeps its values.
+				dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
 				c.workerClient(mv.from).Detach(dctx, scopedName(mv.view, mv.shard))
 				cancel()
 			}

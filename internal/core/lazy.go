@@ -37,16 +37,19 @@ type mmapRef struct {
 // lazySnapshot is the deferred-decode state of a Representation loaded by
 // OpenRepresentationMmap: the undecoded payload (a subslice of the
 // mapping), its expected checksum, and the one-shot decode guard.
+// Field order packs the sub-word fields (sum rides in once's alignment
+// tail; version and checkStrategy share the final word): 80 bytes instead
+// of the 88 a declaration-order layout costs.
 type lazySnapshot struct {
 	once    sync.Once
+	sum     uint32
 	err     error
 	payload []byte
-	sum     uint32
-	version uint16
 	ref     *mmapRef // keeps the mapping alive until materialized
 	// wantStrategy cross-checks a shard frame against the composite's
 	// declared strategy; checkStrategy gates it (outer frames skip it).
 	wantStrategy  Strategy
+	version       uint16
 	checkStrategy bool
 }
 

@@ -294,6 +294,9 @@ func (m *Maintained) Exists(vb relation.Tuple) (bool, error) {
 		return false, err
 	}
 	_, ok := it.Next()
+	if err := IterErr(it); err != nil {
+		return false, err
+	}
 	return ok, nil
 }
 

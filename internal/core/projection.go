@@ -92,10 +92,17 @@ func (r *Representation) Count(vb relation.Tuple) int {
 	it := r.Query(vb)
 	for {
 		if _, ok := it.Next(); !ok {
-			return n
+			break
 		}
 		n++
 	}
+	// In-memory enumeration is infallible; a terminal error here means a
+	// reporting backend was plugged in without extending Count's
+	// signature, which is a programming error.
+	if err := IterErr(it); err != nil {
+		panic("core: Count enumeration failed: " + err.Error())
+	}
+	return n
 }
 
 // CountDistinct reports the number of distinct projected answers of the
@@ -105,8 +112,12 @@ func (r *Representation) CountDistinct(vb relation.Tuple) int {
 	it := r.QueryDistinct(vb)
 	for {
 		if _, ok := it.Next(); !ok {
-			return n
+			break
 		}
 		n++
 	}
+	if err := IterErr(it); err != nil {
+		panic("core: CountDistinct enumeration failed: " + err.Error())
+	}
+	return n
 }

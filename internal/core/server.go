@@ -92,14 +92,16 @@ type Server struct {
 	// tuple. Buffers are *[]relation.Tuple so Get/Put stay allocation-free.
 	pool sync.Pool
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*serverReq
-	closed bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*serverReq
 
 	quit chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+	// closed is guarded by mu; it sits after once so the two sub-word
+	// fields share one padding slot (184 → 176 bytes).
+	closed bool
 
 	requests atomic.Uint64
 	tuples   atomic.Uint64

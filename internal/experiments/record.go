@@ -163,6 +163,9 @@ func RecordBench(edges, queries int, seed int64, clients int) (*BenchRecord, err
 					break
 				}
 			}
+			if err := core.IterErr(it); err != nil {
+				panic(fmt.Sprintf("record: first-tuple stream for %v died: %v", vb, err))
+			}
 		}
 		return firsts
 	}
@@ -220,6 +223,9 @@ func RecordBench(edges, queries int, seed int64, clients int) (*BenchRecord, err
 					break
 				}
 				tuples++
+			}
+			if err := core.IterErr(it); err != nil {
+				panic(fmt.Sprintf("record: fan-out stream for %v died: %v", vb, err))
 			}
 		}
 		return tuples
@@ -284,7 +290,11 @@ func RecordBench(edges, queries int, seed int64, clients int) (*BenchRecord, err
 	// encodings must decode byte-identical to the in-process enumeration.
 	check := func(name string, r *core.Representation, vbs []relation.Tuple, reqs []map[string]relation.Value) error {
 		for i, vb := range vbs {
-			want := encodeRecordTuples(core.Drain(r.Query(vb)))
+			wantIt := r.Query(vb)
+			want := encodeRecordTuples(core.Drain(wantIt))
+			if err := core.IterErr(wantIt); err != nil {
+				return fmt.Errorf("record: %s in-process enumeration for %v: %w", name, vb, err)
+			}
 			for _, format := range []httpserve.Format{httpserve.FormatNDJSON, httpserve.FormatBinary} {
 				res, err := cl.QueryOpts(context.Background(), name, httpserve.QueryOptions{Bindings: reqs[i], Format: format})
 				if err != nil {
@@ -387,7 +397,11 @@ func recordDistServe(rec *BenchRecord, dir string, fanView *cq.View, fanDB *rela
 	distCl := &httpserve.Client{Base: coordTS.URL}
 	for i, req := range fanReqs {
 		vb := relation.Tuple{relation.Value(i)}
-		want := encodeRecordTuples(core.Drain(distRep.Query(vb)))
+		wantIt := distRep.Query(vb)
+		want := encodeRecordTuples(core.Drain(wantIt))
+		if err := core.IterErr(wantIt); err != nil {
+			return fmt.Errorf("record: in-process enumeration for %v: %w", vb, err)
+		}
 		res, err := distCl.QueryOpts(context.Background(), "W", httpserve.QueryOptions{Bindings: req, Format: httpserve.FormatBinary})
 		if err != nil {
 			return fmt.Errorf("record: distributed query %v: %w", vb, err)

@@ -109,8 +109,12 @@ func E19Serve(edges, queries int, seed int64, clientCounts []int) []*bench.Table
 		for _, t := range res.Tuples {
 			got.Write(t.AppendEncode(nil))
 		}
-		for _, t := range core.Drain(rep.Query(vb)) {
+		wantIt := rep.Query(vb)
+		for _, t := range core.Drain(wantIt) {
 			want.Write(t.AppendEncode(nil))
+		}
+		if err := core.IterErr(wantIt); err != nil {
+			panic(fmt.Sprintf("E19: in-process enumeration for %v died: %v", vb, err))
 		}
 		if !bytes.Equal(got.Bytes(), want.Bytes()) {
 			panic(fmt.Sprintf("E19: HTTP stream for binding %v diverges from in-process enumeration", vb))

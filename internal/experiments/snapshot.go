@@ -99,11 +99,18 @@ func verifyIdentical(a, b *core.Representation, queries int, seed int64) {
 	vbs := sampleVbs(rand.New(rand.NewSource(seed+17)), a.Instance(), queries)
 	for _, vb := range vbs {
 		var wantBuf, gotBuf bytes.Buffer
-		for _, t := range core.Drain(a.Query(vb)) {
+		wantIt, gotIt := a.Query(vb), b.Query(vb)
+		for _, t := range core.Drain(wantIt) {
 			wantBuf.Write(t.AppendEncode(nil))
 		}
-		for _, t := range core.Drain(b.Query(vb)) {
+		for _, t := range core.Drain(gotIt) {
 			gotBuf.Write(t.AppendEncode(nil))
+		}
+		if err := core.IterErr(wantIt); err != nil {
+			panic(fmt.Sprintf("E17: in-memory enumeration for %v died: %v", vb, err))
+		}
+		if err := core.IterErr(gotIt); err != nil {
+			panic(fmt.Sprintf("E17: loaded-snapshot enumeration for %v died: %v", vb, err))
 		}
 		if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
 			panic(fmt.Sprintf("E17: loaded snapshot enumerates differently for request %v", vb))

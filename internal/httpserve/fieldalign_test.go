@@ -1,0 +1,31 @@
+package httpserve
+
+import (
+	"testing"
+
+	"cqrep/internal/structlayout"
+)
+
+// TestHotStructFieldAlignment pins the streaming-path structs at zero
+// padding waste: one StreamWriter and one binaryWriter exist per response,
+// one ndjsonStream/binaryStream/binaryReader per client stream, and the
+// LatencyHist bucket array is read on every recorded sample — so a field
+// added in the wrong position is a real per-request cost. All of these
+// were already optimally packed when this test was introduced; it exists
+// so they stay that way.
+func TestHotStructFieldAlignment(t *testing.T) {
+	for name, v := range map[string]any{
+		"StreamWriter": StreamWriter{},
+		"binaryWriter": binaryWriter{},
+		"binaryReader": binaryReader{},
+		"ndjsonStream": ndjsonStream{},
+		"binaryStream": binaryStream{},
+		"LatencyHist":  LatencyHist{},
+		"viewEntry":    viewEntry{},
+	} {
+		size, optimal := structlayout.Waste(v)
+		if size > optimal {
+			t.Errorf("%s: size %d > optimal %d — reorder fields to remove padding", name, size, optimal)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -124,7 +125,7 @@ func TestInfeasible(t *testing.T) {
 			{Coeffs: []float64{1}, Op: LE, RHS: 2},
 		},
 	}
-	if _, err := Solve(p); err != ErrInfeasible {
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -135,7 +136,7 @@ func TestUnbounded(t *testing.T) {
 		Objective:   []float64{-1, 0},
 		Constraints: []Constraint{{Coeffs: []float64{0, 1}, Op: LE, RHS: 1}},
 	}
-	if _, err := Solve(p); err != ErrUnbounded {
+	if _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
 		t.Errorf("err = %v, want ErrUnbounded", err)
 	}
 }

@@ -1,0 +1,54 @@
+// Package structlayout computes the minimum size a struct's fields could
+// occupy under the gc layout rules (fields sorted by decreasing alignment,
+// then decreasing size). Test suites use it to pin hot-path structs at
+// zero padding waste, so a field added in the wrong position fails the
+// build on every architecture rather than silently growing a
+// per-request allocation.
+package structlayout
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// Optimal returns the size of t's best field ordering under gc layout
+// rules: each field aligned to its natural alignment, the whole struct
+// rounded up to its maximum field alignment. t must be a struct type.
+func Optimal(t reflect.Type) uintptr {
+	if t.Kind() != reflect.Struct {
+		panic(fmt.Sprintf("structlayout: %s is not a struct", t))
+	}
+	fields := make([]reflect.Type, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		fields = append(fields, t.Field(i).Type)
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		if fields[i].Align() != fields[j].Align() {
+			return fields[i].Align() > fields[j].Align()
+		}
+		return fields[i].Size() > fields[j].Size()
+	})
+	var off uintptr
+	maxAlign := uintptr(1)
+	for _, f := range fields {
+		a := uintptr(f.Align())
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = (off + a - 1) / a * a
+		off += f.Size()
+	}
+	if off == 0 {
+		return 0
+	}
+	return (off + maxAlign - 1) / maxAlign * maxAlign
+}
+
+// Waste returns how many padding bytes t's declared field order costs
+// beyond the optimal ordering. Zero means the declaration is as tight as
+// the layout rules allow.
+func Waste(v any) (size, optimal uintptr) {
+	t := reflect.TypeOf(v)
+	return t.Size(), Optimal(t)
+}

@@ -56,19 +56,37 @@ func (m *Maintained) Delete(rel string, t Tuple) error { return m.m.Delete(rel, 
 // fresher one midway.
 func (m *Maintained) All(ctx context.Context, binding Tuple) iter.Seq[Tuple] {
 	checkBindingArity(binding, len(m.m.Rep().BoundNames()))
-	return allSeq(ctx, func() Iterator {
-		it, err := m.m.Query(binding) // never fails today; guard anyway
-		if err != nil {
-			return emptyIterator{}
-		}
-		return it
-	})
+	return allSeq(ctx, m.open(binding))
 }
 
-// emptyIterator is the already-exhausted stream.
-type emptyIterator struct{}
+// All2 is All with the terminal error surfaced, with the same contract as
+// Representation.All2: the sequence yields one final (nil, error) element
+// when the enumeration was cut short — by cancellation, or by a snapshot
+// query failure that All would silently render as an empty result.
+func (m *Maintained) All2(ctx context.Context, binding Tuple) iter.Seq2[Tuple, error] {
+	checkBindingArity(binding, len(m.m.Rep().BoundNames()))
+	return allSeq2(ctx, m.open(binding))
+}
 
-func (emptyIterator) Next() (Tuple, bool) { return nil, false }
+// open adapts the snapshot Query to allSeq's opener: a query failure
+// (none exist today; guard anyway) becomes an exhausted iterator whose
+// terminal error carries the failure, so All2 surfaces it instead of
+// yielding a plausible-looking empty enumeration.
+func (m *Maintained) open(binding Tuple) func() Iterator {
+	return func() Iterator {
+		it, err := m.m.Query(binding)
+		if err != nil {
+			return errIterator{err: err}
+		}
+		return it
+	}
+}
+
+// errIterator is the already-exhausted stream with a terminal error.
+type errIterator struct{ err error }
+
+func (errIterator) Next() (Tuple, bool) { return nil, false }
+func (e errIterator) Err() error        { return e.err }
 
 // Query answers an access request against the current snapshot through
 // the legacy pull iterator. It never blocks on a rebuild: when the

@@ -78,9 +78,35 @@ func (s *Server) SubmitArgs(ctx context.Context, args map[string]Value) (Iterato
 // neither an abandoned loop nor a never-ranged sequence can wedge a
 // serving worker. The sequence is single-use: ranging it a second time
 // yields nothing. A server that closes between All and the ranging also
-// yields nothing (the eager ErrClosed check below covers the common
-// already-closed case).
+// yields nothing (the eager ErrClosed check in All2 covers the common
+// already-closed case). All is the lossy convenience form of All2: a
+// truncated enumeration is indistinguishable from a complete one here.
 func (s *Server) All(ctx context.Context, binding Tuple) (iter.Seq[Tuple], error) {
+	seq2, err := s.All2(ctx, binding)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(Tuple) bool) {
+		for t, err := range seq2 {
+			if err != nil {
+				// The convenience form ends silently on cancellation,
+				// submission failure or stream death; range All2 to tell a
+				// truncated enumeration from a complete one.
+				return
+			}
+			if !yield(t) {
+				return
+			}
+		}
+	}, nil
+}
+
+// All2 is All with the terminal error surfaced: the sequence yields one
+// final (nil, error) element when the enumeration was cut short — the
+// deferred submission failed, ctx was cancelled, or the serving stream
+// died mid-enumeration (worker lost, server closed). A sequence that ends
+// without an error element delivered every answer.
+func (s *Server) All2(ctx context.Context, binding Tuple) (iter.Seq2[Tuple, error], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -92,7 +118,7 @@ func (s *Server) All(ctx context.Context, binding Tuple) (iter.Seq[Tuple], error
 	}
 	vb := binding.Clone() // submission is deferred; insulate from caller mutation
 	var once bool
-	return func(yield func(Tuple) bool) {
+	return func(yield func(Tuple, error) bool) {
 		if once {
 			return
 		}
@@ -101,11 +127,20 @@ func (s *Server) All(ctx context.Context, binding Tuple) (iter.Seq[Tuple], error
 		defer cancel()
 		it, err := s.srv.SubmitContext(reqCtx, vb)
 		if err != nil {
+			yield(nil, err)
 			return
 		}
 		for {
 			t, ok := it.Next()
-			if !ok || !yield(t) {
+			if !ok {
+				if err := IterErr(it); err != nil {
+					yield(nil, err)
+				} else if err := ctx.Err(); err != nil {
+					yield(nil, err)
+				}
+				return
+			}
+			if !yield(t, nil) {
 				return
 			}
 		}
