@@ -72,10 +72,12 @@ snapshot-check:
 
 # Differential gate: every strategy (and the sharded composites) must
 # enumerate byte-for-byte what the independent naive join produces, over
-# 120 seeded random acyclic CQ/database instances. -shuffle=on so the
-# harness cannot come to depend on test order.
+# 120 seeded random acyclic CQ/database instances — including the cached
+# composites, where the cache-on servers must answer byte-identically to
+# cache-off across reload/move churn. -shuffle=on so the harness cannot
+# come to depend on test order.
 difftest:
-	$(GO) test -shuffle=on -v -run 'TestDifferential|TestNaiveJoin|TestGenerator' ./internal/difftest
+	$(GO) test -shuffle=on -v -run 'TestDifferential|TestCached|TestNaiveJoin|TestGenerator' ./internal/difftest
 
 # Fuzz smoke: a short budget per native fuzz target — the snapshot
 # decoder (corrupt input must fail typed, never panic or over-allocate),

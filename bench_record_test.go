@@ -125,6 +125,35 @@ func TestBenchRecordCompareGating(t *testing.T) {
 		}
 	})
 
+	t.Run("gating-class metric absent from the baseline is report-only", func(t *testing.T) {
+		// A fresh record introducing serve_cached_tuples_per_sec — a name
+		// that matches the gating rule — against an older baseline that
+		// predates the cache must not gate: one-sided metrics have no
+		// ratio to judge. It starts gating only once both sides carry it.
+		fresh := record(map[string]float64{
+			"serve_binary_tuples_per_sec": 1000,
+			"serve_ndjson_tuples_per_sec": 500,
+			"serve_cached_tuples_per_sec": 5e6,
+			"serve_cached_hit_rate":       0.95,
+		})
+		regressions, notes := cqrep.CompareBenchRecords(base, fresh, 0.2)
+		if len(regressions) != 0 {
+			t.Fatalf("regressions = %v, want none for a metric the baseline lacks", regressions)
+		}
+		joined := strings.Join(notes, "\n")
+		if !strings.Contains(joined, "serve_cached_tuples_per_sec: new metric") {
+			t.Fatalf("notes = %v, want the cached throughput reported as new", notes)
+		}
+
+		// And once both records carry it, a drop beyond tolerance gates.
+		withCache := record(map[string]float64{"serve_cached_tuples_per_sec": 5e6})
+		slower := record(map[string]float64{"serve_cached_tuples_per_sec": 2e6})
+		regressions, _ = cqrep.CompareBenchRecords(withCache, slower, 0.2)
+		if len(regressions) != 1 || !strings.Contains(regressions[0], "serve_cached_tuples_per_sec") {
+			t.Fatalf("regressions = %v, want the cached throughput drop to gate once two-sided", regressions)
+		}
+	})
+
 	t.Run("missing metric is a note", func(t *testing.T) {
 		fresh := record(map[string]float64{
 			"serve_binary_tuples_per_sec": 1000,

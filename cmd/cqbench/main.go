@@ -17,7 +17,9 @@
 //
 // -record is the bench trajectory mode: one pinned-seed measurement pass
 // (compile, snapshot load, first-tuple delay, serving throughput in both
-// stream encodings, allocs per served tuple) is written as the next
+// stream encodings, allocs per served tuple, distributed scatter-gather
+// throughput, and cached serving throughput/speedup/hit rate with the
+// result cache verified byte-identical to cache-off) is written as the next
 // BENCH_<n>.json in -benchdir and compared against the previous one;
 // serving-throughput drops beyond -record-tolerance fail the run unless
 // -record-report-only is set. `make bench-record` pins the configuration
@@ -98,7 +100,7 @@ func parseCounts(flagName, s string, fallback []int) ([]int, error) {
 }
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E19) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E21; E20 is unassigned) or 'all'")
 	n := flag.Int("n", 8000, "base data scale (edges / tuples per relation)")
 	queries := flag.Int("queries", 50, "access requests per measurement")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -155,7 +157,7 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E19, all, -parallel, -startup, -shards, -serve, or -record")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -run E1..E21, all, -parallel, -startup, -shards, -serve, or -record")
 		os.Exit(2)
 	}
 }

@@ -20,6 +20,12 @@
 // breaking in-flight streams. GET /readyz reports ready only once every
 // shard of every view has an owner; GET /v1/stats includes a per-worker
 // latency/error breakdown; GET /v1/map shows the live assignment.
+//
+// -cache-bytes N turns on the merged-result cache: a repeated hot binding
+// replays its encoded client stream straight from coordinator memory —
+// zero worker hops — under an N-byte LRU budget, with concurrent misses
+// coalesced; join/move bump the shard-map generation, invalidating stale
+// entries by key. Counters appear under "cache" in /v1/stats.
 package main
 
 import (
@@ -45,6 +51,7 @@ type config struct {
 	advertise  string
 	spool      string
 	flushBatch int
+	cacheBytes int64
 	mmap       bool
 	drain      time.Duration
 }
@@ -65,6 +72,7 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.advertise, "advertise", "", "base URL workers reach this coordinator on (default derived from the listen address)")
 	fs.StringVar(&cfg.spool, "spool", "", "directory for exported per-shard snapshot files (default: fresh temp dir)")
 	fs.IntVar(&cfg.flushBatch, "flush-batch", 0, "tuples batched per client-stream flush (0 = default 128); match the workers' for byte-identical streams")
+	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "merged-result cache budget in bytes (0 = caching off); a hot binding replays from memory with zero worker hops, invalidated by shard-map generation on join/move")
 	fs.BoolVar(&cfg.mmap, "mmap", false, "mmap the coordinator's snapshot copies instead of eager decode")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
@@ -124,6 +132,7 @@ func run(ctx context.Context, cfg config, logw *os.File) error {
 		SpoolDir:   cfg.spool,
 		FlushBatch: cfg.flushBatch,
 		Mmap:       cfg.mmap,
+		CacheBytes: cfg.cacheBytes,
 	})
 	if err != nil {
 		ln.Close()

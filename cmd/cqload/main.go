@@ -17,6 +17,15 @@
 // -format picks the stream encoding to request: ndjson (default) or
 // binary, the length-prefixed framing of DESIGN.md §5.
 //
+// -dist picks how requests draw from the bindings file: roundrobin
+// (default) cycles through the lines, zipf draws them Zipf-distributed
+// with exponent -zipf-s (first line hottest) — the hot-key workload the
+// server-side result cache (DESIGN.md §8) is built for. The draw order is
+// generated up front from -seed, so a run is reproducible regardless of
+// client scheduling. When the target has its cache enabled, the run ends
+// with the cache's hit/miss/coalesce deltas and the observed hit ratio
+// from /v1/stats.
+//
 // -coord marks the target as a cqcoord coordinator (the query API is
 // identical, so the load loop is unchanged) and appends the coordinator's
 // per-worker breakdown — requests, errors, and first-tuple latency per
@@ -30,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +54,7 @@ import (
 	"cqrep/internal/bench"
 	"cqrep/internal/httpserve"
 	"cqrep/internal/relation"
+	"cqrep/internal/workload"
 )
 
 type sample struct {
@@ -59,6 +70,9 @@ func main() {
 	total := flag.Int("n", 200, "total requests")
 	limit := flag.Int("limit", 0, "per-request tuple limit (0 = drain fully)")
 	formatFlag := flag.String("format", "ndjson", "stream encoding to request: ndjson or binary")
+	dist := flag.String("dist", "roundrobin", "request distribution over the binding lines: roundrobin or zipf (first line hottest)")
+	zipfS := flag.Float64("zipf-s", 1.1, "zipf exponent for -dist zipf (higher = more skew)")
+	seed := flag.Int64("seed", 1, "rng seed for -dist zipf draw order")
 	coordMode := flag.Bool("coord", false, "target is a cqcoord coordinator: report its per-worker latency breakdown after the run")
 	flag.Parse()
 
@@ -86,8 +100,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cqload: %s view %s (bound %v, free %v, %s, %d shards): %d requests, %d clients, %s stream\n",
-		*url, info.Name, info.Bound, info.Free, info.Strategy, info.Shards, *total, *clients, format)
+	order, err := requestOrder(*dist, *zipfS, *seed, len(reqs), *total)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cqload: %s view %s (bound %v, free %v, %s, %d shards): %d requests, %d clients, %s stream, %s dist\n",
+		*url, info.Name, info.Bound, info.Free, info.Strategy, info.Shards, *total, *clients, format, *dist)
 
 	// Per-worker deltas need a before snapshot: the coordinator's counters
 	// are cumulative since boot, and only this run's traffic should show.
@@ -97,18 +115,26 @@ func main() {
 			fatal(fmt.Errorf("-coord: fetching coordinator /v1/stats: %w", err))
 		}
 	}
+	// Same for the cache counters: a nil snapshot means the target serves
+	// without a cache, and no cache line is printed.
+	cacheBefore, _ := cacheStats(ctx, *url)
 
 	// MemStats deltas across the whole run give the client-side decode
 	// cost per request — the number the binary framing is meant to shrink.
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
-	samples, errs := fire(ctx, c, info.Name, reqs, *clients, *total, *limit, format)
+	samples, errs := fire(ctx, c, info.Name, reqs, order, *clients, *total, *limit, format)
 	runtime.ReadMemStats(&m1)
 	if len(samples) == 0 {
 		fatal(fmt.Errorf("no requests completed (%d errors)", errs))
 	}
 	report(os.Stdout, samples, errs, m1.Mallocs-m0.Mallocs, m1.TotalAlloc-m0.TotalAlloc)
+	if cacheBefore != nil {
+		if cacheAfter, err := cacheStats(ctx, *url); err == nil && cacheAfter != nil {
+			reportCache(os.Stdout, cacheBefore, cacheAfter)
+		}
+	}
 	if *coordMode {
 		after, err := coordWorkers(ctx, *url)
 		if err != nil {
@@ -116,6 +142,30 @@ func main() {
 		}
 		reportWorkers(os.Stdout, before, after)
 	}
+}
+
+// requestOrder pre-generates which binding line each of the total requests
+// uses. roundrobin cycles; zipf draws Zipf(s)-distributed ranks with the
+// first binding line hottest. Generating up front keeps the workload a
+// pure function of -seed: concurrent clients consume the order by index,
+// so scheduling cannot change which keys get hot.
+func requestOrder(dist string, s float64, seed int64, lines, total int) ([]int, error) {
+	order := make([]int, total)
+	switch dist {
+	case "roundrobin":
+		for i := range order {
+			order[i] = i % lines
+		}
+	case "zipf":
+		z := workload.NewZipf(lines, s)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range order {
+			order[i] = z.Draw(rng)
+		}
+	default:
+		return nil, fmt.Errorf("-dist %q: want roundrobin or zipf", dist)
+	}
+	return order, nil
 }
 
 // pickView resolves the requested view name against the registry; with no
@@ -189,9 +239,9 @@ func loadBindings(path string, bound []string) ([]map[string]relation.Value, err
 }
 
 // fire runs the load: clients goroutines pull request indexes off a
-// shared counter (round-robin over the binding set) until total requests
-// have been issued or ctx is cancelled.
-func fire(ctx context.Context, c *httpserve.Client, view string, reqs []map[string]relation.Value, clients, total, limit int, format httpserve.Format) ([]sample, int) {
+// shared counter and issue the binding line order names for each index
+// until total requests have been issued or ctx is cancelled.
+func fire(ctx context.Context, c *httpserve.Client, view string, reqs []map[string]relation.Value, order []int, clients, total, limit int, format httpserve.Format) ([]sample, int) {
 	var next, errs atomic.Int64
 	samples := make([]sample, total)
 	var taken atomic.Int64
@@ -206,7 +256,7 @@ func fire(ctx context.Context, c *httpserve.Client, view string, reqs []map[stri
 					return
 				}
 				res, err := c.QueryOpts(ctx, view, httpserve.QueryOptions{
-					Bindings: reqs[i%len(reqs)], Limit: limit, Format: format,
+					Bindings: reqs[order[i]], Limit: limit, Format: format,
 				})
 				if err != nil {
 					errs.Add(1)
@@ -257,6 +307,57 @@ func report(w *os.File, samples []sample, errs int, allocs, bytes uint64) {
 	}
 	n := float64(len(samples))
 	fmt.Fprintf(w, "client alloc       %.0f allocs/op  %.0f B/op\n", float64(allocs)/n, float64(bytes)/n)
+}
+
+// cacheCounters mirrors the "cache" block both cqserve and cqcoord emit
+// in /v1/stats when their result cache is on (httpserve.CacheStats on the
+// wire).
+type cacheCounters struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// cacheStats fetches the target's cache counters; (nil, nil) means the
+// target serves without a cache (no "cache" block in /v1/stats).
+func cacheStats(ctx context.Context, base string) (*cacheCounters, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s", resp.Status)
+	}
+	var body struct {
+		Cache *cacheCounters `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Cache, nil
+}
+
+// reportCache prints the run's cache counter deltas and the observed hit
+// ratio. Coalesced waiters count as hits for the ratio — they got their
+// bytes from one shared enumeration, which is the work the cache saves.
+func reportCache(w *os.File, before, after *cacheCounters) {
+	hits := after.Hits - before.Hits
+	misses := after.Misses - before.Misses
+	coalesced := after.Coalesced - before.Coalesced
+	evictions := after.Evictions - before.Evictions
+	total := hits + misses + coalesced
+	if total == 0 {
+		fmt.Fprintln(w, "cache              no cached-path requests (limit set, or bindings unbindable)")
+		return
+	}
+	fmt.Fprintf(w, "cache              %d hits, %d misses, %d coalesced, %d evictions — hit ratio %.1f%%\n",
+		hits, misses, coalesced, evictions, 100*float64(hits+coalesced)/float64(total))
 }
 
 // workerReport mirrors one row of the coordinator's /v1/stats workers

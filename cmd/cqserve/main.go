@@ -18,7 +18,13 @@
 // -mmap maps snapshots instead of eagerly decoding them (per-shard lazy
 // decode on first touch), -flush-batch tunes the tuples-per-flush batch
 // of the stream writers, and -pprof exposes the net/http/pprof profiling
-// endpoints under /debug/pprof/ on the same listener.
+// endpoints under /debug/pprof/ on the same listener. -cache-bytes N
+// turns on the hot-binding result cache (DESIGN.md §8): repeated
+// bindings replay their encoded result stream from memory under an N-byte
+// LRU budget, concurrent misses for one key coalesce into a single
+// enumeration, and /v1/reload (or attach/detach) invalidates stale
+// entries by registry generation — hit/miss/evict/coalesce counters show
+// up in /v1/stats.
 //
 // Worker mode (-worker, or -join http://coord) starts with an empty
 // registry, exposes POST /v1/attach and /v1/detach so a cqcoord
@@ -60,6 +66,7 @@ type config struct {
 	workers    int
 	buffer     int
 	flushBatch int
+	cacheBytes int64
 	mmap       bool
 	pprof      bool
 	drain      time.Duration
@@ -85,6 +92,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "serving workers per view (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.buffer, "buffer", 0, "per-request result buffer in tuples (0 = default 256)")
 	fs.IntVar(&cfg.flushBatch, "flush-batch", 0, "tuples batched per stream flush (0 = default 128)")
+	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "hot-binding result cache budget in bytes (0 = caching off); entries are invalidated by registry generation on reload/attach/detach")
 	fs.BoolVar(&cfg.mmap, "mmap", false, "mmap snapshots instead of eager decode (lazy per-shard decode on first touch)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the listen address")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout")
@@ -127,6 +135,7 @@ func run(ctx context.Context, cfg config, logw *os.File) error {
 		Workers: cfg.workers, Buffer: cfg.buffer,
 		FlushBatch: cfg.flushBatch, Mmap: cfg.mmap,
 		Admin: cfg.worker, SpoolDir: cfg.spool,
+		CacheBytes: cfg.cacheBytes,
 	}
 	if cfg.join != "" {
 		// A worker that is told to join is not ready until its coordinator

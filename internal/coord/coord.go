@@ -71,6 +71,12 @@ type Options struct {
 	// HTTP is the client used for worker calls; nil means a dedicated
 	// client with sane timeouts for control calls and none for streams.
 	HTTP *http.Client
+	// CacheBytes bounds the coordinator's merged-result cache
+	// (httpserve.ResultCache): encoded client streams for repeated
+	// (view, map-generation, binding, format) keys replay from memory —
+	// zero network hops for a hot key. <= 0 disables caching. Join/move
+	// bump the map generation, which invalidates stale entries by key.
+	CacheBytes int64
 }
 
 // viewMeta is the coordinator's per-view routing card, immutable after New.
@@ -150,6 +156,10 @@ type Coordinator struct {
 	views map[string]*viewMeta
 	names []string // sorted
 
+	// cache replays merged result streams for repeated bindings, keyed by
+	// shard-map generation; nil when Options.CacheBytes is unset.
+	cache *httpserve.ResultCache
+
 	// mu serializes membership changes and shard-map swaps (join, move).
 	mu      sync.Mutex
 	members []string
@@ -204,7 +214,11 @@ func New(paths []string, opts Options) (*Coordinator, error) {
 		c.names = append(c.names, vm.name)
 	}
 	sort.Strings(c.names)
+	c.cache = httpserve.NewResultCache(opts.CacheBytes) // nil when caching is off
 	c.smap.Store(c.emptyMap())
+	if c.cache != nil {
+		c.cache.SetGeneration(c.smap.Load().gen)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query/{view}", c.handleQuery)
@@ -463,6 +477,12 @@ func (c *Coordinator) applyAssignment(ctx context.Context, desired map[string][]
 	}
 	next := &shardMap{gen: old.gen + 1, owners: desired, idle: make(chan struct{})}
 	c.smap.Store(next)
+	if c.cache != nil {
+		// Entries keyed to older generations are now unreachable by any new
+		// request (they key on the generation they load); drop them so the
+		// budget is spent on the live generation only.
+		c.cache.SetGeneration(next.gen)
+	}
 	c.retired.Add(1)
 	go func() {
 		defer c.retired.Done()
@@ -503,6 +523,15 @@ func (c *Coordinator) Close() {
 // ServeHTTP dispatches the coordinator API.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.mux.ServeHTTP(w, r)
+}
+
+// CacheStats snapshots the merged-result cache counters; ok is false
+// when caching is off.
+func (c *Coordinator) CacheStats() (httpserve.CacheStats, bool) {
+	if c.cache == nil {
+		return httpserve.CacheStats{}, false
+	}
+	return c.cache.Stats(), true
 }
 
 func (c *Coordinator) errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
@@ -694,8 +723,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	c.workersMu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	resp := map[string]any{
 		"uptime_ms":        time.Since(c.start).Milliseconds(),
 		"generation":       sm.gen,
 		"requests":         c.requests.Load(),
@@ -707,5 +735,12 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		"first_tuple":      c.delay.Summary(),
 		"total":            c.total.Summary(),
 		"workers":          reports,
-	})
+	}
+	if c.cache != nil {
+		// The same "cache" block shape as a cqserve node, so one stats
+		// consumer (cqload's hit-ratio report) reads either tier.
+		resp["cache"] = c.cache.Stats()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }

@@ -63,6 +63,13 @@ type cluster struct {
 // nWorkers empty admin-mode workers through the real /v1/join endpoint.
 func startCluster(t *testing.T, paths []string, nWorkers, flushBatch int) *cluster {
 	t.Helper()
+	return startClusterCached(t, paths, nWorkers, flushBatch, 0)
+}
+
+// startClusterCached is startCluster with a merged-result cache budget on
+// the coordinator (0 = caching off).
+func startClusterCached(t *testing.T, paths []string, nWorkers, flushBatch int, cacheBytes int64) *cluster {
+	t.Helper()
 	cl := &cluster{}
 	// The coordinator needs its own public URL (workers fetch shard files
 	// from it) before New, and the URL needs a handler: indirect through a
@@ -76,7 +83,7 @@ func startCluster(t *testing.T, paths []string, nWorkers, flushBatch int) *clust
 		}
 		c.ServeHTTP(w, r)
 	}))
-	c, err := New(paths, Options{SelfURL: cl.coordTS.URL, SpoolDir: t.TempDir(), FlushBatch: flushBatch})
+	c, err := New(paths, Options{SelfURL: cl.coordTS.URL, SpoolDir: t.TempDir(), FlushBatch: flushBatch, CacheBytes: cacheBytes})
 	if err != nil {
 		cl.coordTS.Close()
 		t.Fatalf("coord.New: %v", err)
@@ -409,4 +416,91 @@ func TestChurnUnderLoad(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	churn.Wait()
+}
+
+// TestChurnUnderLoadCached is the churn gate with the coordinator's
+// merged-result cache on: every response — live merge, cached replay, or
+// coalesced wait — must still be one complete enumeration or a clean
+// terminal error while moves bump the shard-map generation underneath.
+func TestChurnUnderLoadCached(t *testing.T) {
+	dir := t.TempDir()
+	pathDB := workload.PathDB(17, 2, 800, 30)
+	view := cq.MustParse("P(x1, x2, x3) :- R1(x1, x2), R2(x2, x3)")
+	rep, err := core.Build(view, pathDB, core.WithStrategy(core.DecompositionStrategy), core.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(core.Drain(rep.Query(nil)))
+	path := filepath.Join(dir, "p.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cl := startClusterCached(t, []string{path}, 2, 8, 1<<22)
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		target := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := cl.coord.Move(context.Background(), "P", 1, cl.workerTS[target%2].URL); err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+					t.Errorf("move: %v", err)
+					return
+				}
+			}
+			target++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &httpserve.Client{Base: cl.coordTS.URL}
+			format := httpserve.FormatBinary
+			if g%2 == 0 {
+				format = httpserve.FormatNDJSON
+			}
+			for i := 0; i < 25; i++ {
+				res, err := client.QueryOpts(context.Background(), "P", httpserve.QueryOptions{Format: format})
+				if err != nil {
+					continue
+				}
+				if len(res.Tuples) != want {
+					t.Errorf("goroutine %d: stream reported complete with %d/%d tuples — silent truncation", g, len(res.Tuples), want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	st, on := cl.coord.CacheStats()
+	if !on {
+		t.Fatal("coordinator cache reported off despite CacheBytes")
+	}
+	if st.Hits+st.Misses+st.Coalesced == 0 {
+		t.Fatal("no request took the cached path")
+	}
+	t.Logf("cached churn: cache %d hits / %d misses / %d coalesced / %d invalidated",
+		st.Hits, st.Misses, st.Coalesced, st.Invalidated)
 }

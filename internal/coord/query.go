@@ -96,7 +96,30 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	disp := c.streamScatter(w, r, vm, owners, shards, req, format, start)
+
+	// The merged-result cache sits above the fan-out: a hit replays the
+	// encoded client stream with zero worker hops. The key carries the
+	// acquired map generation, so a rebalance invalidates by construction
+	// — a hit is always bytes merged under the generation this request
+	// itself holds a reference on.
+	var flight *httpserve.CacheFlight
+	if c.cache != nil && req.Limit == 0 {
+		res := c.cache.Acquire(vm.name, sm.gen, format, string(vb.AppendEncode(nil)))
+		if res.Hit {
+			c.serveCached(w, format, res.Body, res.Tuples, start)
+			return
+		}
+		if res.Leader {
+			flight = res.Flight
+		} else if body, tuples, ok := res.Flight.Wait(r.Context()); ok {
+			c.serveCached(w, format, body, tuples, start)
+			return
+		}
+		// A failed flight falls through to a direct scatter (no flight):
+		// coalescing never turns the leader's failure into ours.
+	}
+
+	disp := c.runScatter(w, r, vm, owners, shards, req, format, start, flight)
 	switch disp {
 	case streamErrored:
 		c.streamsErrored.Add(1)
@@ -106,6 +129,42 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		c.streamsComplete.Add(1)
 	}
 	c.total.Add(time.Since(start))
+}
+
+// serveCached replays one cached merged stream with the counters a live
+// complete scatter would have bumped.
+func (c *Coordinator) serveCached(w http.ResponseWriter, format httpserve.Format, body []byte, tuples int, start time.Time) {
+	w.Header().Set("Content-Type", format.MediaType())
+	if tuples > 0 {
+		c.delay.Add(time.Since(start))
+	}
+	w.Write(body)
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+	c.tuples.Add(uint64(tuples))
+	c.streamsComplete.Add(1)
+	c.total.Add(time.Since(start))
+}
+
+// runScatter wraps streamScatter with the cache-fill discipline: a led
+// flight tees the response bytes and publishes them on a complete stream,
+// or is abandoned on any other outcome so waiters fall back.
+func (c *Coordinator) runScatter(w http.ResponseWriter, r *http.Request, vm *viewMeta, owners []string, shards []int, req httpserve.QueryRequest, format httpserve.Format, start time.Time, flight *httpserve.CacheFlight) streamDisposition {
+	if flight == nil {
+		disp, _ := c.streamScatter(w, r, vm, owners, shards, req, format, start)
+		return disp
+	}
+	tee := httpserve.NewCacheTee(w, c.cache.MaxEntryBytes())
+	disp, n := c.streamScatter(tee, r, vm, owners, shards, req, format, start)
+	if disp == streamComplete {
+		if body, ok := tee.Captured(); ok {
+			c.cache.Publish(flight, body, n)
+			return disp
+		}
+	}
+	c.cache.Abandon(flight)
+	return disp
 }
 
 // streamDisposition mirrors httpserve's buckets: complete (clean terminal,
@@ -152,8 +211,8 @@ func (ss *shardStream) advance(start time.Time) {
 }
 
 // streamScatter opens the worker streams, merges, and re-encodes into the
-// client's format.
-func (c *Coordinator) streamScatter(w http.ResponseWriter, r *http.Request, vm *viewMeta, owners []string, shards []int, req httpserve.QueryRequest, format httpserve.Format, start time.Time) streamDisposition {
+// client's format, returning the disposition and the merged tuple count.
+func (c *Coordinator) streamScatter(w http.ResponseWriter, r *http.Request, vm *viewMeta, owners []string, shards []int, req httpserve.QueryRequest, format httpserve.Format, start time.Time) (streamDisposition, int) {
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 
@@ -190,7 +249,7 @@ func (c *Coordinator) streamScatter(w http.ResponseWriter, r *http.Request, vm *
 	for _, ss := range streams {
 		if ss.st == nil {
 			c.errorJSON(w, http.StatusBadGateway, "worker %s shard %d: %v", ss.worker, ss.shard, ss.err)
-			return streamErrored
+			return streamErrored, 0
 		}
 	}
 
@@ -205,7 +264,7 @@ func (c *Coordinator) streamScatter(w http.ResponseWriter, r *http.Request, vm *
 		// stream is exactly the silent truncation the terminal forbids.
 		for _, ss := range streams {
 			if !ss.live && ss.err != nil {
-				return c.failStream(w, sw, ss)
+				return c.failStream(w, sw, ss), n
 			}
 		}
 		var best *shardStream
@@ -222,7 +281,7 @@ func (c *Coordinator) streamScatter(w http.ResponseWriter, r *http.Request, vm *
 		}
 		if err := sw.Tuple(best.head); err != nil {
 			cancel() // client went away: abandon the fan-out
-			return streamAborted
+			return streamAborted, n
 		}
 		c.tuples.Add(1)
 		n++
@@ -233,9 +292,9 @@ func (c *Coordinator) streamScatter(w http.ResponseWriter, r *http.Request, vm *
 		best.advance(start)
 	}
 	if err := sw.End(); err != nil {
-		return streamAborted
+		return streamAborted, n
 	}
-	return streamComplete
+	return streamComplete, n
 }
 
 // failStream delivers one shard's terminal error to the client: a real 502

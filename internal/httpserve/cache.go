@@ -1,0 +1,365 @@
+package httpserve
+
+import (
+	"container/list"
+	"context"
+	"net/http"
+	"sync"
+)
+
+// cache.go is the hot-binding result cache of DESIGN.md §8. Real read
+// traffic repeats a small set of hot bindings, so the serving fronts keep
+// the *encoded* result stream — the exact bytes the Handler (or the
+// coordinator's merge) put on the wire — keyed by
+//
+//	(view name, registry generation, wire format, canonical binding)
+//
+// and replay it for repeats. Three properties carry the design:
+//
+//   - Invalidation by generation. The generation component of the key is
+//     the registry (or shard-map) generation the request actually served
+//     from; reload/attach/detach/move all bump it, and SetGeneration
+//     drops every entry from other generations. A cached frame can never
+//     mix generations because the bytes were produced by one stream that
+//     held one refcounted entry for its whole life, and a replay is only
+//     ever keyed to the generation the *current* request loaded.
+//   - Bounded memory. Entries are charged their body plus key bytes
+//     against a byte budget with LRU eviction; an oversized single result
+//     (over maxEntry) is simply not cached, so one huge enumeration
+//     cannot wipe the working set.
+//   - Coalesced misses. The first miss for a key becomes the flight
+//     leader and computes the stream; concurrent requests for the same
+//     key wait for the leader's bytes instead of re-enumerating. A
+//     leader that fails (client gone, stream error) abandons the flight
+//     and the waiters fall back to computing directly — coalescing is an
+//     optimization, never a correctness dependency.
+type ResultCache struct {
+	budget   int64
+	maxEntry int64
+
+	mu          sync.Mutex
+	gen         uint64
+	used        int64
+	ll          *list.List // front = most recently used
+	entries     map[cacheKey]*list.Element
+	flights     map[cacheKey]*CacheFlight
+	views       map[string]*cacheViewCounters
+	invalidated uint64
+}
+
+// cacheKey identifies one cached stream. binding is the canonical
+// fixed-width encoding of the bound-variable tuple (Tuple.AppendEncode),
+// so two JSON spellings of the same binding share an entry.
+type cacheKey struct {
+	view    string
+	binding string
+	gen     uint64
+	format  Format
+}
+
+type cacheEntry struct {
+	key    cacheKey
+	body   []byte
+	tuples int
+}
+
+// cacheViewCounters accumulates per-view cache traffic; guarded by the
+// cache mutex (the counters are only touched under it).
+type cacheViewCounters struct {
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	coalesced uint64
+}
+
+// cacheEntryOverhead approximates the bookkeeping bytes per entry (list
+// element, map bucket share, struct headers) so the budget tracks real
+// memory, not just payload.
+const cacheEntryOverhead = 128
+
+func (k cacheKey) cost(bodyLen int) int64 {
+	return int64(bodyLen) + int64(len(k.view)) + int64(len(k.binding)) + cacheEntryOverhead
+}
+
+// NewResultCache returns a cache bounded by budget bytes, or nil when the
+// budget is zero or negative — a nil *ResultCache is the "caching off"
+// state and every method on it is safe to skip via the != nil guard.
+func NewResultCache(budget int64) *ResultCache {
+	if budget <= 0 {
+		return nil
+	}
+	maxEntry := budget / 4
+	if maxEntry < 1 {
+		maxEntry = 1
+	}
+	return &ResultCache{
+		budget:   budget,
+		maxEntry: maxEntry,
+		ll:       list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+		flights:  make(map[cacheKey]*CacheFlight),
+		views:    make(map[string]*cacheViewCounters),
+	}
+}
+
+// MaxEntryBytes is the largest body the cache will store; callers use it
+// to cap their capture buffers so an oversized stream stops teeing early.
+func (c *ResultCache) MaxEntryBytes() int64 { return c.maxEntry }
+
+// CacheFlight is one in-progress computation of a cache key. The leader
+// publishes (or abandons) it exactly once; waiters block on Wait.
+type CacheFlight struct {
+	key    cacheKey
+	done   chan struct{}
+	body   []byte
+	tuples int
+	ok     bool
+}
+
+// Wait blocks until the flight resolves or ctx is done. ok reports that
+// the leader published a complete stream; !ok (leader failed, or the
+// waiter's own context expired) means the caller must compute directly.
+func (f *CacheFlight) Wait(ctx context.Context) (body []byte, tuples int, ok bool) {
+	select {
+	case <-f.done:
+		return f.body, f.tuples, f.ok
+	case <-ctx.Done():
+		return nil, 0, false
+	}
+}
+
+// CacheResult is the outcome of one Acquire. Exactly one of three shapes
+// comes back: a hit (Hit true, Body/Tuples valid — note an empty NDJSON
+// body is a legitimate hit), leadership of a new flight (Leader true —
+// the caller MUST eventually Publish or Abandon the Flight), or a
+// follower ticket (Flight non-nil, Leader false — Wait on it).
+type CacheResult struct {
+	Body   []byte
+	Tuples int
+	Flight *CacheFlight
+	Hit    bool
+	Leader bool
+}
+
+// Acquire looks the key up and classifies the caller: hit, flight leader,
+// or flight follower. Every call bumps exactly one of the hit / miss /
+// coalesced counters, so hit ratio = (hits+coalesced)/(all acquires) —
+// a coalesced follower is a request the backend never saw.
+func (c *ResultCache) Acquire(view string, gen uint64, format Format, binding string) CacheResult {
+	key := cacheKey{view: view, binding: binding, gen: gen, format: format}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vc := c.viewCounters(view)
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		vc.hits++
+		return CacheResult{Hit: true, Body: e.body, Tuples: e.tuples}
+	}
+	if f, ok := c.flights[key]; ok {
+		vc.coalesced++
+		return CacheResult{Flight: f}
+	}
+	f := &CacheFlight{key: key, done: make(chan struct{})}
+	c.flights[key] = f
+	vc.misses++
+	return CacheResult{Flight: f, Leader: true}
+}
+
+// Publish resolves a led flight with a complete stream: waiters get the
+// bytes, and the entry is inserted — unless the cache has moved to a
+// different generation since (the swap raced the stream; the bytes are
+// still correct for the waiters, who acquired under the same generation,
+// but must not outlive it in the cache) or the body exceeds maxEntry.
+func (c *ResultCache) Publish(f *CacheFlight, body []byte, tuples int) {
+	c.mu.Lock()
+	delete(c.flights, f.key)
+	if f.key.gen == c.gen && f.key.cost(len(body)) <= c.maxEntry {
+		if el, ok := c.entries[f.key]; ok {
+			// A previous leader for this key already landed (possible when a
+			// follower fell back and re-acquired); keep the newest bytes.
+			old := el.Value.(*cacheEntry)
+			c.used -= old.key.cost(len(old.body))
+			c.ll.Remove(el)
+			delete(c.entries, f.key)
+		}
+		e := &cacheEntry{key: f.key, body: body, tuples: tuples}
+		c.entries[f.key] = c.ll.PushFront(e)
+		c.used += f.key.cost(len(body))
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	f.body, f.tuples, f.ok = body, tuples, true
+	close(f.done)
+}
+
+// Abandon resolves a led flight without a result: the stream failed or
+// was aborted, so waiters fall back to computing directly.
+func (c *ResultCache) Abandon(f *CacheFlight) {
+	c.mu.Lock()
+	delete(c.flights, f.key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// evictLocked drops least-recently-used entries until the budget holds.
+func (c *ResultCache) evictLocked() {
+	for c.used > c.budget {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, e.key)
+		c.used -= e.key.cost(len(e.body))
+		c.viewCounters(e.key.view).evictions++
+	}
+}
+
+// SetGeneration moves the cache to a new registry generation: entries
+// from any other generation are invalidated, and flights from older
+// generations will fail their Publish insert (their waiters still get
+// correct bytes for the generation they acquired under). Invalidations
+// are counted apart from budget evictions — they are correctness, not
+// pressure.
+func (c *ResultCache) SetGeneration(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen == c.gen {
+		return
+	}
+	c.gen = gen
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.gen != gen {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+			c.used -= e.key.cost(len(e.body))
+			c.invalidated++
+		}
+	}
+}
+
+func (c *ResultCache) viewCounters(view string) *cacheViewCounters {
+	vc, ok := c.views[view]
+	if !ok {
+		vc = &cacheViewCounters{}
+		c.views[view] = vc
+	}
+	return vc
+}
+
+// CacheStats is the /v1/stats "cache" block.
+type CacheStats struct {
+	BudgetBytes int64  `json:"budget_bytes"`
+	UsedBytes   int64  `json:"used_bytes"`
+	Entries     int    `json:"entries"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	Coalesced   uint64 `json:"coalesced"`
+	Invalidated uint64 `json:"invalidated"`
+}
+
+// ViewCacheStats is the per-view slice of the cache counters, embedded in
+// each /v1/stats view row when caching is on.
+type ViewCacheStats struct {
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheCoalesced uint64 `json:"cache_coalesced"`
+}
+
+// Stats snapshots the cache-wide counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{
+		BudgetBytes: c.budget,
+		UsedBytes:   c.used,
+		Entries:     len(c.entries),
+		Invalidated: c.invalidated,
+	}
+	for _, vc := range c.views {
+		st.Hits += vc.hits
+		st.Misses += vc.misses
+		st.Evictions += vc.evictions
+		st.Coalesced += vc.coalesced
+	}
+	return st
+}
+
+// ViewStats snapshots one view's cache counters.
+func (c *ResultCache) ViewStats(view string) ViewCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vc, ok := c.views[view]
+	if !ok {
+		return ViewCacheStats{}
+	}
+	return ViewCacheStats{
+		CacheHits:      vc.hits,
+		CacheMisses:    vc.misses,
+		CacheEvictions: vc.evictions,
+		CacheCoalesced: vc.coalesced,
+	}
+}
+
+// CacheTee mirrors every byte written to the client into a bounded
+// capture buffer, so a cache fill costs the live stream nothing but the
+// copy. The capture invalidates itself — without disturbing the live
+// response — when the body outgrows the cap or a non-200 status commits
+// (error bodies must never be cached as results).
+type CacheTee struct {
+	http.ResponseWriter
+	body []byte
+	max  int64
+	bad  bool
+}
+
+// NewCacheTee wraps w with a capture capped at max body bytes.
+func NewCacheTee(w http.ResponseWriter, max int64) *CacheTee {
+	return &CacheTee{ResponseWriter: w, max: max}
+}
+
+func (t *CacheTee) WriteHeader(status int) {
+	if status != http.StatusOK {
+		t.bad = true
+		t.body = nil
+	}
+	t.ResponseWriter.WriteHeader(status)
+}
+
+func (t *CacheTee) Write(p []byte) (int, error) {
+	if !t.bad {
+		if int64(len(t.body))+int64(len(p)) > t.max {
+			t.bad = true
+			t.body = nil
+		} else {
+			t.body = append(t.body, p...)
+		}
+	}
+	return t.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the wrapped writer's Flusher. Declared explicitly so
+// a *CacheTee satisfies the http.Flusher type assertions on the stream
+// paths even though the embedded interface value may or may not.
+func (t *CacheTee) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Captured returns the captured body, or ok=false when the capture was
+// invalidated (overflow or error status). An empty body with ok=true is
+// a valid zero-tuple capture.
+func (t *CacheTee) Captured() (body []byte, ok bool) {
+	if t.bad {
+		return nil, false
+	}
+	return t.body, true
+}

@@ -1,0 +1,262 @@
+package httpserve
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fillLeader drives the leader half of one miss: acquire, assert
+// leadership, publish body.
+func fillLeader(t *testing.T, c *ResultCache, view string, gen uint64, binding string, body []byte, tuples int) {
+	t.Helper()
+	res := c.Acquire(view, gen, FormatNDJSON, binding)
+	if res.Hit || !res.Leader {
+		t.Fatalf("Acquire(%q, gen %d, %q): want fresh leadership, got %+v", view, gen, binding, res)
+	}
+	c.Publish(res.Flight, body, tuples)
+}
+
+func TestCacheHitAfterPublish(t *testing.T) {
+	c := NewResultCache(1 << 16)
+	c.SetGeneration(1)
+	body := []byte(`{"tuple":[1,2]}` + "\n")
+	fillLeader(t, c, "V", 1, "k1", body, 1)
+
+	res := c.Acquire("V", 1, FormatNDJSON, "k1")
+	if !res.Hit || !bytes.Equal(res.Body, body) || res.Tuples != 1 {
+		t.Fatalf("repeat acquire: want hit with published body, got %+v", res)
+	}
+	// A different format is a different stream — no hit.
+	bres := c.Acquire("V", 1, FormatBinary, "k1")
+	if bres.Hit {
+		t.Fatal("binary acquire hit an ndjson entry")
+	}
+	c.Abandon(bres.Flight)
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 2 misses, 1 entry", st)
+	}
+	vs := c.ViewStats("V")
+	if vs.CacheHits != 1 || vs.CacheMisses != 2 {
+		t.Fatalf("view stats = %+v", vs)
+	}
+	if vs := c.ViewStats("absent"); vs != (ViewCacheStats{}) {
+		t.Fatalf("unknown view stats = %+v, want zero", vs)
+	}
+}
+
+func TestCacheZeroBudgetIsNil(t *testing.T) {
+	if c := NewResultCache(0); c != nil {
+		t.Fatal("budget 0 should disable the cache")
+	}
+	if c := NewResultCache(-5); c != nil {
+		t.Fatal("negative budget should disable the cache")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Each entry costs body 100 + view 1 + binding 2 + overhead 128 = 231
+	// bytes; budget 1000 (maxEntry 250) holds four entries, so the fifth
+	// fill must evict exactly one.
+	c := NewResultCache(1000)
+	c.SetGeneration(1)
+	body := bytes.Repeat([]byte("x"), 100)
+	for _, k := range []string{"k1", "k2", "k3", "k4"} {
+		fillLeader(t, c, "V", 1, k, body, 1)
+	}
+
+	// Touch k1 so k2 is the LRU victim when k5 lands.
+	if res := c.Acquire("V", 1, FormatNDJSON, "k1"); !res.Hit {
+		t.Fatal("k1 should be cached")
+	}
+	fillLeader(t, c, "V", 1, "k5", body, 1)
+
+	if res := c.Acquire("V", 1, FormatNDJSON, "k2"); res.Hit {
+		t.Fatal("k2 survived eviction; LRU order broken")
+	} else {
+		c.Abandon(res.Flight)
+	}
+	for _, k := range []string{"k1", "k3", "k4", "k5"} {
+		if res := c.Acquire("V", 1, FormatNDJSON, k); !res.Hit {
+			t.Fatalf("%s evicted; want k2 as the victim", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 4 {
+		t.Fatalf("stats = %+v, want 1 eviction, 4 entries", st)
+	}
+	if st.UsedBytes <= 0 || st.UsedBytes > st.BudgetBytes {
+		t.Fatalf("used %d out of budget %d", st.UsedBytes, st.BudgetBytes)
+	}
+}
+
+func TestCacheOversizedBodyNotStored(t *testing.T) {
+	c := NewResultCache(1024) // maxEntry = 256
+	if got := c.MaxEntryBytes(); got != 256 {
+		t.Fatalf("MaxEntryBytes = %d, want 256", got)
+	}
+	huge := bytes.Repeat([]byte("x"), 512)
+	fillLeader(t, c, "V", 1, "k1", huge, 9)
+	res := c.Acquire("V", 1, FormatNDJSON, "k1")
+	if res.Hit {
+		t.Fatal("oversized body was cached")
+	}
+	// The waiters still got the bytes even though the insert was skipped.
+	c.Abandon(res.Flight)
+}
+
+func TestCacheGenerationInvalidation(t *testing.T) {
+	c := NewResultCache(1 << 16)
+	c.SetGeneration(1)
+	fillLeader(t, c, "V", 1, "k1", []byte("a"), 1)
+	fillLeader(t, c, "W", 1, "k2", []byte("b"), 1)
+
+	c.SetGeneration(2)
+	st := c.Stats()
+	if st.Entries != 0 || st.Invalidated != 2 || st.UsedBytes != 0 {
+		t.Fatalf("after gen bump: %+v, want 0 entries, 2 invalidated, 0 used", st)
+	}
+	if st.Evictions != 0 {
+		t.Fatal("generation invalidation was miscounted as budget eviction")
+	}
+	// Old-generation acquires miss (their key carries the old gen).
+	res := c.Acquire("V", 1, FormatNDJSON, "k1")
+	if res.Hit {
+		t.Fatal("hit across a generation bump")
+	}
+	// A late publish from the old generation must not insert...
+	c.Publish(res.Flight, []byte("stale"), 1)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatal("stale-generation publish landed in the cache")
+	}
+	// ...while current-generation fills work normally.
+	fillLeader(t, c, "V", 2, "k1", []byte("fresh"), 1)
+	if res := c.Acquire("V", 2, FormatNDJSON, "k1"); !res.Hit || string(res.Body) != "fresh" {
+		t.Fatalf("current-generation acquire = %+v", res)
+	}
+}
+
+func TestCacheCoalescing(t *testing.T) {
+	c := NewResultCache(1 << 16)
+	lead := c.Acquire("V", 1, FormatNDJSON, "k1")
+	if !lead.Leader {
+		t.Fatalf("first acquire = %+v, want leader", lead)
+	}
+
+	const followers = 4
+	var wg sync.WaitGroup
+	got := make([][]byte, followers)
+	oks := make([]bool, followers)
+	for i := 0; i < followers; i++ {
+		res := c.Acquire("V", 1, FormatNDJSON, "k1")
+		if res.Hit || res.Leader {
+			t.Fatalf("follower %d acquire = %+v, want flight ticket", i, res)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], _, oks[i] = res.Flight.Wait(context.Background())
+		}()
+	}
+	c.Publish(lead.Flight, []byte("shared"), 1)
+	wg.Wait()
+	for i := 0; i < followers; i++ {
+		if !oks[i] || string(got[i]) != "shared" {
+			t.Fatalf("follower %d: ok=%v body=%q", i, oks[i], got[i])
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != followers {
+		t.Fatalf("stats = %+v, want 1 miss and %d coalesced", st, followers)
+	}
+}
+
+func TestCacheAbandonedFlightFailsWaiters(t *testing.T) {
+	c := NewResultCache(1 << 16)
+	lead := c.Acquire("V", 1, FormatNDJSON, "k1")
+	follower := c.Acquire("V", 1, FormatNDJSON, "k1")
+	done := make(chan bool, 1)
+	go func() {
+		_, _, ok := follower.Flight.Wait(context.Background())
+		done <- ok
+	}()
+	c.Abandon(lead.Flight)
+	if ok := <-done; ok {
+		t.Fatal("waiter on an abandoned flight reported ok")
+	}
+	// The key is free again: the next acquire leads a fresh flight rather
+	// than waiting on the dead one.
+	if res := c.Acquire("V", 1, FormatNDJSON, "k1"); !res.Leader {
+		t.Fatalf("post-abandon acquire = %+v, want fresh leadership", res)
+	}
+}
+
+func TestCacheFlightWaitHonorsContext(t *testing.T) {
+	c := NewResultCache(1 << 16)
+	lead := c.Acquire("V", 1, FormatNDJSON, "k1")
+	follower := c.Acquire("V", 1, FormatNDJSON, "k1")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, ok := follower.Flight.Wait(ctx); ok {
+		t.Fatal("Wait reported ok on an expired context")
+	}
+	c.Abandon(lead.Flight)
+}
+
+func TestCacheTeeCaptures(t *testing.T) {
+	rec := httptest.NewRecorder()
+	tee := NewCacheTee(rec, 64)
+	tee.Write([]byte("hello "))
+	tee.Write([]byte("world"))
+	tee.Flush()
+	if body, ok := tee.Captured(); !ok || string(body) != "hello world" {
+		t.Fatalf("Captured = %q, %v", body, ok)
+	}
+	if rec.Body.String() != "hello world" {
+		t.Fatalf("live response = %q: tee must be transparent", rec.Body.String())
+	}
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
+func TestCacheTeeOverflowInvalidates(t *testing.T) {
+	rec := httptest.NewRecorder()
+	tee := NewCacheTee(rec, 8)
+	tee.Write([]byte("12345"))
+	tee.Write([]byte("67890")) // 10 > 8: capture dies, stream lives
+	tee.Write([]byte("rest"))
+	if _, ok := tee.Captured(); ok {
+		t.Fatal("overflowing capture reported ok")
+	}
+	if rec.Body.String() != "1234567890rest" {
+		t.Fatalf("live response = %q: overflow must not truncate the stream", rec.Body.String())
+	}
+}
+
+func TestCacheTeeErrorStatusInvalidates(t *testing.T) {
+	rec := httptest.NewRecorder()
+	tee := NewCacheTee(rec, 1024)
+	tee.WriteHeader(400)
+	tee.Write([]byte(`{"error":"bad"}`))
+	if _, ok := tee.Captured(); ok {
+		t.Fatal("error response was captured as a cacheable result")
+	}
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "bad") {
+		t.Fatalf("live error response mangled: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestCacheTeeEmptyBodyIsValid(t *testing.T) {
+	tee := NewCacheTee(httptest.NewRecorder(), 64)
+	tee.WriteHeader(200)
+	if body, ok := tee.Captured(); !ok || len(body) != 0 {
+		t.Fatalf("empty 200 capture = %q, %v; want valid empty body", body, ok)
+	}
+}

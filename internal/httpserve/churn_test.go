@@ -140,6 +140,92 @@ func TestReloadChurn(t *testing.T) {
 	t.Logf("reload churn: %d whole-generation responses, %d clean 503s across %d reloads", served.Load(), unavailable.Load(), reloads)
 }
 
+// TestReloadChurnCached is the reload churn with the result cache on: the
+// whole-generation invariant must survive hits, coalesced misses, and
+// generation invalidations racing the reload swaps. Every cached replay is
+// bytes one live stream produced under one refcounted registry entry, so
+// a blend would mean the generation keying is broken.
+func TestReloadChurnCached(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.cqs")
+	if err := writeChurnSnapshot(path, 1000); err != nil {
+		t.Fatal(err)
+	}
+	h, err := New([]string{path}, Options{Workers: 4, Buffer: 4, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cl := &Client{Base: ts.URL}
+
+	const reloads = 30
+	var done atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for i := 0; i < reloads; i++ {
+			if err := writeChurnSnapshot(path, relation.Value(1000*(i%2+1))); err != nil {
+				t.Errorf("snapshot %d: %v", i, err)
+				return
+			}
+			if _, err := cl.Reload(context.Background()); err != nil {
+				t.Errorf("reload %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Readers repeat one hot binding in both wire formats, so the run
+	// exercises hits and coalesced followers, not just leader fills.
+	var served, unavailable atomic.Int64
+	for w := 0; w < 4; w++ {
+		format := FormatNDJSON
+		if w%2 == 1 {
+			format = FormatBinary
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				res, err := cl.QueryOpts(context.Background(), "V", QueryOptions{
+					Bindings: map[string]relation.Value{"x": 1}, Format: format,
+				})
+				if err != nil {
+					var re *RemoteError
+					if errors.As(err, &re) && re.Status == 503 {
+						unavailable.Add(1)
+						continue
+					}
+					t.Errorf("query: %v", err)
+					return
+				}
+				if err := checkWholeGeneration(res.Tuples); err != nil {
+					t.Error(err)
+					return
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no query completed during the cached reload churn")
+	}
+	st, on := h.CacheStats()
+	if !on {
+		t.Fatal("cache reported off despite CacheBytes")
+	}
+	if st.Hits+st.Misses+st.Coalesced == 0 {
+		t.Fatal("no request took the cached path")
+	}
+	t.Logf("cached reload churn: %d whole responses, %d clean 503s; cache %d hits / %d misses / %d coalesced / %d invalidated",
+		served.Load(), unavailable.Load(), st.Hits, st.Misses, st.Coalesced, st.Invalidated)
+}
+
 func TestShutdownChurn(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "v.cqs")
 	if err := writeChurnSnapshot(path, 1000); err != nil {

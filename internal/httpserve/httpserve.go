@@ -74,6 +74,13 @@ type Options struct {
 	// checks — a worker reports unready until it has joined its
 	// coordinator, whatever its registry holds.
 	ReadyGate func() bool
+	// CacheBytes bounds the hot-binding result cache (cache.go): encoded
+	// result streams for repeated (view, generation, binding, format)
+	// keys are replayed from memory under this byte budget with LRU
+	// eviction. <= 0 disables caching. Reload/attach/detach bump the
+	// registry generation, which invalidates every cached frame from the
+	// previous generation without an explicit flush.
+	CacheBytes int64
 }
 
 // SnapshotSpec names one registry entry: the snapshot file to load and the
@@ -106,7 +113,11 @@ type Handler struct {
 	// reg is the current registry; queries load it once and hold a
 	// reference on their entry for their whole stream, so a concurrent
 	// reload can swap the registry without tearing anyone's view.
-	reg       atomic.Pointer[registry]
+	reg atomic.Pointer[registry]
+	// cache replays encoded result streams for repeated bindings; nil
+	// when Options.CacheBytes is unset. Entries are keyed by registry
+	// generation, so swaps invalidate by construction (cache.go).
+	cache     *ResultCache
 	reloadMu  sync.Mutex // serializes Reload/Close swaps
 	reloads   atomic.Uint64
 	closed    atomic.Bool
@@ -231,11 +242,15 @@ func New(paths []string, opts Options) (*Handler, error) {
 // Attach as its coordinator assigns shards.
 func NewSpecs(specs []SnapshotSpec, opts Options) (*Handler, error) {
 	h := &Handler{opts: opts, specs: append([]SnapshotSpec(nil), specs...), start: time.Now(), closeDone: make(chan struct{})}
+	h.cache = NewResultCache(opts.CacheBytes) // nil when caching is off
 	reg, err := h.loadRegistry(1)
 	if err != nil {
 		return nil, err
 	}
 	h.reg.Store(reg)
+	if h.cache != nil {
+		h.cache.SetGeneration(reg.gen)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query/{view}", h.handleQuery)
@@ -347,6 +362,9 @@ func (h *Handler) Attach(name, path string) error {
 	reg.names = append(reg.names, name)
 	sort.Strings(reg.names)
 	h.reg.Store(reg)
+	if h.cache != nil {
+		h.cache.SetGeneration(reg.gen)
+	}
 
 	kept := h.specs[:0]
 	for _, s := range h.specs {
@@ -389,6 +407,9 @@ func (h *Handler) Detach(name string) error {
 	}
 	sort.Strings(reg.names)
 	h.reg.Store(reg)
+	if h.cache != nil {
+		h.cache.SetGeneration(reg.gen)
+	}
 
 	kept := h.specs[:0]
 	for _, s := range h.specs {
@@ -424,6 +445,16 @@ func baseTuples(rep *core.Representation) int {
 	return n
 }
 
+// CacheStats snapshots the result-cache counters; ok is false when
+// caching is off. The bench recorder reads hit rates through this instead
+// of re-parsing its own /v1/stats JSON.
+func (h *Handler) CacheStats() (CacheStats, bool) {
+	if h.cache == nil {
+		return CacheStats{}, false
+	}
+	return h.cache.Stats(), true
+}
+
 // flushBatch resolves the steady-state tuples-per-flush option.
 func (h *Handler) flushBatch() int {
 	if h.opts.FlushBatch > 0 {
@@ -448,6 +479,9 @@ func (h *Handler) Reload() (uint64, error) {
 		return 0, err
 	}
 	h.reg.Store(reg)
+	if h.cache != nil {
+		h.cache.SetGeneration(reg.gen)
+	}
 	h.reloads.Add(1)
 	h.retired.Add(1)
 	go func() {
@@ -544,7 +578,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if !entry.acquire() {
 			continue
 		}
-		served := h.streamQuery(w, r, entry, req, format, start)
+		served := h.streamQuery(w, r, entry, req, format, reg.gen, start)
 		entry.release()
 		if served {
 			return
@@ -555,8 +589,77 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // streamQuery runs one acquired request to completion. It reports false
 // when the entry's pool was already closed before anything was streamed
-// (the caller retries on the fresh registry).
-func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *viewEntry, req QueryRequest, format wireFormat, start time.Time) bool {
+// (the caller retries on the fresh registry). gen is the generation of
+// the registry the entry was acquired from — the cache keys on it, so a
+// replayed stream always belongs to the generation this request loaded.
+func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *viewEntry, req QueryRequest, format wireFormat, gen uint64, start time.Time) bool {
+	if h.cache != nil && req.Limit == 0 {
+		if vb, err := entry.rep.Bind(req.Bindings); err == nil {
+			cf := FormatNDJSON
+			if format == formatBinary {
+				cf = FormatBinary
+			}
+			res := h.cache.Acquire(entry.name, gen, cf, string(vb.AppendEncode(nil)))
+			if res.Hit {
+				h.serveCached(w, entry, format, res.Body, res.Tuples, start)
+				return true
+			}
+			if res.Leader {
+				return h.streamLive(w, r, entry, req, format, start, res.Flight)
+			}
+			// Follower: wait for the leader's bytes — they were produced
+			// under the same generation this request acquired. A failed
+			// flight (or our own context expiring while parked) falls
+			// back to computing directly; coalescing never turns one
+			// stream's failure into another's.
+			if body, tuples, ok := res.Flight.Wait(r.Context()); ok {
+				h.serveCached(w, entry, format, body, tuples, start)
+				return true
+			}
+		}
+		// An unbindable request skips the cache and fails on the live
+		// path, which owns the 400 discipline.
+	}
+	return h.streamLive(w, r, entry, req, format, start, nil)
+}
+
+// serveCached replays one cached encoded stream, with the same headers,
+// counters, and flush behavior a live complete stream would have had.
+func (h *Handler) serveCached(w http.ResponseWriter, entry *viewEntry, format wireFormat, body []byte, tuples int, start time.Time) {
+	entry.requests.Add(1)
+	w.Header().Set("X-Cqrep-View", entry.name)
+	w.Header().Set("X-Cqrep-Free", strconv.Itoa(len(entry.rep.FreeNames())))
+	if format == formatBinary {
+		w.Header().Set("Content-Type", BinaryMediaType)
+	} else {
+		w.Header().Set("Content-Type", NDJSONMediaType)
+	}
+	if tuples > 0 {
+		h.delay.Add(time.Since(start))
+	}
+	w.Write(body)
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+	h.tuples.Add(uint64(tuples))
+	h.streamsComplete.Add(1)
+	entry.streamsComplete.Add(1)
+	h.total.Add(time.Since(start))
+}
+
+// streamLive computes and streams one request from the backend. A non-nil
+// flight means this request leads a cache fill: the response bytes are
+// teed into a capture and published on a complete stream, abandoned on
+// any other outcome (so waiters fall back instead of hanging).
+func (h *Handler) streamLive(w http.ResponseWriter, r *http.Request, entry *viewEntry, req QueryRequest, format wireFormat, start time.Time, flight *CacheFlight) bool {
+	published := false
+	if flight != nil {
+		defer func() {
+			if !published {
+				h.cache.Abandon(flight)
+			}
+		}()
+	}
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	it, err := entry.srv.SubmitArgs(ctx, req.Bindings)
@@ -578,11 +681,18 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 	// producing anything can still answer with a real error status.
 	w.Header().Set("X-Cqrep-View", entry.name)
 	w.Header().Set("X-Cqrep-Free", strconv.Itoa(len(entry.rep.FreeNames())))
+	sw := w
+	var tee *CacheTee
+	if flight != nil {
+		tee = NewCacheTee(w, h.cache.MaxEntryBytes())
+		sw = tee
+	}
 	var disp streamDisposition
+	var n int
 	if format == formatBinary {
-		disp = h.streamBinary(w, entry, it, req, ctx, cancel, start)
+		disp, n = h.streamBinary(sw, entry, it, req, ctx, cancel, start)
 	} else {
-		disp = h.streamNDJSON(w, it, req, ctx, cancel, start)
+		disp, n = h.streamNDJSON(sw, it, req, ctx, cancel, start)
 	}
 	switch disp {
 	case streamErrored:
@@ -594,6 +704,12 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 	default:
 		h.streamsComplete.Add(1)
 		entry.streamsComplete.Add(1)
+		if tee != nil {
+			if body, ok := tee.Captured(); ok {
+				h.cache.Publish(flight, body, n)
+				published = true
+			}
+		}
 	}
 	return true
 }
@@ -602,7 +718,7 @@ func (h *Handler) streamQuery(w http.ResponseWriter, r *http.Request, entry *vie
 // per line: the stream is the product, and constant-delay enumeration
 // means the client should see tuples as they are produced, not when a
 // buffer happens to fill.
-func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req QueryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) streamDisposition {
+func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req QueryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) (streamDisposition, int) {
 	w.Header().Set("Content-Type", NDJSONMediaType)
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriterSize(w, 4096)
@@ -621,7 +737,7 @@ func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req Quer
 		line = appendTupleJSON(line[:0], t)
 		if _, err := bw.Write(line); err != nil {
 			cancel() // client went away: abandon the enumeration
-			return streamAborted
+			return streamAborted, n
 		}
 		bw.Flush()
 		if flusher != nil {
@@ -653,7 +769,7 @@ func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req Quer
 			// Nothing was streamed yet, so the status line is still ours:
 			// fail properly instead of a 200 with an error trailer.
 			h.errorJSON(w, http.StatusInternalServerError, "%v", terr)
-			return disp
+			return disp, n
 		}
 		if disp == streamErrored {
 			h.errors.Add(1)
@@ -666,7 +782,7 @@ func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req Quer
 	if flusher != nil {
 		flusher.Flush()
 	}
-	return disp
+	return disp, n
 }
 
 // streamBinary writes the result stream in the binary framing (wire.go):
@@ -675,7 +791,7 @@ func (h *Handler) streamNDJSON(w http.ResponseWriter, it core.Iterator, req Quer
 // FlushBatch tuples instead of once per tuple. Every stream that got as
 // far as its header ends with an explicit end or error frame, so clients
 // can tell truncation from completion.
-func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.Iterator, req QueryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) streamDisposition {
+func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.Iterator, req QueryRequest, ctx context.Context, cancel context.CancelFunc, start time.Time) (streamDisposition, int) {
 	w.Header().Set("Content-Type", BinaryMediaType)
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriterSize(w, 32*1024)
@@ -721,7 +837,7 @@ func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.
 		if enc.Pending() >= limit {
 			if !flush() {
 				cancel() // client went away: abandon the enumeration
-				return streamAborted
+				return streamAborted, n
 			}
 			limit = batch
 		}
@@ -740,7 +856,7 @@ func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.
 			// Header bytes are still only staged in bw; drop them and
 			// answer with a real error status.
 			h.errorJSON(w, http.StatusInternalServerError, "%v", terr)
-			return disp
+			return disp, n
 		}
 		if disp == streamErrored {
 			h.errors.Add(1)
@@ -751,7 +867,7 @@ func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.
 		if flusher != nil {
 			flusher.Flush()
 		}
-		return disp
+		return disp, n
 	}
 	enc.Flush()
 	enc.End()
@@ -759,7 +875,7 @@ func (h *Handler) streamBinary(w http.ResponseWriter, entry *viewEntry, it core.
 	if flusher != nil {
 		flusher.Flush()
 	}
-	return streamComplete
+	return streamComplete, n
 }
 
 // appendTupleJSON renders one tuple as a compact JSON array of integers.
@@ -848,6 +964,9 @@ type ViewStats struct {
 	Shards          int    `json:"shards"`
 	BaseTuples      int    `json:"base_tuples"`
 	Workers         int    `json:"workers"`
+	// Cache is this view's slice of the result-cache counters; nil (and
+	// omitted from the JSON) when caching is off.
+	Cache *ViewCacheStats `json:"cache,omitempty"`
 }
 
 // statsResponse is the /v1/stats body.
@@ -863,7 +982,9 @@ type statsResponse struct {
 	StreamsAborted  uint64         `json:"streams_aborted"`
 	FirstTuple      LatencySummary `json:"first_tuple"`
 	Total           LatencySummary `json:"total"`
-	Views           []ViewStats    `json:"views"`
+	// Cache is the result-cache block; nil (omitted) when caching is off.
+	Cache *CacheStats `json:"cache,omitempty"`
+	Views []ViewStats `json:"views"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -885,11 +1006,15 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		StreamsErrored:  h.streamsErrored.Load(),
 		StreamsAborted:  h.streamsAborted.Load(),
 	}
+	if h.cache != nil {
+		cs := h.cache.Stats()
+		resp.Cache = &cs
+	}
 	for _, name := range reg.names {
 		e := reg.views[name]
 		st := e.rep.Stats()
 		ss := e.srv.Stats()
-		resp.Views = append(resp.Views, ViewStats{
+		row := ViewStats{
 			Name:            e.name,
 			Requests:        e.requests.Load(),
 			Tuples:          ss.Tuples,
@@ -900,7 +1025,12 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shards:          st.Shards,
 			BaseTuples:      e.baseTup(),
 			Workers:         ss.Workers,
-		})
+		}
+		if h.cache != nil {
+			vc := h.cache.ViewStats(e.name)
+			row.Cache = &vc
+		}
+		resp.Views = append(resp.Views, row)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"cqrep/internal/relation"
@@ -67,19 +68,62 @@ const (
 	formatBinary
 )
 
-// negotiateFormat picks the result encoding from an Accept header: the
-// binary framing iff any element of the list names its exact media type
-// (parameters ignored); everything else — NDJSON, */*, an absent header —
-// is the NDJSON default. There is no 406: the stream formats carry
-// identical information and NDJSON is universally consumable.
+// negotiateFormat picks the result encoding from an Accept header as a
+// comma-separated list of media ranges with optional q-values (RFC 9110
+// §12.5.1, restricted to what matters here). The binary framing is chosen
+// iff some element names its exact media type with q > 0 AND that q is at
+// least the best q offered for NDJSON — wildcards (*/*, application/*)
+// count toward NDJSON, never select binary, so a generic client keeps
+// getting the universally consumable default. On a tie between the two
+// explicit types, binary wins: a client that spells out the binary media
+// type is one that can decode it. There is no 406 — the stream formats
+// carry identical information and NDJSON is the universal fallback.
 func negotiateFormat(accept string) wireFormat {
+	var qBinary, qNDJSON float64
 	for _, part := range strings.Split(accept, ",") {
-		mt, _, _ := strings.Cut(part, ";")
-		if strings.EqualFold(strings.TrimSpace(mt), BinaryMediaType) {
-			return formatBinary
+		mt, params, _ := strings.Cut(part, ";")
+		mt = strings.TrimSpace(mt)
+		if mt == "" {
+			continue
+		}
+		q := acceptQ(params)
+		switch {
+		case strings.EqualFold(mt, BinaryMediaType):
+			qBinary = max(qBinary, q)
+		case strings.EqualFold(mt, NDJSONMediaType),
+			mt == "*/*",
+			strings.EqualFold(mt, "application/*"):
+			qNDJSON = max(qNDJSON, q)
 		}
 	}
+	if qBinary > 0 && qBinary >= qNDJSON {
+		return formatBinary
+	}
 	return formatNDJSON
+}
+
+// acceptQ extracts the q-value from one media range's parameter list
+// (";level=1;q=0.9"). An absent or unparseable q is 1 per the RFC's
+// default; values are clamped into [0, 1].
+func acceptQ(params string) float64 {
+	for _, p := range strings.Split(params, ";") {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+			continue
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return 1
+		}
+		if q < 0 {
+			return 0
+		}
+		if q > 1 {
+			return 1
+		}
+		return q
+	}
+	return 1
 }
 
 // binaryWriter accumulates tuples into one pending data frame and writes

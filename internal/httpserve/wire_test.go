@@ -31,6 +31,27 @@ func TestNegotiateFormat(t *testing.T) {
 		{" " + BinaryMediaType + " ; q=0.9", formatBinary},
 		{BinaryMediaType + "x", formatNDJSON},
 		{"application/x-cqrep", formatNDJSON},
+
+		// q-values: the highest-weighted acceptable type wins, binary on
+		// an exact tie (it is the cheaper encoding for both sides).
+		{BinaryMediaType + ";q=0.9, application/x-ndjson", formatNDJSON},
+		{BinaryMediaType + ", */*", formatBinary},
+		{BinaryMediaType + ";q=1, application/x-ndjson;q=1", formatBinary},
+		{BinaryMediaType + ";q=0", formatNDJSON},
+		{BinaryMediaType + ";q=0, application/x-ndjson;q=0", formatNDJSON},
+		{"application/x-ndjson;q=0.5, " + BinaryMediaType + ";q=0.4", formatNDJSON},
+		{"application/x-ndjson;q=0.3, " + BinaryMediaType + ";q=0.5", formatBinary},
+		{BinaryMediaType + ";Q=0.1, application/x-ndjson", formatNDJSON},
+		{BinaryMediaType + "; q=0.2 , application/*", formatNDJSON},
+		// A wildcard never selects binary: clients must name it.
+		{"*/*;q=1", formatNDJSON},
+		{"application/*;q=0.9, " + BinaryMediaType + ";q=0.8", formatNDJSON},
+		// Unparseable or out-of-range q degrades to 1 / clamps, never panics.
+		{BinaryMediaType + ";q=banana, application/x-ndjson;q=0.9", formatBinary},
+		{BinaryMediaType + ";q=7, */*;q=0.5", formatBinary},
+		{BinaryMediaType + ";charset=utf-8;q=0.9, application/x-ndjson", formatNDJSON},
+		// Repeated mentions take the max weight per type.
+		{BinaryMediaType + ";q=0.1, " + BinaryMediaType + ", application/x-ndjson;q=0.9", formatBinary},
 	}
 	for _, c := range cases {
 		if got := negotiateFormat(c.accept); got != c.want {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"cqrep/internal/cq"
 	"cqrep/internal/relation"
@@ -271,6 +272,57 @@ func zipfValue(rng *rand.Rand, n int, s float64) relation.Value {
 	}
 	_ = s
 	return relation.Value(v)
+}
+
+// Zipf samples ranks {0..n-1} with P(rank k) ∝ 1/(k+1)^s — rank 0 is the
+// hottest. It tabulates the exact truncated-zeta CDF once and inverts it
+// by binary search, so unlike zipfValue (kept as-is above: the seeded
+// dataset fixtures depend on its exact draws) the exponent is honored
+// precisely — the property reproducible hot-key serving workloads need.
+// With s=1.1 over a handful of ranks the top rank carries a large
+// constant fraction of all draws, which is what makes a bounded result
+// cache pay.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf tabulates the CDF for n ranks with exponent s. n < 1 is clamped
+// to 1; s <= 0 degenerates to the uniform distribution (every rank weight
+// 1), which is the honest reading of "no skew".
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N reports the rank count.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank maps u ∈ [0,1) onto a rank by inverse CDF.
+func (z *Zipf) Rank(u float64) int {
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}
+
+// Draw samples one rank from rng; deterministic given the rng's state.
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	return z.Rank(rng.Float64())
 }
 
 // RandomFullView builds a random full adorned view over nVars variables

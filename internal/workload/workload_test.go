@@ -129,6 +129,64 @@ func TestRandomFullViewAlwaysFullAndNormalizable(t *testing.T) {
 	}
 }
 
+func TestZipfSampler(t *testing.T) {
+	z := NewZipf(16, 1.1)
+	if z.N() != 16 {
+		t.Fatalf("N = %d, want 16", z.N())
+	}
+
+	// Deterministic: the same seed yields the same draw sequence.
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if z.Draw(a) != z.Draw(b) {
+			t.Fatalf("draw %d diverged under identical seeds", i)
+		}
+	}
+
+	// In range, and actually skewed: with s=1.1 over 16 ranks the top
+	// rank carries ~30% of the mass, so over 20k draws it must dominate
+	// the coldest rank by a wide margin.
+	rng := rand.New(rand.NewSource(8))
+	counts := make([]int, 16)
+	for i := 0; i < 20000; i++ {
+		r := z.Draw(rng)
+		if r < 0 || r >= 16 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	if counts[0] < 4*counts[15] {
+		t.Errorf("rank 0 count %d not dominant over rank 15 count %d", counts[0], counts[15])
+	}
+	if counts[0] < counts[8] {
+		t.Errorf("rank 0 count %d below rank 8 count %d: skew inverted", counts[0], counts[8])
+	}
+
+	// Rank boundaries: u just below the first CDF step stays at rank 0,
+	// u → 1 maps to the last rank, never out of range.
+	if got := z.Rank(0); got != 0 {
+		t.Errorf("Rank(0) = %d, want 0", got)
+	}
+	if got := z.Rank(0.999999); got != 15 {
+		t.Errorf("Rank(~1) = %d, want 15", got)
+	}
+
+	// s=0 degenerates to uniform: over many draws no rank should carry
+	// more than twice the expected share.
+	u := NewZipf(8, 0)
+	ucounts := make([]int, 8)
+	rng = rand.New(rand.NewSource(9))
+	for i := 0; i < 16000; i++ {
+		ucounts[u.Draw(rng)]++
+	}
+	for r, c := range ucounts {
+		if c > 4000 {
+			t.Errorf("s=0 rank %d count %d: not uniform", r, c)
+		}
+	}
+}
+
 func TestZipfValueInRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 10000; i++ {

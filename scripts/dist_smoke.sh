@@ -4,9 +4,13 @@
 # reference, and a cqcoord coordinator fanning out to three cqserve -join
 # workers — and require the raw response bodies to be byte-identical
 # between the two tiers in both stream encodings, for routed bound-key
-# lookups and a scattered free enumeration alike. Then rebalance a shard
-# with POST /v1/move and re-verify: the swap must not change a single
-# byte. Mirrors the CI "dist-smoke" job; run locally via `make dist-smoke`.
+# lookups and a scattered free enumeration alike. The coordinator runs
+# with the result cache enabled (-cache-bytes), and the identity sweep
+# runs twice back-to-back so the second pass replays cache hits — still
+# byte-identical. Then rebalance a shard with POST /v1/move and
+# re-verify: the swap must not change a single byte, and the move must
+# have invalidated the stale cached generation. Mirrors the CI
+# "dist-smoke" job; run locally via `make dist-smoke`.
 set -eu
 
 COORD="${CQCOORD_ADDR:-127.0.0.1:18970}"
@@ -44,8 +48,8 @@ echo "== starting the single-node reference on $SINGLE"
 "$TMP/cqserve" -snapshot "$TMP/v.cqs" -addr "$SINGLE" &
 PIDS="$PIDS $!"
 
-echo "== starting cqcoord on $COORD and three joining workers"
-"$TMP/cqcoord" -snapshot "$TMP/v.cqs" -addr "$COORD" -spool "$TMP/spool" &
+echo "== starting cqcoord on $COORD (8 MiB result cache) and three joining workers"
+"$TMP/cqcoord" -snapshot "$TMP/v.cqs" -addr "$COORD" -spool "$TMP/spool" -cache-bytes 8388608 &
 PIDS="$PIDS $!"
 for w in "$W1" "$W2" "$W3"; do
     "$TMP/cqserve" -join "http://$COORD" -addr "$w" -spool "$TMP/spool-$w" &
@@ -90,6 +94,9 @@ verify_identity() {
 
 echo "== byte identity: coordinator vs single node"
 verify_identity "initial assignment"
+# Second pass over the same bindings: these are now cache hits on the
+# coordinator, and the replayed bytes must still match the single node.
+verify_identity "cached replay"
 
 echo "== load generator against the coordinator (with per-worker breakdown)"
 seq 1 12 > "$TMP/req.txt"
@@ -112,6 +119,14 @@ curl -sf "http://$COORD/v1/map" | grep -q "\"V\":\[\"$target\"" || {
 verify_identity "after rebalance"
 
 echo "== coordinator stats carry the per-worker breakdown"
-curl -sf "http://$COORD/v1/stats" | grep -q '"workers":\[{' || { echo "/v1/stats has no workers section" >&2; exit 1; }
+curl -sf "http://$COORD/v1/stats" > "$TMP/stats.json"
+grep -q '"workers":\[{' "$TMP/stats.json" || { echo "/v1/stats has no workers section" >&2; exit 1; }
+
+echo "== coordinator cache counters: hits from the replay pass, invalidation from the move"
+grep -q '"cache"' "$TMP/stats.json" || { echo "/v1/stats has no cache section" >&2; cat "$TMP/stats.json" >&2; exit 1; }
+hits=$(sed -n 's/.*"cache":{[^}]*"hits":\([0-9]*\).*/\1/p' "$TMP/stats.json")
+[ -n "$hits" ] && [ "$hits" -gt 0 ] || { echo "coordinator cache hits counter is '$hits', want > 0" >&2; cat "$TMP/stats.json" >&2; exit 1; }
+inval=$(sed -n 's/.*"cache":{[^}]*"invalidated":\([0-9]*\).*/\1/p' "$TMP/stats.json")
+[ -n "$inval" ] && [ "$inval" -gt 0 ] || { echo "coordinator cache invalidated counter is '$inval', want > 0 after the move" >&2; cat "$TMP/stats.json" >&2; exit 1; }
 
 echo "dist smoke: OK"

@@ -6,9 +6,11 @@
 # NDJSON answers against the in-process enumeration printed by `cqcli
 # serve`. The binary stream encoding is checked through the same server:
 # its magic on the wire, and cqload driving both encodings must drain the
-# same tuple counts. Any divergence — ordering, content, count — fails
-# the build. Mirrors the CI "serve" job; run locally via
-# `make serve-smoke`.
+# same tuple counts. The server runs with the result cache enabled
+# (-cache-bytes), so the hit-replay path must answer byte-identically to
+# the miss fill and the /v1/stats cache counters must move. Any
+# divergence — ordering, content, count — fails the build. Mirrors the CI
+# "serve" job; run locally via `make serve-smoke`.
 set -eu
 
 ADDR="${CQSERVE_ADDR:-127.0.0.1:18977}"
@@ -42,8 +44,8 @@ VIEW='V[bff](x, y, p) :- R(x, p), R(y, p)'
 echo "== compiling snapshot"
 "$TMP/cqcli" compile -view "$VIEW" -rel "R=$TMP/r.csv" -o "$TMP/v.cqs"
 
-echo "== starting cqserve on $ADDR (mmap, pprof, flush-batch 64)"
-"$TMP/cqserve" -snapshot "$TMP/v.cqs" -addr "$ADDR" -mmap -pprof -flush-batch 64 &
+echo "== starting cqserve on $ADDR (mmap, pprof, flush-batch 64, 4 MiB result cache)"
+"$TMP/cqserve" -snapshot "$TMP/v.cqs" -addr "$ADDR" -mmap -pprof -flush-batch 64 -cache-bytes 4194304 &
 SRV_PID=$!
 ready=""
 for _ in $(seq 1 100); do
@@ -111,6 +113,21 @@ grep -q '"requests"' "$TMP/stats.json" || { echo "/v1/stats malformed" >&2; exit
 # show completed streams and no errored/aborted ones.
 grep -q '"streams_errored":0' "$TMP/stats.json" || { echo "/v1/stats reports errored streams" >&2; cat "$TMP/stats.json" >&2; exit 1; }
 grep -q '"streams_aborted":0' "$TMP/stats.json" || { echo "/v1/stats reports aborted streams" >&2; cat "$TMP/stats.json" >&2; exit 1; }
+
+echo "== result cache: hit replay byte-identical, counters live"
+# The same binding twice in a row: the second response replays the cached
+# encoding and must not differ by a byte from the first.
+curl -sf -X POST "http://$ADDR/v1/query/V" -d '{"bindings":{"x":1}}' > "$TMP/cache.a"
+curl -sf -X POST "http://$ADDR/v1/query/V" -d '{"bindings":{"x":1}}' > "$TMP/cache.b"
+cmp "$TMP/cache.a" "$TMP/cache.b" || { echo "cached replay diverges from the first response" >&2; exit 1; }
+curl -sf "http://$ADDR/v1/stats" > "$TMP/stats-cache.json"
+grep -q '"cache"' "$TMP/stats-cache.json" || { echo "/v1/stats has no cache section" >&2; cat "$TMP/stats-cache.json" >&2; exit 1; }
+hits=$(sed -n 's/.*"cache":{[^}]*"hits":\([0-9]*\).*/\1/p' "$TMP/stats-cache.json")
+[ -n "$hits" ] && [ "$hits" -gt 0 ] || { echo "cache hits counter is '$hits', want > 0" >&2; cat "$TMP/stats-cache.json" >&2; exit 1; }
+# The hot reload above bumped the snapshot generation while entries from
+# the diff loop were resident, so invalidation must have fired.
+inval=$(sed -n 's/.*"cache":{[^}]*"invalidated":\([0-9]*\).*/\1/p' "$TMP/stats-cache.json")
+[ -n "$inval" ] && [ "$inval" -gt 0 ] || { echo "cache invalidated counter is '$inval', want > 0 after reload" >&2; cat "$TMP/stats-cache.json" >&2; exit 1; }
 
 echo "== graceful shutdown"
 kill -INT "$SRV_PID"
