@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-record smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke lint ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-record smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke wal-smoke lint ci
 
 all: build
 
@@ -118,5 +118,14 @@ serve-smoke:
 dist-smoke:
 	sh scripts/dist_smoke.sh
 
-ci: build vet fmt-check lint test race bench-smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke
+# Durable-maintenance crash gate (DESIGN.md §9): the churn difftest and
+# crash-recovery suites under -race, then the wal_smoke.sh crash script —
+# a cqchurn writer killed mid-script and a kill -9'd cqserve -wal-dir must
+# both recover byte-identically from the update log. Mirrors the CI wal
+# job.
+wal-smoke:
+	$(GO) test -race -shuffle=on -run 'TestChurn|TestDeltaApply|TestWAL|TestUpdateLog|TestNoopDelete|TestRebuildBatch' ./internal/core ./internal/difftest ./internal/httpserve ./internal/wal
+	sh scripts/wal_smoke.sh
+
+ci: build vet fmt-check lint test race bench-smoke examples snapshot-check difftest fuzz-smoke serve-smoke dist-smoke wal-smoke
 	$(MAKE) bench-record BENCHOUT=$$(mktemp /tmp/cqrep-bench-XXXXXX.json)

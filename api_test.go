@@ -340,8 +340,8 @@ func TestMaintainedFacade(t *testing.T) {
 // TestExperimentFacade smoke-runs the public experiment runner that
 // cmd/cqbench stands on.
 func TestExperimentFacade(t *testing.T) {
-	if len(cqrep.Experiments()) != 20 {
-		t.Fatalf("Experiments() lists %d entries, want 20 (E1..E19 plus E21)", len(cqrep.Experiments()))
+	if len(cqrep.Experiments()) != 21 {
+		t.Fatalf("Experiments() lists %d entries, want 21 (E1..E21)", len(cqrep.Experiments()))
 	}
 	tables, err := cqrep.RunExperiment("e8", cqrep.ExperimentConfig{})
 	if err != nil {

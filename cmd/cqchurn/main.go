@@ -1,0 +1,158 @@
+// Command cqchurn is the durable-maintenance exerciser behind
+// scripts/wal_smoke.sh: it loads a compiled snapshot, resumes it as a
+// Maintained view with a write-ahead update log attached, applies a
+// seeded churn script against the base relations, and dumps the full
+// enumeration so two runs can be compared byte-for-byte.
+//
+//	cqchurn -snapshot v.cqs -wal v.wal -seed 7 -n 60 -o ref.tuples
+//	cqchurn -snapshot v.cqs -wal v.wal -seed 7 -n 120 -crash-after 60
+//	cqchurn -snapshot v.cqs -wal v.wal -n 0 -o recovered.tuples
+//
+// -crash-after K simulates the process dying mid-script: after the K-th
+// change is acknowledged (and therefore durable in the log) the process
+// exits hard — no flush, no close, no compaction — with status 3. A later
+// run on the same snapshot+log replays the logged tail at AttachWAL time,
+// so `-n 0 -o out` recovers and dumps exactly the state an uninterrupted
+// K-step run would have produced.
+//
+// The churn script is deterministic in (-seed, -n, -domain) and the
+// loaded database state, so two runs from identical snapshot copies apply
+// identical change sequences. Because the maintained view is resumed
+// under the snapshot's own build recipe (strategy, shards, τ from its
+// stats), recompiles preserve the enumeration order and dumps stay
+// byte-comparable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"cqrep"
+	"cqrep/internal/workload"
+)
+
+// crashExit is the status of a simulated mid-script crash, distinct from
+// usage (2) and runtime (1) failures so wal_smoke.sh can assert on it.
+const crashExit = 3
+
+func main() {
+	fs := flag.NewFlagSet("cqchurn", flag.ExitOnError)
+	snapshot := fs.String("snapshot", "", "compiled snapshot to resume (required; rewritten on compaction)")
+	walPath := fs.String("wal", "", "update-log path (required; created if missing, replayed if not)")
+	seed := fs.Int64("seed", 7, "churn-script seed")
+	n := fs.Int("n", 0, "changes to apply (0 = replay the log and dump only)")
+	crashAfter := fs.Int("crash-after", 0, "exit hard (status 3) once this many changes are durable (0 = run to completion)")
+	domain := fs.Int("domain", 32, "value domain of inserted tuples")
+	fraction := fs.Float64("fraction", 0.25, "staleness budget as a fraction of |D| (<=0 rebuilds per change)")
+	out := fs.String("o", "", "dump the final enumeration here, one comma-separated tuple per line (requires an all-free view)")
+	fs.Parse(os.Args[1:])
+	if *snapshot == "" || *walPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: cqchurn -snapshot FILE.cqs -wal FILE.wal [-seed S] [-n N] [-crash-after K] [-o OUT]")
+		os.Exit(2)
+	}
+	if err := run(*snapshot, *walPath, *seed, *n, *crashAfter, *domain, *fraction, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "cqchurn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(snapshot, walPath string, seed int64, n, crashAfter, domain int, fraction float64, out string) error {
+	rep, err := cqrep.Load(snapshot)
+	if err != nil {
+		return err
+	}
+	db := rep.Database()
+	if db == nil {
+		return fmt.Errorf("%s carries no base database", snapshot)
+	}
+	// The script is generated before any changes apply, off the loaded
+	// state — identical snapshot copies therefore draw identical scripts.
+	ops, err := workload.ChurnScript(seed, db, db.Names(), domain, n)
+	if err != nil {
+		return err
+	}
+	m, err := cqrep.ResumeMaintained(rep, fraction, resumeOptions(rep)...)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	replayed, err := m.AttachWAL(walPath, snapshot)
+	if err != nil {
+		return err
+	}
+	for i, op := range ops {
+		if op.Del {
+			err = m.Delete(op.Rel, op.Tuple)
+		} else {
+			err = m.Insert(op.Rel, op.Tuple)
+		}
+		if err != nil {
+			return fmt.Errorf("change %d: %w", i+1, err)
+		}
+		if crashAfter > 0 && i+1 == crashAfter {
+			// The change above is durable in the log; dying here without a
+			// flush or close is exactly the crash the log exists for.
+			fmt.Fprintf(os.Stderr, "cqchurn: simulated crash after %d changes (seq %d)\n", crashAfter, m.LastSeq())
+			os.Exit(crashExit)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		return err
+	}
+	if err := m.CompactErr(); err != nil {
+		return fmt.Errorf("compacting %s: %w", walPath, err)
+	}
+	fmt.Printf("cqchurn: replayed %d, applied %d, rebuilds %d, delta-applies %d, no-op deletes %d, last seq %d\n",
+		replayed, len(ops), m.Rebuilds(), m.DeltaApplies(), m.NoopDeletes(), m.LastSeq())
+	if out != "" {
+		return dump(m, out)
+	}
+	return nil
+}
+
+// resumeOptions reconstructs the build options the snapshot was compiled
+// under from its stats, so fallback recompiles preserve the enumeration
+// order and dumps from different runs stay byte-comparable.
+func resumeOptions(rep *cqrep.Representation) []cqrep.Option {
+	st := rep.Stats()
+	opts := []cqrep.Option{cqrep.WithStrategy(st.Strategy)}
+	if st.Shards > 1 {
+		opts = append(opts, cqrep.WithShards(st.Shards))
+	}
+	if st.Strategy == cqrep.PrimitiveStrategy && st.Tau > 0 {
+		opts = append(opts, cqrep.WithTau(st.Tau))
+	}
+	return opts
+}
+
+// dump writes the full enumeration to path, one tuple per line in
+// enumeration order — the byte-comparison artifact of wal_smoke.sh.
+func dump(m *cqrep.Maintained, path string) error {
+	if bound := m.Snapshot().BoundNames(); len(bound) > 0 {
+		return fmt.Errorf("-o needs a view with no bound variables (this one binds %v)", bound)
+	}
+	it, err := m.Query(cqrep.Tuple{})
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 1<<16)
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		for i, v := range t {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(v), 10)
+		}
+		buf = append(buf, '\n')
+	}
+	if err := cqrep.IterErr(it); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

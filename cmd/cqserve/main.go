@@ -26,6 +26,15 @@
 // entries by registry generation — hit/miss/evict/coalesce counters show
 // up in /v1/stats.
 //
+// -wal-dir <dir> arms durable-update recovery (DESIGN.md §9): on startup
+// every view replays its <dir>/<view>.wal tail — churn a crashed writer
+// acknowledged but never compiled into the snapshot — on top of the
+// loaded representation, persists the recovered state back over the
+// snapshot file, and compacts the log, so a kill -9 loses nothing and a
+// second start replays zero entries. /readyz and /v1/stats report the
+// replay count; a log that cannot be replayed (schema mismatch) fails
+// the load rather than silently dropping durable writes.
+//
 // Worker mode (-worker, or -join http://coord) starts with an empty
 // registry, exposes POST /v1/attach and /v1/detach so a cqcoord
 // coordinator can ship shard snapshots onto this node, and — with -join —
@@ -74,6 +83,7 @@ type config struct {
 	join       string
 	advertise  string
 	spool      string
+	walDir     string
 }
 
 type listFlag []string
@@ -100,6 +110,7 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.join, "join", "", "coordinator base URL to join (e.g. http://coord:8070); enables worker mode")
 	fs.StringVar(&cfg.advertise, "advertise", "", "base URL the coordinator reaches this worker on (default derived from the listen address)")
 	fs.StringVar(&cfg.spool, "spool", "", "directory for snapshots fetched via /v1/attach (default: OS temp dir)")
+	fs.StringVar(&cfg.walDir, "wal-dir", "", "directory of durable update logs: <view>.wal files are replayed over their snapshots at load, then compacted (empty = no WAL recovery)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -135,7 +146,7 @@ func run(ctx context.Context, cfg config, logw *os.File) error {
 		Workers: cfg.workers, Buffer: cfg.buffer,
 		FlushBatch: cfg.flushBatch, Mmap: cfg.mmap,
 		Admin: cfg.worker, SpoolDir: cfg.spool,
-		CacheBytes: cfg.cacheBytes,
+		CacheBytes: cfg.cacheBytes, WALDir: cfg.walDir,
 	}
 	if cfg.join != "" {
 		// A worker that is told to join is not ready until its coordinator

@@ -180,6 +180,14 @@ func (r *Representation) Exists(binding Tuple) bool { return r.rep.Exists(bindin
 // Stats returns the build statistics.
 func (r *Representation) Stats() Stats { return r.rep.Stats() }
 
+// Database returns the base-relation database the representation was
+// compiled over. Snapshots carry the base relations, so loaded
+// representations have one too — that is what lets ResumeMaintained turn
+// a snapshot back into an updatable view. The database is shared with the
+// representation: treat it as read-only and route changes through
+// Maintained.
+func (r *Representation) Database() *Database { return r.rep.Database() }
+
 // View returns the (full) compiled view.
 func (r *Representation) View() *View { return r.rep.View() }
 

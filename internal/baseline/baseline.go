@@ -12,6 +12,8 @@
 package baseline
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"cqrep/internal/interval"
@@ -224,4 +226,66 @@ func (a *AllBound) Query(vb relation.Tuple) *SliceIter {
 // constant number of index probes, with no iterator allocation.
 func (a *AllBound) Contains(vb relation.Tuple) bool {
 	return len(vb) == len(a.inst.NV.Bound) && a.inst.CheckAllBoundAtoms(vb)
+}
+
+// ApplyOutputDelta returns a MaterializedView over inst (the same view
+// compiled over an updated database) built copy-on-write from this one:
+// dels remove existing output tuples, adds insert new ones, each bucket
+// keeping its lexicographic free order so enumeration stays byte-for-byte
+// identical to a fresh Materialize. The receiver is untouched — concurrent
+// queries keep draining it. delVb/delFree and addVb/addFree are parallel
+// slices of (bound valuation, free tuple) pairs; a del that is not present
+// or an add that already is means the delta was mis-derived, and the call
+// fails so the caller can fall back to a full rematerialization.
+func (m *MaterializedView) ApplyOutputDelta(inst *join.Instance, delVb, delFree, addVb, addFree []relation.Tuple) (*MaterializedView, error) {
+	start := time.Now()
+	out := &MaterializedView{inst: inst, buckets: m.buckets, tuples: m.tuples}
+	if len(delVb)+len(addVb) > 0 {
+		// Clone the bucket map once; individual bucket slices are cloned
+		// only when first edited (touched tracks which are ours).
+		nb := make(map[string][]relation.Tuple, len(m.buckets))
+		for k, v := range m.buckets {
+			nb[k] = v
+		}
+		out.buckets = nb
+	}
+	touched := make(map[string]bool)
+	own := func(key string) []relation.Tuple {
+		b := out.buckets[key]
+		if !touched[key] {
+			b = append([]relation.Tuple(nil), b...)
+			touched[key] = true
+		}
+		return b
+	}
+	for i, vb := range delVb {
+		key := string(vb.AppendEncode(nil))
+		b := own(key)
+		idx := sort.Search(len(b), func(j int) bool { return !b[j].Less(delFree[i]) })
+		if idx >= len(b) || !b[idx].Equal(delFree[i]) {
+			return nil, fmt.Errorf("baseline: delta removes absent output %v|%v", vb, delFree[i])
+		}
+		b = append(b[:idx], b[idx+1:]...)
+		if len(b) == 0 {
+			delete(out.buckets, key)
+		} else {
+			out.buckets[key] = b
+		}
+		out.tuples--
+	}
+	for i, vb := range addVb {
+		key := string(vb.AppendEncode(nil))
+		b := own(key)
+		idx := sort.Search(len(b), func(j int) bool { return !b[j].Less(addFree[i]) })
+		if idx < len(b) && b[idx].Equal(addFree[i]) {
+			return nil, fmt.Errorf("baseline: delta inserts duplicate output %v|%v", vb, addFree[i])
+		}
+		b = append(b, nil)
+		copy(b[idx+1:], b[idx:])
+		b[idx] = addFree[i].Clone()
+		out.buckets[key] = b
+		out.tuples++
+	}
+	out.elapsed = time.Since(start)
+	return out, nil
 }

@@ -127,6 +127,18 @@ var backendSpecs = map[Strategy]backendSpec{
 	},
 }
 
+// deltaChanges splits output changes into the parallel (bound, free)
+// slices the structure-level delta entry points take.
+func deltaChanges(ocs []outputChange) (vbs, frees []relation.Tuple) {
+	vbs = make([]relation.Tuple, len(ocs))
+	frees = make([]relation.Tuple, len(ocs))
+	for i, oc := range ocs {
+		vbs[i] = oc.vb
+		frees[i] = oc.free
+	}
+	return vbs, frees
+}
+
 // existsByQuery is the generic membership fallback for backends without a
 // native probe: open an enumeration and ask for the first tuple.
 func existsByQuery(b backend, vb relation.Tuple) bool {
@@ -141,6 +153,25 @@ func (b primitiveBackend) Query(vb relation.Tuple) Iterator { return b.s.Query(v
 func (b primitiveBackend) Exists(vb relation.Tuple) bool    { return existsByQuery(b, vb) }
 func (b primitiveBackend) EncodeTo(e *relation.Encoder)     { b.s.EncodeTo(e) }
 func (b primitiveBackend) EnumOrder() []int                 { return nil }
+
+// applyDelta rebases the delay-balanced tree onto the new instance,
+// invalidating the dictionary 0-entries that net-added outputs falsify
+// (see primitive/delta.go). Net deletions need no dictionary repair.
+func (b primitiveBackend) applyDelta(shell *Representation, d *outputDelta) (backend, bool, error) {
+	addVb, addFree := deltaChanges(d.adds)
+	s, ok := b.s.DeltaRebase(shell.inst, addVb, addFree)
+	if !ok {
+		return nil, false, nil
+	}
+	st := s.Stats()
+	shell.stats.Entries = st.DictEntries + st.TreeNodes
+	shell.stats.Bytes = st.Bytes
+	shell.stats.Tau = s.Tau()
+	shell.stats.Alpha = s.Estimator().Alpha
+	return primitiveBackend{s: s}, true, nil
+}
+
+func (b primitiveBackend) needsOutputs() bool { return true }
 
 // decompBackend serves the Theorem-2 per-bag structure.
 type decompBackend struct{ s *decomp.Structure }
@@ -162,6 +193,24 @@ func (b materializedBackend) Exists(vb relation.Tuple) bool    { return b.m.Cont
 func (b materializedBackend) EncodeTo(e *relation.Encoder)     { b.m.EncodeTo(e) }
 func (b materializedBackend) EnumOrder() []int                 { return nil }
 
+// applyDelta edits the output buckets tuple-by-tuple on a copy-on-write
+// clone — exactly the incremental-view-maintenance case the full-view
+// single-derivation property makes counting-free.
+func (b materializedBackend) applyDelta(shell *Representation, d *outputDelta) (backend, bool, error) {
+	delVb, delFree := deltaChanges(d.dels)
+	addVb, addFree := deltaChanges(d.adds)
+	m, err := b.m.ApplyOutputDelta(shell.inst, delVb, delFree, addVb, addFree)
+	if err != nil {
+		return nil, false, err
+	}
+	st := m.Stats()
+	shell.stats.Entries = st.Tuples
+	shell.stats.Bytes = st.Bytes
+	return materializedBackend{m: m}, true, nil
+}
+
+func (b materializedBackend) needsOutputs() bool { return true }
+
 // directBackend evaluates every request from scratch; it stores no
 // precomputed state, so its snapshot payload is empty.
 type directBackend struct{ d *baseline.DirectEval }
@@ -179,3 +228,15 @@ func (b allBoundBackend) Query(vb relation.Tuple) Iterator { return b.a.Query(vb
 func (b allBoundBackend) Exists(vb relation.Tuple) bool    { return b.a.Contains(vb) }
 func (b allBoundBackend) EncodeTo(e *relation.Encoder)     {}
 func (b allBoundBackend) EnumOrder() []int                 { return nil }
+
+// applyDelta rewraps the new shell's base indexes: AllBound stores nothing
+// beyond them, so the "delta" is a constant-time rebind — no output delta
+// is ever computed (needsOutputs is false).
+func (b allBoundBackend) applyDelta(shell *Representation, _ *outputDelta) (backend, bool, error) {
+	if shell.inst.Mu != 0 {
+		return nil, false, nil
+	}
+	return allBoundBackend{a: baseline.NewAllBound(shell.inst)}, true, nil
+}
+
+func (b allBoundBackend) needsOutputs() bool { return false }

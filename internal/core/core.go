@@ -83,6 +83,7 @@ type config struct {
 	delayBudget float64 // τ bound; 0 = unset
 	workers     int     // build parallelism; 0 = GOMAXPROCS
 	shards      int     // hash shards; <= 1 = single backend
+	noDelta     bool    // disable the delta-apply maintenance path
 	ctx         context.Context
 }
 
@@ -135,6 +136,15 @@ func WithWorkers(n int) Option { return func(cfg *config) { cfg.workers = n } }
 // WithDelayBudget) apply per shard. n <= 1 (the default) compiles a single
 // backend.
 func WithShards(n int) Option { return func(cfg *config) { cfg.shards = n } }
+
+// WithDeltaApply toggles the delta-application maintenance path (on by
+// default): backends with the deltaApplier capability — materialized
+// buckets, all-bound indexes, and the Theorem-1 tree — absorb a change
+// batch on a copy-on-write clone instead of recompiling; everything else
+// (and any delta out of a backend's reach) falls back to the full or
+// dirty-shard recompile regardless of this option. Build itself ignores
+// the option; only Maintained's rebuild cycle consults it.
+func WithDeltaApply(enabled bool) Option { return func(cfg *config) { cfg.noDelta = !enabled } }
 
 // Stats describes a built representation.
 type Stats struct {
@@ -520,6 +530,16 @@ func (r *Representation) Normalized() *cq.NormalizedView {
 func (r *Representation) Instance() *join.Instance {
 	r.ensure()
 	return r.inst
+}
+
+// Database returns the base-relation database the representation was
+// compiled over (snapshots carry it, so loaded representations have one
+// too), or nil for an mmap-loaded representation that fails to decode.
+// The database is shared with the representation: callers must treat it
+// as read-only and route changes through Maintained instead.
+func (r *Representation) Database() *relation.Database {
+	r.ensure()
+	return r.db
 }
 
 // EnumOrder reports the representation's enumeration order as output

@@ -168,10 +168,12 @@ func TestMaintainedAutoRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 inserts > 10% of 20: the third insert triggers a background
-	// rebuild; Quiesce waits for the swap so the test observes it
-	// deterministically.
-	for i := 0; i < 3; i++ {
+	// The budget is max(10% of 20, minChurnBatch): the floor governs on a
+	// database this small, so the rebuild fires on the insert that pushes
+	// pending past minChurnBatch; Quiesce waits for the swap so the test
+	// observes it deterministically.
+	n := minChurnBatch + 1
+	for i := 0; i < n; i++ {
 		if err := m.Insert("R", relation.Tuple{100, relation.Value(i)}); err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +183,7 @@ func TestMaintainedAutoRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := Drain(it); len(got) != 3 {
+	if got := Drain(it); len(got) != n {
 		t.Fatalf("auto rebuild missing inserts: %v", got)
 	}
 	if m.Rebuilds() != 1 || m.Pending() != 0 {

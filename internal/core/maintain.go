@@ -44,11 +44,16 @@ type Maintained struct {
 	fraction float64
 	rep      atomic.Pointer[Representation]
 
-	mu       sync.RWMutex // guards db, pending, rebuilds, err
-	db       *relation.Database
-	pending  []change
-	rebuilds int
-	err      error
+	mu           sync.RWMutex // guards db, pending, seq, counters, err
+	db           *relation.Database
+	pending      []change
+	seq          uint64 // last assigned change sequence number
+	log          UpdateLog
+	rebuilds     int
+	deltaApplies int
+	noopDeletes  int
+	err          error
+	compactErr   error
 
 	rebuilding atomic.Bool
 	wg         sync.WaitGroup
@@ -58,13 +63,37 @@ type Maintained struct {
 	// a concurrent triggerRebuild loses its CompareAndSwap and relies on
 	// the post-clear staleness re-check for liveness.
 	testHookPreClear func()
+	// testHookBatchTaken runs right after rebuildBatch snapshots its batch
+	// and releases the lock — the window in which the snapshot must be
+	// independent of the live pending slice.
+	testHookBatchTaken func()
+}
+
+// UpdateLog is the durable update log Maintained writes before buffering
+// (see internal/wal): Append persists one change under the buffer lock so
+// the log order is exactly the buffer order, and Compact is invoked after
+// every successful rebuild with the highest sequence number the new
+// snapshot contains. Implementations decide whether (and how) to actually
+// truncate; a failed Append fails the Insert/Delete that caused it — an
+// update that is not durable is not acknowledged.
+type UpdateLog interface {
+	Append(seq uint64, rel string, t relation.Tuple, del bool) error
+	Compact(applied uint64) error
 }
 
 type change struct {
+	seq    uint64
 	rel    string
 	tuple  relation.Tuple
 	delete bool
 }
+
+// minChurnBatch floors the staleness budget: fraction·|D| on an empty or
+// tiny database degenerates to a rebuild per insert (budget 0), turning
+// bulk-loading a fresh Maintained into a compile storm. Batching at least
+// this many changes keeps bootstrap amortized; fraction <= 0 still means
+// rebuild-on-every-change (the explicit synchronous-maintenance mode).
+const minChurnBatch = 32
 
 // NewMaintained compiles the view and arms the rebuild policy. fraction is
 // the staleness budget relative to |D| (e.g. 0.1 rebuilds after 10% churn);
@@ -118,7 +147,18 @@ func (m *Maintained) buffer(rel string, t relation.Tuple, del bool) error {
 		}
 		return fmt.Errorf("%w: %s arity-%d tuple for %s/%d", ErrArity, op, len(t), rel, r.Arity())
 	}
-	m.pending = append(m.pending, change{rel: rel, tuple: t.Clone(), delete: del})
+	c := change{seq: m.seq + 1, rel: rel, tuple: t.Clone(), delete: del}
+	if m.log != nil {
+		// Log before buffering: once buffer returns nil the update is
+		// durable. A failed append leaves seq and pending untouched, so
+		// the caller can retry without a gap in the log.
+		if err := m.log.Append(c.seq, c.rel, c.tuple, c.delete); err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("core: update log append: %w", err)
+		}
+	}
+	m.seq = c.seq
+	m.pending = append(m.pending, c)
 	stale := m.staleLocked()
 	m.mu.Unlock()
 	if stale {
@@ -127,13 +167,52 @@ func (m *Maintained) buffer(rel string, t relation.Tuple, del bool) error {
 	return nil
 }
 
-// staleLocked reports whether the buffered churn exceeds the policy budget.
+// SetUpdateLog arms the durable update log. lastSeq is the highest
+// sequence number already in the log (0 for a fresh one); new changes are
+// numbered after it. Must be called before any Insert/Delete/Replay —
+// changes buffered earlier are not retroactively logged.
+func (m *Maintained) SetUpdateLog(l UpdateLog, lastSeq uint64) {
+	m.mu.Lock()
+	m.log = l
+	if lastSeq > m.seq {
+		m.seq = lastSeq
+	}
+	m.mu.Unlock()
+}
+
+// Replay buffers one change recovered from the update log without
+// re-logging it and without triggering a rebuild — recovery replays the
+// whole tail and then calls Flush once. Replay is idempotent under the
+// relation set semantics: an insert already reflected in the snapshot
+// re-applies as a no-op, a delete of an absent tuple is counted in
+// NoopDeletes (see the rebuild apply loop) and changes nothing.
+func (m *Maintained) Replay(rel string, t relation.Tuple, del bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, err := m.db.Relation(rel)
+	if err != nil {
+		return err
+	}
+	if r.Arity() != len(t) {
+		return fmt.Errorf("%w: replaying arity-%d tuple for %s/%d", ErrArity, len(t), rel, r.Arity())
+	}
+	m.seq++
+	m.pending = append(m.pending, change{seq: m.seq, rel: rel, tuple: t.Clone(), delete: del})
+	return nil
+}
+
+// staleLocked reports whether the buffered churn exceeds the policy budget
+// fraction·|D|, floored at minChurnBatch so an empty or tiny database does
+// not rebuild once per change (fraction <= 0 keeps meaning exactly that).
 // Callers hold m.mu (read or write).
 func (m *Maintained) staleLocked() bool {
 	if len(m.pending) == 0 {
 		return false
 	}
 	budget := m.fraction * float64(m.db.Size())
+	if m.fraction > 0 && budget < minChurnBatch {
+		budget = minChurnBatch
+	}
 	return float64(len(m.pending)) > math.Max(budget, 0)
 }
 
@@ -164,9 +243,19 @@ func (m *Maintained) triggerRebuild() {
 func (m *Maintained) rebuildBatch() {
 	m.mu.RLock()
 	n := len(m.pending)
-	batch := m.pending[:n]
+	// Copy the batch under the lock: m.pending[:n] would alias the live
+	// backing array that concurrent buffer appends keep writing into —
+	// safe only as long as appends never touch an index below n, an
+	// invariant one refactor (in-place compaction, reordering, reuse of
+	// freed capacity) away from silent batch corruption. The WAL sequence
+	// numbers embedded in the batch make that corruption durable, so the
+	// snapshot must be independent.
+	batch := append([]change(nil), m.pending[:n]...)
 	db := m.db
 	m.mu.RUnlock()
+	if m.testHookBatchTaken != nil {
+		m.testHookBatchTaken()
+	}
 
 	if n == 0 {
 		m.rebuilding.Store(false)
@@ -175,6 +264,7 @@ func (m *Maintained) rebuildBatch() {
 	}
 
 	clone := db.Clone()
+	noops := 0
 	var applyErr error
 	for _, c := range batch {
 		r, err := clone.Relation(c.rel)
@@ -183,21 +273,29 @@ func (m *Maintained) rebuildBatch() {
 			break
 		}
 		if c.delete {
-			r.Delete(c.tuple)
+			// Deleting an absent tuple is a set-semantics no-op; count it
+			// (a client deleting blind, or a WAL replay over a snapshot
+			// that already contains the delete) instead of silently
+			// swallowing the report.
+			if !r.Delete(c.tuple) {
+				noops++
+			}
 		} else if err := r.Insert(c.tuple); err != nil {
 			applyErr = err
 			break
 		}
 	}
-	// Sharded representations recompile only the shards whose partition the
-	// batch touched (see Representation.rebuildFor); everything else is a
-	// full recompile, exactly as before.
+	// Capable backends absorb the batch through the delta path; sharded
+	// representations recompile only the shards whose partition the batch
+	// touched; everything else is a full recompile (Representation.rebuildFor).
 	var rep *Representation
+	deltas := 0
 	if applyErr == nil {
-		rep, applyErr = m.rep.Load().rebuildFor(clone, batch, m.opts)
+		rep, deltas, applyErr = m.rep.Load().rebuildFor(clone, batch, m.opts)
 	}
 
 	m.mu.Lock()
+	var compactTo uint64
 	if applyErr != nil {
 		// Keep the batch buffered so no update is lost; further automatic
 		// rebuilds are suppressed until Flush observes the error and
@@ -207,9 +305,24 @@ func (m *Maintained) rebuildBatch() {
 		m.db = clone
 		m.pending = append([]change(nil), m.pending[n:]...)
 		m.rebuilds++
+		m.deltaApplies += deltas
+		m.noopDeletes += noops
 		m.rep.Store(rep)
+		compactTo = batch[n-1].seq
 	}
+	log := m.log
 	m.mu.Unlock()
+
+	if applyErr == nil && log != nil {
+		// The new snapshot contains every change up to compactTo; let the
+		// log drop them (behind its snapshot-first protocol). Compaction
+		// failures never block maintenance — the log just stays longer.
+		if cerr := log.Compact(compactTo); cerr != nil {
+			m.mu.Lock()
+			m.compactErr = cerr
+			m.mu.Unlock()
+		}
+	}
 
 	if m.testHookPreClear != nil {
 		m.testHookPreClear()
@@ -314,5 +427,58 @@ func (m *Maintained) Rebuilds() int {
 	return m.rebuilds
 }
 
+// DeltaApplies returns how many backends absorbed a change batch through
+// the delta-application path instead of a recompile (per rebuild cycle,
+// one for an unsharded backend, up to the dirty-shard count for sharded
+// representations).
+func (m *Maintained) DeltaApplies() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.deltaApplies
+}
+
+// NoopDeletes returns how many buffered deletes targeted a tuple that was
+// not present when the batch applied — set-semantics no-ops that earlier
+// versions silently swallowed.
+func (m *Maintained) NoopDeletes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.noopDeletes
+}
+
+// LastSeq returns the sequence number of the most recently buffered
+// change (0 before the first).
+func (m *Maintained) LastSeq() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.seq
+}
+
+// CompactErr returns the error of the most recent failed update-log
+// compaction, if any. Compaction failures never pause maintenance — the
+// log merely keeps entries the snapshot already contains.
+func (m *Maintained) CompactErr() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.compactErr
+}
+
 // Rep exposes the current snapshot's representation (for stats).
 func (m *Maintained) Rep() *Representation { return m.rep.Load() }
+
+// ResumeMaintained arms maintenance over an already-compiled
+// representation — typically one loaded from a snapshot, whose frame
+// carries the base relations it was compiled over. Recovery pairs it with
+// an update log: load the snapshot, ResumeMaintained, SetUpdateLog with
+// the log's last sequence, Replay the log's entries, Flush.
+func ResumeMaintained(rep *Representation, fraction float64, opts ...Option) (*Maintained, error) {
+	if err := rep.ensure(); err != nil {
+		return nil, err
+	}
+	if rep.db == nil {
+		return nil, fmt.Errorf("%w: representation carries no base database", ErrBadSnapshot)
+	}
+	m := &Maintained{view: rep.orig, db: rep.db, opts: opts, fraction: fraction}
+	m.rep.Store(rep)
+	return m, nil
+}

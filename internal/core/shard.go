@@ -398,49 +398,90 @@ func finishSharded(r *Representation, p *partitioner, subs []*Representation) {
 }
 
 // rebuildFor compiles the replacement representation over db (a clone
-// with batch already applied), for Maintained's build-aside cycle. A
-// sharded representation recompiles only the shards whose partition the
-// batch touched, reusing every clean shard's compiled structure — the
-// amortized maintenance cost drops from T_C to T_C/n per dirty shard.
-// Unsharded representations, and batches that touch a replicated
-// relation, fall back to a full build.
-func (r *Representation) rebuildFor(db *relation.Database, batch []change, opts []Option) (*Representation, error) {
-	sb, ok := r.be.(*shardedBackend)
-	if !ok {
-		return Build(r.orig, db, opts...)
+// with batch already applied), for Maintained's build-aside cycle, and
+// reports how many backends absorbed the batch through the delta path.
+// Routing, cheapest first:
+//
+//   - an unsharded backend with the deltaApplier capability applies the
+//     batch's output delta on a copy-on-write clone (see delta.go);
+//   - a sharded representation recompiles only the shards whose partition
+//     the batch touched, reusing every clean shard's compiled structure —
+//     and each dirty shard's own backend gets the capability probe first,
+//     with the batch mapped through the shard's relation specs;
+//   - everything else — incapable backends, deltas out of reach, batches
+//     touching a replicated relation — is the full build, exactly as
+//     before.
+func (r *Representation) rebuildFor(db *relation.Database, batch []change, opts []Option) (*Representation, int, error) {
+	cfg, err := newBuildConfig(nil, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	sb, sharded := r.be.(*shardedBackend)
+	if !sharded {
+		if rep, ok := r.tryDelta(db, batch, cfg); ok {
+			return rep, 1, nil
+		}
+		rep, err := Build(r.orig, db, opts...)
+		return rep, 0, err
 	}
 	dirty, all := sb.parts.dirtyShards(batch)
 	if all {
-		return Build(r.orig, db, opts...)
-	}
-	cfg, err := newBuildConfig(nil, opts)
-	if err != nil {
-		return nil, err
+		rep, err := Build(r.orig, db, opts...)
+		return rep, 0, err
 	}
 	shell, err := newShell(r.orig, db)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	start := time.Now()
 	p := sb.parts
 	dbs := make([]*relation.Database, p.n)
 	reuse := make([]*Representation, p.n)
+	deltas := 0
 	for i, sub := range sb.subs {
 		if !dirty[i] {
 			reuse[i] = sub
 			continue
 		}
-		if dbs[i], err = p.subDatabase(db, i); err != nil {
-			return nil, err
+		subDB, err := p.subDatabase(db, i)
+		if err != nil {
+			return nil, 0, err
 		}
+		if rep, ok := sub.tryDelta(subDB, p.shardBatch(batch, i), cfg); ok {
+			reuse[i] = rep
+			deltas++
+			continue
+		}
+		dbs[i] = subDB
 	}
 	subs, err := compileShards(p, dbs, reuse, cfg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	finishSharded(shell, p, subs)
 	shell.stats.BuildTime = time.Since(start)
-	return shell, nil
+	return shell, deltas, nil
+}
+
+// shardBatch maps a change batch onto shard s's relation namespace: a
+// change to base relation R becomes one change per spec derived from R
+// whose partition owns the tuple, under the spec's (possibly aliased)
+// name. Replicated specs never appear here — a batch touching one took
+// the full-build path already. Order is preserved, so per-shard net
+// semantics match the global batch.
+func (p *partitioner) shardBatch(batch []change, s int) []change {
+	var out []change
+	for _, c := range batch {
+		for _, spec := range p.specs {
+			if spec.src != c.rel || len(spec.cols) == 0 {
+				continue
+			}
+			if relation.TupleShard(c.tuple, spec.cols, p.n) == s {
+				out = append(out, change{seq: c.seq, rel: spec.name, tuple: c.tuple, delete: c.delete})
+			}
+		}
+	}
+	return out
 }
 
 // EncodeTo writes the composite's snapshot payload: the shard-key variable

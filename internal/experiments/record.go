@@ -332,6 +332,9 @@ func RecordBench(edges, queries int, seed int64, clients int) (*BenchRecord, err
 	if err := recordCachedServe(rec, dir, edges, seed, clients); err != nil {
 		return nil, err
 	}
+	if err := recordMaintain(rec, edges, seed); err != nil {
+		return nil, err
+	}
 	return rec, nil
 }
 

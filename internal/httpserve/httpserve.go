@@ -74,6 +74,12 @@ type Options struct {
 	// checks — a worker reports unready until it has joined its
 	// coordinator, whatever its registry holds.
 	ReadyGate func() bool
+	// WALDir, when non-empty, arms durable-update recovery (wal.go): each
+	// snapshot load replays <registry-name>.wal from this directory on top
+	// of the loaded representation, persists the recovered state back over
+	// the snapshot file, and compacts the log. A missing or empty log is a
+	// no-op; a log that cannot be replayed fails the load.
+	WALDir string
 	// CacheBytes bounds the hot-binding result cache (cache.go): encoded
 	// result streams for repeated (view, generation, binding, format)
 	// keys are replayed from memory under this byte budget with LRU
@@ -170,6 +176,7 @@ type viewEntry struct {
 	streamsErrored  atomic.Uint64
 	streamsAborted  atomic.Uint64
 	baseTup         func() int // lazy: materializes mmap-loaded representations
+	wal             walStatus  // recovery outcome when Options.WALDir is set
 }
 
 // streamDisposition is how one started stream ended; see the Handler
@@ -307,6 +314,15 @@ func (h *Handler) loadEntry(spec SnapshotSpec) (*viewEntry, error) {
 	if name == "" {
 		name = rep.View().Name
 	}
+	var wst walStatus
+	if h.opts.WALDir != "" {
+		// Recovery before serving: the log holds churn a writer already
+		// acknowledged as durable, so the registry must reflect it.
+		rep, wst, err = recoverWAL(rep, walPathFor(h.opts.WALDir, name), spec.Path)
+		if err != nil {
+			return nil, fmt.Errorf("httpserve: %s: %w", spec.Path, err)
+		}
+	}
 	srvOpts := []core.ServerOption{core.WithFlushBatch(h.flushBatch())}
 	if h.opts.Buffer > 0 {
 		srvOpts = append(srvOpts, core.WithServerBuffer(h.opts.Buffer))
@@ -325,6 +341,7 @@ func (h *Handler) loadEntry(spec SnapshotSpec) (*viewEntry, error) {
 		// Deferred: counting base tuples materializes the
 		// representation, which an mmap load must not do at startup.
 		baseTup: sync.OnceValue(func() int { return baseTuples(rep) }),
+		wal:     wst,
 	}, nil
 }
 
@@ -967,6 +984,12 @@ type ViewStats struct {
 	// Cache is this view's slice of the result-cache counters; nil (and
 	// omitted from the JSON) when caching is off.
 	Cache *ViewCacheStats `json:"cache,omitempty"`
+	// WALReplayed counts update-log entries replayed into this view at
+	// load (Options.WALDir); WALError carries a compaction failure — the
+	// recovered state is served either way, the log just was not
+	// truncated. Both are omitted when WAL recovery is off.
+	WALReplayed int    `json:"wal_replayed,omitempty"`
+	WALError    string `json:"wal_error,omitempty"`
 }
 
 // statsResponse is the /v1/stats body.
@@ -1030,6 +1053,10 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 			vc := h.cache.ViewStats(e.name)
 			row.Cache = &vc
 		}
+		row.WALReplayed = e.wal.replayed
+		if e.wal.compactErr != nil {
+			row.WALError = e.wal.compactErr.Error()
+		}
 		resp.Views = append(resp.Views, row)
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -1059,14 +1086,22 @@ func (h *Handler) handleReady(w http.ResponseWriter, r *http.Request) {
 		h.errorJSON(w, http.StatusServiceUnavailable, "not ready: gate closed")
 		return
 	}
+	walReplayed := 0
 	for _, name := range reg.names {
 		if err := reg.views[name].rep.Ensure(); err != nil {
 			h.errorJSON(w, http.StatusServiceUnavailable, "view %q not decodable: %v", name, err)
 			return
 		}
+		walReplayed += reg.views[name].wal.replayed
+	}
+	body := map[string]any{"ready": true, "views": len(reg.names), "generation": reg.gen}
+	if h.opts.WALDir != "" {
+		// A ready answer with WAL recovery armed means: every log was
+		// replayed and the registry already reflects the recovered churn.
+		body["wal_replayed"] = walReplayed
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"ready": true, "views": len(reg.names), "generation": reg.gen})
+	json.NewEncoder(w).Encode(body)
 }
 
 // attachRequest is the POST /v1/attach body: serve the snapshot from

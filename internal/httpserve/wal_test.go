@@ -1,0 +1,253 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"cqrep/internal/core"
+	"cqrep/internal/cq"
+	"cqrep/internal/relation"
+	"cqrep/internal/wal"
+)
+
+// walFixture compiles a small materialized view, snapshots it, and
+// writes a WAL carrying churn the snapshot has not compiled — the state a
+// crashed writer leaves behind.
+func walFixture(t *testing.T, dir string) (snapPath string, entries []wal.Entry, want *core.Representation) {
+	t.Helper()
+	view := cq.MustParse("V[bf](x, y) :- S(x, y)")
+	db := relation.NewDatabase()
+	s := relation.NewRelation("S", 2)
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 5; j++ {
+			s.MustInsert(relation.Value(k), relation.Value(j))
+		}
+	}
+	db.Add(s)
+	snapPath, _ = compileAndSave(t, dir, "V.cqs", view, db, core.WithStrategy(core.MaterializedStrategy))
+
+	entries = []wal.Entry{
+		{Rel: "S", Tuple: relation.Tuple{0, 99}},
+		{Rel: "S", Tuple: relation.Tuple{1, 2}, Del: true},
+		{Rel: "S", Tuple: relation.Tuple{7, 7}},
+		{Rel: "S", Tuple: relation.Tuple{9, 9}, Del: true}, // no-op delete
+	}
+	log, replayed, err := wal.Open(walPathFor(dir, "V"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh log replayed %d entries", len(replayed))
+	}
+	for i, e := range entries {
+		if err := log.Append(uint64(i+1), e.Rel, e.Tuple, e.Del); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trusted baseline: the same churn applied to the base database,
+	// compiled fresh.
+	wantDB := relation.NewDatabase()
+	ws := relation.NewRelation("S", 2)
+	for i := 0; i < s.Len(); i++ {
+		ws.MustInsert(s.Row(i)...)
+	}
+	wantDB.Add(ws)
+	for _, e := range entries {
+		if e.Del {
+			ws.Delete(e.Tuple)
+		} else {
+			ws.MustInsert(e.Tuple...)
+		}
+	}
+	want, err = core.Build(view, wantDB, core.WithStrategy(core.MaterializedStrategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapPath, entries, want
+}
+
+// TestWALRecoveryOnLoad is the serving half of durable maintenance: a
+// snapshot plus a WAL tail must load into the recovered state, report the
+// replay through /readyz and /v1/stats, persist the recovered snapshot
+// back, and compact the log so a second load replays nothing.
+func TestWALRecoveryOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	snapPath, entries, want := walFixture(t, dir)
+	preSize := fileSize(t, snapPath)
+
+	h, err := New([]string{snapPath}, Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	defer h.Close()
+
+	// Recovered answers must match the freshly compiled baseline for every
+	// bound key, including the inserted one (7) and a miss.
+	for _, k := range []relation.Value{0, 1, 2, 3, 7, 42} {
+		wantTuples := encodeAll(core.Drain(want.Query(relation.Tuple{k})))
+		res := postQuery(t, ts.URL, "V", map[string]relation.Value{"x": k})
+		if got := encodeAll(res); string(got) != string(wantTuples) {
+			t.Fatalf("recovered answers for x=%d diverge from fresh compile", k)
+		}
+	}
+
+	// /readyz carries the replay count.
+	ready := getJSON(t, ts.URL+"/readyz")
+	if got := int(ready["wal_replayed"].(float64)); got != len(entries) {
+		t.Fatalf("/readyz wal_replayed = %d, want %d", got, len(entries))
+	}
+
+	// /v1/stats reports it per view, with no compaction error.
+	var stats struct {
+		Views []ViewStats `json:"views"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats.Views) != 1 || stats.Views[0].WALReplayed != len(entries) {
+		t.Fatalf("stats = %+v, want one view with WALReplayed %d", stats.Views, len(entries))
+	}
+	if stats.Views[0].WALError != "" {
+		t.Fatalf("stats reports WAL error %q", stats.Views[0].WALError)
+	}
+
+	// Recovery persisted the snapshot back (the file changed) and
+	// compacted the log, so a second handler replays nothing.
+	if postSize := fileSize(t, snapPath); postSize == preSize {
+		t.Fatalf("snapshot file not rewritten after recovery (still %d bytes)", postSize)
+	}
+	if left, err := wal.Replay(walPathFor(dir, "V")); err != nil || len(left) != 0 {
+		t.Fatalf("log after recovery: %d entries, err %v; want empty", len(left), err)
+	}
+	h2, err := New([]string{snapPath}, Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+	ready2 := getJSON(t, ts2.URL+"/readyz")
+	if got := int(ready2["wal_replayed"].(float64)); got != 0 {
+		t.Fatalf("second load wal_replayed = %d, want 0", got)
+	}
+	for _, k := range []relation.Value{0, 7} {
+		wantTuples := encodeAll(core.Drain(want.Query(relation.Tuple{k})))
+		res := postQuery(t, ts2.URL, "V", map[string]relation.Value{"x": k})
+		if got := encodeAll(res); string(got) != string(wantTuples) {
+			t.Fatalf("second-load answers for x=%d diverge", k)
+		}
+	}
+}
+
+// TestWALMissingOrEmptyIsNoop: no WAL file (or WALDir unset) must load
+// the snapshot untouched.
+func TestWALMissingOrEmptyIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	view, db := triangleFixture(t, 3)
+	snapPath, _ := compileAndSave(t, dir, "V.cqs", view, db)
+	pre := fileSize(t, snapPath)
+
+	h, err := New([]string{snapPath}, Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	ready := getJSON(t, ts.URL+"/readyz")
+	if got := int(ready["wal_replayed"].(float64)); got != 0 {
+		t.Fatalf("wal_replayed = %d, want 0", got)
+	}
+	if post := fileSize(t, snapPath); post != pre {
+		t.Fatalf("snapshot rewritten (%d -> %d bytes) with no WAL", pre, post)
+	}
+}
+
+// TestWALUnreplayableFailsLoad: a log whose entries do not fit the
+// snapshot's schema must fail the load — serving while silently dropping
+// durable updates would be data loss.
+func TestWALUnreplayableFailsLoad(t *testing.T) {
+	dir := t.TempDir()
+	view, db := triangleFixture(t, 3)
+	snapPath, _ := compileAndSave(t, dir, "V.cqs", view, db)
+	log, _, err := wal.Open(walPathFor(dir, "V"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(1, "NoSuchRel", relation.Tuple{1, 2}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]string{snapPath}, Options{WALDir: dir}); err == nil {
+		t.Fatal("load succeeded despite an unreplayable WAL entry")
+	} else if !strings.Contains(err.Error(), "NoSuchRel") {
+		t.Fatalf("error %v does not name the offending relation", err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// postQuery drains one NDJSON query response into tuples.
+func postQuery(t *testing.T, base, view string, bindings map[string]relation.Value) []relation.Tuple {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"bindings": bindings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/query/"+view, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %s: %s", view, resp.Status)
+	}
+	var out []relation.Tuple
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var row []relation.Value
+		if err := dec.Decode(&row); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, relation.Tuple(row))
+	}
+	return out
+}

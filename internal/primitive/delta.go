@@ -1,0 +1,87 @@
+package primitive
+
+import (
+	"cqrep/internal/join"
+	"cqrep/internal/relation"
+)
+
+// delta.go: delta maintenance for the delay-balanced tree. The structure
+// cannot be incrementally re-balanced — the estimator-driven splits depend
+// globally on the data — but it does not have to be: enumeration
+// correctness rests on a weaker invariant than structural freshness.
+// Algorithm 2 reads the dictionary three ways (enum.go):
+//
+//   - ⊥ (no entry): the node's whole interval is evaluated directly with
+//     the worst-case-optimal enumerator over the *current* instance —
+//     always correct, merely not delay-bounded for pairs that turned heavy.
+//   - bit 1: recurse into the children and re-check β against the current
+//     instance — correct even if the subtree emptied out (the traversal
+//     just finds nothing); only slower than a fresh 0 would be.
+//   - bit 0: the subtree is pruned. This is the single way a stale
+//     dictionary loses answers: a pair recorded empty that an inserted
+//     tuple made non-empty.
+//
+// DeltaRebase therefore rebases the tree and dictionary onto the updated
+// instance wholesale and repairs exactly the dangerous direction: for
+// every net-added output it walks the root-to-leaf containment chain of
+// the output's free tuple and deletes any 0-entry for the output's bound
+// valuation along it (⊥ re-evaluates, which is correct). Deletions need no
+// dictionary work at all, and the delay guarantee degrades gracefully —
+// amortized rebuilds (Maintained's existing policy) restore it.
+
+// DeltaRebase returns a Structure answering queries over inst — the same
+// normalized view compiled over an updated database — reusing this
+// structure's tree and dictionary copy-on-write. addVb/addFree are the
+// net-added outputs as parallel (bound valuation, free tuple) slices; net
+// deletions require no repair. ok is false when the delta is out of the
+// tree's reach — no tree was built (the old free domain was empty), or an
+// added output falls outside the root interval — and the caller must
+// recompile. The receiver stays untouched and fully queryable.
+func (s *Structure) DeltaRebase(inst *join.Instance, addVb, addFree []relation.Tuple) (*Structure, bool) {
+	if s.root == nil {
+		return nil, false
+	}
+	out := &Structure{
+		inst: inst, est: s.est, tau: s.tau,
+		root: s.root, nodes: s.nodes, maxLevel: s.maxLevel,
+		dict: s.dict, exhaustive: s.exhaustive,
+	}
+	var stale []string
+	for i, ft := range addFree {
+		if !s.root.iv.Contains(ft) {
+			return nil, false
+		}
+		vbKey := addVb[i].AppendEncode(nil)
+		for n := s.root; n != nil; {
+			if bit, heavy := s.lookup(n.id, vbKey); heavy && bit == 0 {
+				stale = append(stale, dictKey(n.id, addVb[i]))
+			}
+			if n.beta == nil {
+				break
+			}
+			left, _, right := n.iv.SplitAt(n.beta)
+			switch {
+			case !left.Empty() && left.Contains(ft):
+				n = n.left
+			case !right.Empty() && right.Contains(ft):
+				n = n.right
+			default:
+				// ft is the split point β itself; β is re-checked against
+				// the live instance on every enumeration, so descent (and
+				// repair) stops here.
+				n = nil
+			}
+		}
+	}
+	if len(stale) > 0 {
+		nd := make(map[string]byte, len(s.dict))
+		for k, v := range s.dict {
+			nd[k] = v
+		}
+		for _, k := range stale {
+			delete(nd, k)
+		}
+		out.dict = nd
+	}
+	return out, true
+}

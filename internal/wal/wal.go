@@ -1,0 +1,343 @@
+// Package wal is the durable update log behind Maintained views: every
+// buffered insert or delete is appended here before it is acknowledged, so
+// a crash between acknowledgment and the next amortized rebuild loses
+// nothing — a restarted process replays the tail and converges on the
+// exact database (and therefore the exact compiled representation) the
+// uninterrupted run would have reached.
+//
+// The file format reuses the snapshot wire vocabulary of relation/codec.go
+// (DESIGN.md §9):
+//
+//	header: "CQWL" magic + one version byte (1)
+//	record: uvarint payload length | payload | 4-byte big-endian CRC32(payload)
+//	payload: Uint(seq) Byte(op) String(rel) Tuple(tuple)   op: 0=insert 1=delete
+//
+// Records are strictly append-only and sequence numbers strictly increase,
+// so the log's truth is a prefix property: Open scans from the start and
+// truncates the file at the first record that is short, corrupt, or
+// out of order — the torn tail a crash mid-append leaves behind. Entries
+// before the tear are exactly the acknowledged updates.
+//
+// Compaction pairs the log with a snapshot: once a rebuild has compiled
+// every entry up to sequence G into the representation, Compact(G) first
+// invokes the snapshot hook (which must persist the compiled state at
+// generation ≥ G) and only then rewrites the log without the entries ≤ G,
+// via a temp file and an atomic rename. A log with no snapshot hook never
+// truncates — dropping acknowledged entries without a snapshot that
+// contains them would un-acknowledge them. A crash between the snapshot
+// write and the rename is harmless: replaying already-compiled entries is
+// idempotent under the relation set semantics (duplicate inserts and
+// deletes of absent tuples are no-ops).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"cqrep/internal/relation"
+)
+
+// magic opens every log file; the trailing byte versions the record format.
+var magic = []byte{'C', 'Q', 'W', 'L', 1}
+
+// ErrNotWAL reports a file that exists but does not start with the log
+// magic — refusing to append to (or truncate!) something that is not ours.
+var ErrNotWAL = errors.New("wal: not a cqrep update log")
+
+// Entry is one logged update.
+type Entry struct {
+	Seq   uint64
+	Rel   string
+	Tuple relation.Tuple
+	Del   bool
+}
+
+// Log is an open append-only update log. It is safe for concurrent use;
+// appends are serialized by an internal mutex (callers that need a strict
+// append order across their own state, like Maintained, hold their own
+// lock around Append anyway).
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	lastSeq  uint64
+	entries  int // live records in the file
+	snapshot func(upTo uint64) error
+}
+
+// Open opens (or creates) the log at path and replays its entries. A torn
+// or corrupt tail is truncated away — the entries returned are exactly the
+// durable prefix. The caller applies the returned entries to its base
+// state before appending new ones; new sequence numbers must continue
+// above the last replayed entry's.
+func Open(path string) (*Log, []Entry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries, good, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Truncate the torn tail (or write the header into a fresh file) so
+	// the file ends exactly at the last durable record.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if good == 0 {
+		if _, err := f.Write(magic); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	} else if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{f: f, path: path, entries: len(entries)}
+	if len(entries) > 0 {
+		l.lastSeq = entries[len(entries)-1].Seq
+	}
+	return l, entries, nil
+}
+
+// Replay reads the durable entries of the log at path without opening it
+// for appending and without repairing a torn tail. A missing file is an
+// empty log.
+func Replay(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	entries, _, err := scan(f)
+	return entries, err
+}
+
+// scan reads records from the start of f, returning the entries of the
+// longest valid prefix and the byte offset where that prefix ends. A file
+// that exists but carries foreign content fails with ErrNotWAL; a short or
+// corrupt record merely ends the prefix (the crash-torn tail).
+func scan(f *os.File) ([]Entry, int64, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	if len(data) < len(magic) || string(data[:4]) != string(magic[:4]) {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotWAL, data[:min(len(data), 4)])
+	}
+	if data[4] != magic[4] {
+		return nil, 0, fmt.Errorf("wal: version %d, this build reads %d", data[4], magic[4])
+	}
+	var entries []Entry
+	pos := int64(len(magic))
+	for {
+		e, next, ok := readRecord(data, pos)
+		if !ok {
+			return entries, pos, nil
+		}
+		// Out-of-order sequences mean the file was stitched or reused;
+		// treat everything from here on as untrustworthy.
+		if len(entries) > 0 && e.Seq <= entries[len(entries)-1].Seq {
+			return entries, pos, nil
+		}
+		entries = append(entries, e)
+		pos = next
+	}
+}
+
+// readRecord decodes one record at pos; ok is false at EOF or on a torn,
+// corrupt, or undecodable record.
+func readRecord(data []byte, pos int64) (e Entry, next int64, ok bool) {
+	rest := data[pos:]
+	plen, n := binary.Uvarint(rest)
+	if n <= 0 || plen > uint64(len(rest)-n) {
+		return e, 0, false
+	}
+	payload := rest[n : n+int(plen)]
+	crcOff := n + int(plen)
+	if len(rest) < crcOff+4 {
+		return e, 0, false
+	}
+	if binary.BigEndian.Uint32(rest[crcOff:]) != crc32.ChecksumIEEE(payload) {
+		return e, 0, false
+	}
+	d := relation.NewDecoder(payload)
+	e.Seq = d.Uint()
+	op := d.Byte()
+	e.Rel = d.String()
+	e.Tuple = d.Tuple()
+	if d.Err() != nil || d.Remaining() != 0 || op > 1 {
+		return e, 0, false
+	}
+	e.Del = op == 1
+	return e, pos + int64(crcOff) + 4, true
+}
+
+// appendRecord encodes one record into buf.
+func appendRecord(buf []byte, e Entry) ([]byte, error) {
+	var payload payloadBuffer
+	enc := relation.NewEncoder(&payload)
+	enc.Uint(e.Seq)
+	op := byte(0)
+	if e.Del {
+		op = 1
+	}
+	enc.Byte(op)
+	enc.String(e.Rel)
+	enc.Tuple(e.Tuple)
+	if err := enc.Err(); err != nil {
+		return buf, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload)), nil
+}
+
+// payloadBuffer is a minimal io.Writer so the relation.Encoder can write
+// into an appendable slice.
+type payloadBuffer []byte
+
+func (b *payloadBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// Append logs one update. The write is acknowledged once it is in the OS
+// page cache: the log survives process crashes (the kill -9 the smoke test
+// deals); surviving whole-machine power loss would need an fsync per
+// append, which the update path does not pay.
+func (l *Log) Append(seq uint64, rel string, t relation.Tuple, del bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: append on closed log")
+	}
+	if seq <= l.lastSeq {
+		return fmt.Errorf("wal: sequence %d not after %d", seq, l.lastSeq)
+	}
+	rec, err := appendRecord(nil, Entry{Seq: seq, Rel: rel, Tuple: t, Del: del})
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	l.lastSeq = seq
+	l.entries++
+	return nil
+}
+
+// SetSnapshot arms compaction: hook must durably persist the compiled
+// state at generation ≥ its argument (typically by writing the current
+// representation snapshot to disk) before returning. Without a hook,
+// Compact is a no-op — the log never truncates entries that no snapshot
+// contains.
+func (l *Log) SetSnapshot(hook func(upTo uint64) error) {
+	l.mu.Lock()
+	l.snapshot = hook
+	l.mu.Unlock()
+}
+
+// Compact drops every entry with sequence ≤ upTo after persisting a
+// snapshot that contains them. The rewrite goes through a temp file and an
+// atomic rename, so a crash at any point leaves either the old complete
+// log or the new one — and the snapshot-then-truncate order means replay
+// over the snapshot is at worst idempotently re-applying entries the
+// snapshot already contains.
+func (l *Log) Compact(upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: compact on closed log")
+	}
+	if l.snapshot == nil {
+		return nil
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	entries, _, err := scan(l.f)
+	if err != nil {
+		return err
+	}
+	keep := entries[:0]
+	for _, e := range entries {
+		if e.Seq > upTo {
+			keep = append(keep, e)
+		}
+	}
+	if len(keep) == len(entries) {
+		// Nothing to drop; skip the snapshot and the rewrite.
+		_, err := l.f.Seek(0, io.SeekEnd)
+		return err
+	}
+	if err := l.snapshot(upTo); err != nil {
+		l.f.Seek(0, io.SeekEnd)
+		return fmt.Errorf("wal: snapshot before compaction: %w", err)
+	}
+	buf := append([]byte(nil), magic...)
+	for _, e := range keep {
+		if buf, err = appendRecord(buf, e); err != nil {
+			return err
+		}
+	}
+	tmp := l.path + ".compact"
+	if err := os.WriteFile(tmp, buf, 0o666); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	nf, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	l.f.Close()
+	l.f = nf
+	l.entries = len(keep)
+	return nil
+}
+
+// LastSeq returns the highest sequence number the log holds (appended or
+// replayed); 0 for an empty log.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Entries returns the number of live records in the log file.
+func (l *Log) Entries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.entries
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the underlying file. Appends after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

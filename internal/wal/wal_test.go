@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cqrep/internal/relation"
+)
+
+func mustAppend(t *testing.T, l *Log, seq uint64, rel string, tup relation.Tuple, del bool) {
+	t.Helper()
+	if err := l.Append(seq, rel, tup, del); err != nil {
+		t.Fatalf("append %d: %v", seq, err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.wal")
+	l, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh log replayed %d entries", len(entries))
+	}
+	mustAppend(t, l, 1, "R", relation.Tuple{1, 2}, false)
+	mustAppend(t, l, 2, "R", relation.Tuple{3, 4}, true)
+	mustAppend(t, l, 3, "S", relation.Tuple{5}, false)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	want := []Entry{
+		{Seq: 1, Rel: "R", Tuple: relation.Tuple{1, 2}},
+		{Seq: 2, Rel: "R", Tuple: relation.Tuple{3, 4}, Del: true},
+		{Seq: 3, Rel: "S", Tuple: relation.Tuple{5}},
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		w := want[i]
+		if e.Seq != w.Seq || e.Rel != w.Rel || e.Del != w.Del || !bytes.Equal(e.Tuple.AppendEncode(nil), w.Tuple.AppendEncode(nil)) {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, w)
+		}
+	}
+	if l2.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d, want 3", l2.LastSeq())
+	}
+	// Appends must continue above the replayed tail.
+	if err := l2.Append(3, "R", relation.Tuple{9, 9}, false); err == nil {
+		t.Fatal("reused sequence number accepted")
+	}
+	mustAppend(t, l2, 4, "R", relation.Tuple{9, 9}, false)
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 1, "R", relation.Tuple{1, 2}, false)
+	mustAppend(t, l, 2, "R", relation.Tuple{3, 4}, false)
+	l.Close()
+
+	// Tear the tail mid-record, as a crash during append would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(data) - 1; cut > len(data)-4; cut-- {
+		if err := os.WriteFile(path, data[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := Replay(path)
+		if err != nil {
+			t.Fatalf("replay after tear at %d: %v", cut, err)
+		}
+		if len(entries) != 1 || entries[0].Seq != 1 {
+			t.Fatalf("tear at %d: replayed %d entries, want the first only", cut, len(entries))
+		}
+	}
+
+	// Open repairs the file: the torn record is gone and appends resume.
+	l2, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(entries) != 1 {
+		t.Fatalf("open after tear replayed %d entries, want 1", len(entries))
+	}
+	mustAppend(t, l2, 2, "R", relation.Tuple{5, 6}, false)
+	entries, err = Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Tuple[0] != 5 {
+		t.Fatalf("after repair+append: %+v", entries)
+	}
+}
+
+func TestWALCorruptRecordEndsPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 1, "R", relation.Tuple{1}, false)
+	off, _ := l.f.Seek(0, 1)
+	mustAppend(t, l, 2, "R", relation.Tuple{2}, false)
+	l.Close()
+
+	data, _ := os.ReadFile(path)
+	data[off+2] ^= 0xff // flip a payload byte of the second record
+	os.WriteFile(path, data, 0o666)
+	entries, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("corrupt record: replayed %d entries, want 1", len(entries))
+	}
+}
+
+func TestWALRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not.wal")
+	if err := os.WriteFile(path, []byte("hello, definitely not a log"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); !errors.Is(err, ErrNotWAL) {
+		t.Fatalf("open foreign file: %v, want ErrNotWAL", err)
+	}
+	if _, err := Replay(path); !errors.Is(err, ErrNotWAL) {
+		t.Fatalf("replay foreign file: %v, want ErrNotWAL", err)
+	}
+}
+
+func TestWALCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for seq := uint64(1); seq <= 5; seq++ {
+		mustAppend(t, l, seq, "R", relation.Tuple{relation.Value(seq)}, false)
+	}
+
+	// Without a snapshot hook, Compact must not drop anything.
+	if err := l.Compact(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Entries(); got != 5 {
+		t.Fatalf("compact without snapshot dropped entries: %d left, want 5", got)
+	}
+
+	snapped := uint64(0)
+	l.SetSnapshot(func(upTo uint64) error { snapped = upTo; return nil })
+	if err := l.Compact(3); err != nil {
+		t.Fatal(err)
+	}
+	if snapped != 3 {
+		t.Fatalf("snapshot hook saw upTo=%d, want 3", snapped)
+	}
+	if got := l.Entries(); got != 2 {
+		t.Fatalf("after compact: %d entries, want 2", got)
+	}
+	// The log keeps working after the rewrite, and replay sees the tail.
+	mustAppend(t, l, 6, "R", relation.Tuple{6}, false)
+	entries, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Seq != 4 || entries[2].Seq != 6 {
+		t.Fatalf("post-compaction replay: %+v", entries)
+	}
+
+	// A failing snapshot must block truncation.
+	l.SetSnapshot(func(uint64) error { return errors.New("disk full") })
+	if err := l.Compact(6); err == nil {
+		t.Fatal("compact with failing snapshot succeeded")
+	}
+	if got := l.Entries(); got != 3 {
+		t.Fatalf("failed snapshot still dropped entries: %d left, want 3", got)
+	}
+	mustAppend(t, l, 7, "R", relation.Tuple{7}, false)
+}
+
+func TestWALCompactionNoopWhenNothingDroppable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, 5, "R", relation.Tuple{1}, false)
+	calls := 0
+	l.SetSnapshot(func(uint64) error { calls++; return nil })
+	if err := l.Compact(4); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("snapshot hook ran %d times for a no-op compaction", calls)
+	}
+}

@@ -54,8 +54,9 @@ func SymmetricGraph(rng *rand.Rand, name string, nodes, edges int) *relation.Rel
 // the regime where heavy valuations exist at moderate τ.
 func SkewedGraph(rng *rand.Rand, name string, nodes, edges int) *relation.Relation {
 	r := relation.NewRelation(name, 2)
+	z := NewZipf(nodes, 1.2)
 	for i := 0; i < edges; i++ {
-		a := zipfValue(rng, nodes, 1.2)
+		a := relation.Value(z.Draw(rng))
 		b := relation.Value(rng.Intn(nodes))
 		if a == b {
 			continue
@@ -90,11 +91,12 @@ func TriangleDB(seed int64, nodes, edges int) *relation.Database {
 func StarDB(seed int64, n, sizePer, domain int) *relation.Database {
 	rng := rand.New(rand.NewSource(seed))
 	db := relation.NewDatabase()
+	zipf := NewZipf(domain, 1.2)
 	for i := 1; i <= n; i++ {
 		r := relation.NewRelation(fmt.Sprintf("R%d", i), 2)
 		for k := 0; k < sizePer; k++ {
 			x := relation.Value(rng.Intn(domain))
-			z := zipfValue(rng, domain, 1.2)
+			z := relation.Value(zipf.Draw(rng))
 			r.MustInsert(x, z)
 		}
 		db.Add(r)
@@ -222,9 +224,10 @@ func SetFamilyDB(seed int64, numSets, universe, totalSize int) *relation.Databas
 	rng := rand.New(rand.NewSource(seed))
 	db := relation.NewDatabase()
 	r := relation.NewRelation("R", 2)
+	z := NewZipf(universe, 1.1)
 	for k := 0; k < totalSize; k++ {
 		s := relation.Value(rng.Intn(numSets))
-		e := zipfValue(rng, universe, 1.1)
+		e := relation.Value(z.Draw(rng))
 		r.MustInsert(s, e)
 	}
 	db.Add(r)
@@ -243,8 +246,9 @@ func CoauthorDB(seed int64, authors, papers, entries int) *relation.Database {
 	rng := rand.New(rand.NewSource(seed))
 	db := relation.NewDatabase()
 	r := relation.NewRelation("R", 2)
+	z := NewZipf(authors, 1.1)
 	for k := 0; k < entries; k++ {
-		a := zipfValue(rng, authors, 1.1)
+		a := relation.Value(z.Draw(rng))
 		p := relation.Value(rng.Intn(papers))
 		r.MustInsert(a, p)
 	}
@@ -259,29 +263,16 @@ func CoauthorView() *cq.View {
 	return cq.MustParse("V[bff](x, y, p) :- R(x, p), R(y, p)")
 }
 
-// zipfValue draws from {0..n-1} with an approximate Zipf(s) distribution by
-// inverse-CDF over ranks.
-func zipfValue(rng *rand.Rand, n int, s float64) relation.Value {
-	// Inverse transform on a truncated zeta distribution; crude but fast
-	// and deterministic.
-	u := rng.Float64()
-	x := math.Pow(float64(n), 1-u) // rank skewing
-	v := int(x) % n
-	if v < 0 {
-		v = 0
-	}
-	_ = s
-	return relation.Value(v)
-}
-
 // Zipf samples ranks {0..n-1} with P(rank k) ∝ 1/(k+1)^s — rank 0 is the
 // hottest. It tabulates the exact truncated-zeta CDF once and inverts it
-// by binary search, so unlike zipfValue (kept as-is above: the seeded
-// dataset fixtures depend on its exact draws) the exponent is honored
-// precisely — the property reproducible hot-key serving workloads need.
-// With s=1.1 over a handful of ranks the top rank carries a large
-// constant fraction of all draws, which is what makes a bounded result
-// cache pay.
+// by binary search, so the exponent is honored precisely — the property
+// reproducible hot-key serving workloads need. It is the single Zipf
+// sampler in the repo: the dataset generators above tabulate one per
+// generator call and draw ranks from it (one rng draw per sample), which
+// replaced an earlier approximate inverse-CDF sampler that ignored its
+// exponent entirely. With s=1.1 over a handful of ranks the top rank
+// carries a large constant fraction of all draws, which is what makes a
+// bounded result cache (and a bucket-local delta apply) pay.
 type Zipf struct {
 	cdf []float64
 }

@@ -189,10 +189,60 @@ func TestZipfSampler(t *testing.T) {
 
 func TestZipfValueInRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
+	z := NewZipf(37, 1.1)
 	for i := 0; i < 10000; i++ {
-		v := zipfValue(rng, 37, 1.1)
+		v := z.Draw(rng)
 		if v < 0 || v >= 37 {
 			t.Fatalf("zipf value %d out of range", v)
 		}
+	}
+}
+
+// TestChurnScriptDeterministic pins the shared churn generator: same seed
+// same script, live-set deletes actually remove present tuples, and the
+// blind-delete arm produces some deliberate no-ops.
+func TestChurnScriptDeterministic(t *testing.T) {
+	db := TriangleDB(3, 12, 60)
+	a, err := ChurnScript(42, db, []string{"R"}, 12, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnScript(42, db, []string{"R"}, 12, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 400 {
+		t.Fatalf("script lengths %d / %d, want 400", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Rel != b[i].Rel || a[i].Del != b[i].Del || !a[i].Tuple.Equal(b[i].Tuple) {
+			t.Fatalf("step %d differs between identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	// Replay over a mirror and classify deletes.
+	mirror := db.Clone()
+	r, _ := mirror.Relation("R")
+	real, noop := 0, 0
+	for _, op := range a {
+		if op.Del {
+			if r.Delete(op.Tuple) {
+				real++
+			} else {
+				noop++
+			}
+		} else if err := r.Insert(op.Tuple); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if real == 0 {
+		t.Error("script produced no effective deletes")
+	}
+	if noop == 0 {
+		t.Error("script produced no no-op deletes (blind-delete arm dead)")
+	}
+
+	if _, err := ChurnScript(1, db, []string{"missing"}, 12, 10); err == nil {
+		t.Error("unknown relation accepted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"iter"
 
 	"cqrep/internal/core"
+	"cqrep/internal/wal"
 )
 
 // Maintained wraps a Representation with update support: inserts and
@@ -17,7 +18,8 @@ import (
 // call All/Query/Insert/Delete/Flush. Ownership of the database passes to
 // Maintained at construction; callers must not mutate it afterwards.
 type Maintained struct {
-	m *core.Maintained
+	m   *core.Maintained
+	log *wal.Log // non-nil once AttachWAL armed durability (wal.go)
 }
 
 // NewMaintained compiles the view and arms the rebuild policy. fraction

@@ -123,6 +123,19 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithDeltaApply enables or disables incremental delta maintenance under
+// Maintained (default: enabled). When enabled, backends with the delta
+// capability — materialized buckets, all-bound indexes, and the Theorem-1
+// tree's dictionary rebase — absorb a rebuild batch by patching their
+// structure copy-on-write instead of recompiling; everything else (and
+// every batch the delta path cannot prove safe) falls back to the full
+// recompile. Disabling it forces the recompile path everywhere, which is
+// useful for A/B measurement (experiment E20) and as an escape hatch.
+// Compile ignores the option: it only affects rebuilds.
+func WithDeltaApply(enabled bool) Option {
+	return func(c *config) { c.build = append(c.build, core.WithDeltaApply(enabled)) }
+}
+
 // WithServerBuffer sets a Server's per-request iterator channel capacity
 // (default 256). n trades memory per in-flight request against
 // producer/consumer coupling: a serving worker buffers up to n tuples

@@ -1,0 +1,109 @@
+package cqrep
+
+import (
+	"fmt"
+
+	"cqrep/internal/core"
+	"cqrep/internal/wal"
+)
+
+// wal.go is the public face of durable maintenance: a Maintained can be
+// paired with an append-only update log (internal/wal) so every
+// acknowledged Insert/Delete survives a crash, and a process can resume
+// from a snapshot plus the log's uncompiled tail instead of recompiling
+// from source data. The recovery protocol (DESIGN.md §9):
+//
+//	rep, _ := cqrep.Load(snapshotPath)
+//	m, _ := cqrep.ResumeMaintained(rep, fraction, opts...)
+//	replayed, _ := m.AttachWAL(walPath, snapshotPath)
+//	_ = m.Flush() // recompile the replayed tail; compaction truncates it
+//
+// The log is compacted behind a snapshot-first discipline: after every
+// successful rebuild the current snapshot is saved (atomic temp+rename)
+// and only then are the entries it covers dropped from the log, so a
+// crash at any point leaves either the old snapshot plus the full log or
+// the new snapshot plus the (possibly empty) tail — both of which replay
+// to the same state, because replay is idempotent under set semantics.
+
+// ResumeMaintained arms update maintenance over an already-compiled
+// representation — typically one loaded from a snapshot, whose frame
+// carries the base relations it was compiled over. fraction and opts have
+// the same meaning as in NewMaintained.
+func ResumeMaintained(rep *Representation, fraction float64, opts ...Option) (*Maintained, error) {
+	cfg := newConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	m, err := core.ResumeMaintained(rep.rep, fraction, cfg.build...)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintained{m: m}, nil
+}
+
+// AttachWAL opens (or creates) the update log at walPath and arms it:
+// every later Insert/Delete is appended — and acknowledged only once
+// durable — before it is buffered, and entries already in the log are
+// replayed into the pending buffer (call Flush to compile them). It
+// returns the number of replayed entries.
+//
+// snapshotPath, when non-empty, enables compaction: after each rebuild
+// the current snapshot is saved there (atomically) and the log drops the
+// entries that snapshot now covers. An empty snapshotPath leaves the log
+// append-only — replay stays idempotent, the file just grows.
+//
+// AttachWAL must be called before the first Insert/Delete and at most
+// once; Close releases the log's file handle.
+func (m *Maintained) AttachWAL(walPath, snapshotPath string) (int, error) {
+	if m.log != nil {
+		return 0, fmt.Errorf("cqrep: AttachWAL called twice (log %s already attached)", m.log.Path())
+	}
+	log, entries, err := wal.Open(walPath)
+	if err != nil {
+		return 0, err
+	}
+	if snapshotPath != "" {
+		log.SetSnapshot(func(upTo uint64) error {
+			return m.Snapshot().Save(snapshotPath)
+		})
+	}
+	m.m.SetUpdateLog(log, log.LastSeq())
+	for _, e := range entries {
+		if err := m.m.Replay(e.Rel, e.Tuple, e.Del); err != nil {
+			log.Close()
+			return 0, fmt.Errorf("cqrep: replaying %s entry %d: %w", walPath, e.Seq, err)
+		}
+	}
+	m.log = log
+	return len(entries), nil
+}
+
+// Close releases the attached update log's file handle, if any. The
+// Maintained itself needs no teardown beyond Quiesce.
+func (m *Maintained) Close() error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Close()
+}
+
+// DeltaApplies reports how many backend rebuilds were serviced by the
+// incremental delta path (copy-on-write output patching) instead of a
+// recompile — per shard, for sharded representations.
+func (m *Maintained) DeltaApplies() int { return m.m.DeltaApplies() }
+
+// NoopDeletes reports how many buffered deletes targeted a tuple that was
+// already absent when their batch applied — blind client deletes, or WAL
+// entries replayed over a snapshot that already contains them. They are
+// harmless under set semantics; the counter exists so they are visible
+// rather than silently swallowed.
+func (m *Maintained) NoopDeletes() int { return m.m.NoopDeletes() }
+
+// LastSeq reports the sequence number of the most recently buffered (and,
+// when a WAL is attached, durably logged) change.
+func (m *Maintained) LastSeq() uint64 { return m.m.LastSeq() }
+
+// CompactErr reports the most recent log-compaction failure, if any.
+// Compaction failures never pause maintenance — the log only grows — but
+// operators should surface this.
+func (m *Maintained) CompactErr() error { return m.m.CompactErr() }
